@@ -1,0 +1,61 @@
+"""Shared fixtures for the benchmark suite.
+
+Every experiment of the paper's evaluation section has one module here; the
+drivers live in :mod:`repro.harness.runner`.  Workload sizes follow the
+environment knobs documented in :mod:`repro.harness.config`
+(``REPRO_BENCH_SCALE``, ``REPRO_BENCH_FIELDS``, ``REPRO_BENCH_REPEATS``).
+
+Each module contains pytest-benchmark micro-cases for its headline kernels
+plus one ``test_*_report`` case that regenerates the full table/figure,
+prints it, and writes ``results/<exp>.md``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SZOps
+from repro.baselines import make_codec
+from repro.datasets import generate_fields
+from repro.harness import config_from_env
+
+
+@pytest.fixture(scope="session")
+def bench_cfg():
+    return config_from_env(max_fields=3)
+
+
+@pytest.fixture(scope="session")
+def hurricane_field(bench_cfg):
+    """One representative Hurricane field at the benchmark scale."""
+    return generate_fields("Hurricane", scale=bench_cfg.scale, fields=["U"])["U"]
+
+
+@pytest.fixture(scope="session")
+def szops_codec():
+    return SZOps()
+
+
+@pytest.fixture(scope="session")
+def szops_blob(szops_codec, hurricane_field, bench_cfg):
+    return szops_codec.compress(hurricane_field, bench_cfg.eps)
+
+
+@pytest.fixture(scope="session")
+def szp_codec():
+    return make_codec("SZp")
+
+
+@pytest.fixture(scope="session")
+def szp_blob(szp_codec, hurricane_field, bench_cfg):
+    return szp_codec.compress(hurricane_field, bench_cfg.eps)
+
+
+def emit(result, capsys=None):
+    """Persist an ExperimentResult and echo it to stdout."""
+    from repro.harness import render_result, save_result
+
+    path = save_result(result)
+    text = render_result(result)
+    print(f"\n[saved {path}]\n{text}")
+    return text

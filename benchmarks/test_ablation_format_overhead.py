@@ -1,0 +1,41 @@
+"""Experiment E7 — ablation backing Section VI-B3's ratio explanation.
+
+The paper attributes SZOps's ratio advantage over SZp to dropping the
+per-block compressed-byte-length limits and reorganizing outliers.  This
+ablation toggles each SZp stream overhead individually and shows the
+stripped format converging to the SZOps container size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import make_codec
+from repro.harness import run_ablation_format
+
+from conftest import emit
+
+
+@pytest.mark.parametrize(
+    "variant,kwargs",
+    [
+        ("faithful", dict()),
+        ("stripped", dict(store_block_lengths=False, full_sign_bitmap=False, word_align_payload=False)),
+    ],
+)
+def test_szp_variant_compression(benchmark, variant, kwargs, hurricane_field, bench_cfg):
+    codec = make_codec("SZp", **kwargs)
+    blob = benchmark(codec.compress, hurricane_field, bench_cfg.eps)
+    benchmark.extra_info["ratio"] = round(blob.compression_ratio, 3)
+
+
+def test_ablation_format_report(benchmark, bench_cfg):
+    result = benchmark.pedantic(
+        run_ablation_format, args=(bench_cfg,), rounds=1, iterations=1
+    )
+    emit(result)
+    ratios = {row[0]: row[1] for row in result.rows}
+    assert ratios["all three off (SZOps-shaped)"] > ratios["SZp (faithful format)"]
+    assert ratios["SZOps container"] == pytest.approx(
+        ratios["all three off (SZOps-shaped)"], rel=0.06
+    )

@@ -1,0 +1,52 @@
+"""Experiment E3 — Figure 6: SZOps kernel vs SZp end-to-end throughput.
+
+The paper plots GB/s for every operation and dataset with the speedup ratio
+above each SZOps bar (2x up to >206x), and Table V explains why: no
+decompression for negation/add/sub, partial decompression + constant blocks
+for multiplication, constant blocks + integer ops for the reductions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ops
+from repro.core.ops.dispatch import OPERATIONS
+from repro.harness import DEFAULT_SCALAR, measure_ops_matrix, run_figure6
+
+from conftest import emit
+
+
+@pytest.mark.parametrize(
+    "op", ["negation", "scalar_add", "scalar_multiply", "mean", "variance"]
+)
+def test_szops_kernel_throughput(benchmark, szops_blob, op):
+    """Micro-cases: each SZOps kernel in isolation (the navy bars)."""
+    scalar = DEFAULT_SCALAR if OPERATIONS[op].needs_scalar else None
+    benchmark.extra_info["bytes"] = szops_blob.original_nbytes
+    if scalar is None:
+        benchmark(OPERATIONS[op].fn, szops_blob)
+    else:
+        benchmark(OPERATIONS[op].fn, szops_blob, scalar)
+
+
+def test_figure6_report(benchmark, bench_cfg):
+    """Regenerate Figure 6's data series and persist results/figure6.md."""
+    matrix = benchmark.pedantic(
+        measure_ops_matrix, args=(bench_cfg,), rounds=1, iterations=1
+    )
+    result = run_figure6(bench_cfg, matrix)
+    emit(result)
+
+    # Table V assertions (E6): speedups group by operating space.
+    by_op: dict[str, list[float]] = {}
+    for m in matrix:
+        by_op.setdefault(m.op_name, []).append(m.speedup)
+    mean = lambda xs: sum(xs) / len(xs)
+    # fully compressed space >> everything else
+    assert mean(by_op["negation"]) > 10
+    assert mean(by_op["scalar_add"]) > 10
+    assert mean(by_op["scalar_subtract"]) > 10
+    # partial-space ops beat or match the traditional workflow on average
+    for op in ("scalar_multiply", "mean", "variance", "std"):
+        assert mean(by_op[op]) > 0.85, (op, by_op[op])

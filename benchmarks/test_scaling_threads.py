@@ -1,0 +1,45 @@
+"""Supplementary experiment: thread scaling of the blockwise executor.
+
+The paper's CPU SZp runs on all 12 logical CPUs of its testbed; this
+benchmark checks that our chunked thread-pool substrate behaves sanely —
+multi-threaded compression must (a) produce bit-identical streams and
+(b) not be slower than single-threaded by more than scheduling noise on
+multi-core machines (NumPy releases the GIL inside the packing kernels).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import SZOps
+from repro.datasets import generate_fields
+
+
+@pytest.fixture(scope="module")
+def big_field(bench_cfg):
+    return generate_fields("Miranda", scale=bench_cfg.scale, fields=["density"])["density"]
+
+
+@pytest.mark.parametrize("n_threads", [1, 2, 4])
+def test_compress_thread_scaling(benchmark, big_field, bench_cfg, n_threads):
+    codec = SZOps(n_threads=n_threads)
+    benchmark.extra_info["n_threads"] = n_threads
+    benchmark.extra_info["cpus"] = os.cpu_count()
+    c = benchmark(codec.compress, big_field, bench_cfg.eps)
+    codec.close()
+    # identical output regardless of thread count
+    reference = SZOps().compress(big_field, bench_cfg.eps)
+    assert c.to_bytes() == reference.to_bytes()
+
+
+@pytest.mark.parametrize("n_threads", [1, 4])
+def test_decompress_thread_scaling(benchmark, big_field, bench_cfg, n_threads):
+    blob = SZOps().compress(big_field, bench_cfg.eps)
+    codec = SZOps(n_threads=n_threads)
+    benchmark.extra_info["n_threads"] = n_threads
+    out = benchmark(codec.decompress, blob)
+    codec.close()
+    assert np.array_equal(out, SZOps().decompress(blob))

@@ -1,0 +1,33 @@
+"""Experiment E4 — Table VI: constant vs total blocks per dataset.
+
+The paper counts quantization-constant blocks at eps 1e-2 per dataset;
+these blocks are what the reduction and multiplication kernels skip.
+"""
+
+from __future__ import annotations
+
+from repro import SZOps
+from repro.datasets import generate_fields
+from repro.harness import run_table6
+
+from conftest import emit
+
+
+def test_constant_block_detection_kernel(benchmark, bench_cfg):
+    """Micro-case: compression of the most constant-heavy field (QC)."""
+    qc = generate_fields("SCALE-LETKF", scale=bench_cfg.scale, fields=["QC"])["QC"]
+    codec = SZOps()
+    c = benchmark(codec.compress, qc, 1e-2, "rel")
+    assert c.constant_fraction > 0.2
+
+
+def test_table6_report(benchmark, bench_cfg):
+    """Regenerate Table VI and persist results/table6.md."""
+    result = benchmark.pedantic(run_table6, args=(bench_cfg,), rounds=1, iterations=1)
+    emit(result)
+    pct = {row[0]: row[3] for row in result.rows}
+    # Orderings we reproduce (see EXPERIMENTS.md for the SCALE deviation):
+    assert pct["CESM-ATM"] == min(pct[d] for d in ("Hurricane", "CESM-ATM", "Miranda"))
+    assert pct["SCALE-LETKF"] == max(pct.values())
+    for row in result.rows:
+        assert 0 < row[3] < 100

@@ -1,0 +1,38 @@
+"""Experiment E5 — Table VII: average compression ratios per dataset/codec.
+
+The paper's ratio table: SZOps modestly above SZp (format savings), SZ/SZ3
+far above both (entropy coding), SZx/ZFP in between, with SCALE-LETKF the
+most compressible dataset by a wide margin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SZOps
+from repro.baselines import make_codec
+from repro.harness import run_table7
+
+from conftest import emit
+
+
+@pytest.mark.parametrize("codec_name", ["SZOps", "SZp", "SZ2", "SZ3", "SZx", "ZFP"])
+def test_compression_kernel_per_codec(benchmark, codec_name, hurricane_field, bench_cfg):
+    """Micro-cases: compression speed per codec on one Hurricane field."""
+    codec = SZOps() if codec_name == "SZOps" else make_codec(codec_name)
+    blob = benchmark(codec.compress, hurricane_field, bench_cfg.eps)
+    benchmark.extra_info["ratio"] = round(blob.compression_ratio, 3)
+
+
+def test_table7_report(benchmark, bench_cfg):
+    """Regenerate Table VII and persist results/table7.md."""
+    result = benchmark.pedantic(run_table7, args=(bench_cfg,), rounds=1, iterations=1)
+    emit(result)
+    for row in result.rows:
+        ds, szops, szp, sz2, sz3, szx, zfp = row
+        assert szops > szp, f"{ds}: SZOps must out-compress SZp (Section VI-B3)"
+        assert max(sz2, sz3) > szops, f"{ds}: SZ-family must out-compress SZOps"
+    # dataset ordering: SCALE-LETKF most compressible, as in the paper
+    szops_col = {row[0]: row[1] for row in result.rows}
+    assert szops_col["SCALE-LETKF"] == max(szops_col.values())
+    assert szops_col["SCALE-LETKF"] > 2 * szops_col["Miranda"]

@@ -1,0 +1,79 @@
+"""Climate anomaly analysis on compressed CESM-style fields.
+
+A common climate post-processing workflow: convert units, subtract a
+reference climatology level, and compute anomaly statistics.  With SZOps
+every step runs on the *compressed* stream — the field is never fully
+decompressed — which is the paper's motivating use case for archived
+climate output.
+
+Run:  python examples/climate_anomaly.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import SZOps, ops
+from repro.datasets import generate_fields
+
+
+def main() -> None:
+    # Synthetic CESM-ATM surface temperature-like field (see repro.datasets).
+    fields = generate_fields("CESM-ATM", fields=["FLDSC", "PHIS"])
+    surface_flux = fields["FLDSC"]  # W/m^2-style field, offset ~300
+    print(f"field: {surface_flux.shape} float32, {surface_flux.nbytes / 1e6:.2f} MB")
+
+    codec = SZOps()
+    c = codec.compress(surface_flux, error_bound=1e-3)
+    print(f"compressed at eps=1e-3: ratio {c.compression_ratio:.2f}x")
+
+    # ------------------------------------------------------------------
+    # 1. Climatology: the long-term mean, straight from the stream.
+    # ------------------------------------------------------------------
+    t0 = time.perf_counter()
+    climatology = ops.mean(c)
+    t_mean = time.perf_counter() - t0
+    print(f"climatology (compressed-domain mean): {climatology:.4f}  [{1e3 * t_mean:.1f} ms]")
+
+    # ------------------------------------------------------------------
+    # 2. Anomaly field: subtract the climatology in fully compressed
+    #    space — only the per-block outlier plane changes.
+    # ------------------------------------------------------------------
+    t0 = time.perf_counter()
+    anomaly = ops.scalar_subtract(c, climatology)
+    t_anom = time.perf_counter() - t0
+    print(f"anomaly stream built in {1e3 * t_anom:.2f} ms (no payload touched)")
+
+    # ------------------------------------------------------------------
+    # 3. Unit conversion: W/m^2 -> mW/cm^2 (x0.1), partial decompression.
+    # ------------------------------------------------------------------
+    converted = ops.scalar_multiply(anomaly, 0.1)
+
+    # ------------------------------------------------------------------
+    # 4. Anomaly variability, again without decompression.
+    # ------------------------------------------------------------------
+    stats = ops.summary_statistics(converted)
+    print(
+        f"converted anomaly: mean={stats['mean']:+.5f} std={stats['std']:.5f} "
+        f"(mean ~ 0 by construction)"
+    )
+
+    # ------------------------------------------------------------------
+    # Cross-check against the traditional decompress-then-NumPy pipeline.
+    # ------------------------------------------------------------------
+    t0 = time.perf_counter()
+    raw = codec.decompress(c).astype(np.float64)
+    ref = (raw - raw.mean()) * 0.1
+    t_trad = time.perf_counter() - t0
+    print(
+        f"traditional pipeline agrees: "
+        f"std diff = {abs(ref.std() - stats['std']):.2e} "
+        f"[traditional {1e3 * t_trad:.1f} ms vs compressed "
+        f"{1e3 * (t_mean + t_anom):.1f} ms for mean+anomaly]"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Quickstart: compress scientific data and operate on it without decompressing.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SZOps, ops
+from repro.core.format import SZOpsCompressed
+
+
+def main() -> None:
+    # --- some "scientific" data: a smooth 3-D field -----------------------
+    x = np.linspace(0, 4 * np.pi, 96)
+    data = (
+        np.sin(x)[:, None, None]
+        * np.cos(0.5 * x)[None, :, None]
+        * np.sin(0.25 * x + 1)[None, None, :]
+    ).astype(np.float32)
+    print(f"raw data: {data.shape} float32, {data.nbytes / 1e6:.2f} MB")
+
+    # --- compress under an absolute error bound ---------------------------
+    codec = SZOps()
+    eps = 1e-4
+    c = codec.compress(data, error_bound=eps)
+    print(
+        f"compressed: {c.compressed_nbytes / 1e6:.2f} MB "
+        f"(ratio {c.compression_ratio:.2f}x, "
+        f"{100 * c.constant_fraction:.1f}% constant blocks)"
+    )
+
+    # --- the error bound is a hard guarantee ------------------------------
+    recon = codec.decompress(c)
+    print(f"max |x - x_hat| = {np.abs(recon - data).max():.2e}  (eps = {eps:g})")
+
+    # --- operate directly on the compressed stream ------------------------
+    neg = ops.negate(c)  # fully compressed space: flips sign bits
+    shifted = ops.scalar_add(c, 273.15)  # fully compressed space: outliers only
+    scaled = ops.scalar_multiply(c, 1.8)  # partial: integer domain, re-encoded
+    print("negation exact:", bool(np.array_equal(codec.decompress(neg), -recon)))
+    print(
+        "scalar_add error vs x_hat + 273.15:",
+        f"{np.abs(codec.decompress(shifted) - (recon + np.float32(273.15))).max():.2e}",
+    )
+    print(
+        "scalar_mul error vs 1.8 * x_hat:",
+        f"{np.abs(codec.decompress(scaled) - np.float32(1.8) * recon).max():.2e}",
+    )
+
+    # --- reductions without full decompression -----------------------------
+    stats = ops.summary_statistics(c)
+    print(
+        f"compressed-domain stats: mean={stats['mean']:+.6f} "
+        f"var={stats['variance']:.6f} std={stats['std']:.6f}"
+    )
+    print(
+        f"numpy (decompressed):    mean={recon.mean(dtype=np.float64):+.6f} "
+        f"var={recon.var(dtype=np.float64):.6f} std={recon.std(dtype=np.float64):.6f}"
+    )
+
+    # --- streams serialize to a single buffer ------------------------------
+    buf = c.to_bytes()
+    again = SZOpsCompressed.from_bytes(buf)
+    print(
+        f"serialized {len(buf)} bytes; ops work on parsed streams too: "
+        f"mean={ops.mean(again):+.6f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

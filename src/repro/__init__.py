@@ -1,0 +1,57 @@
+"""SZOps reproduction: error-bounded lossy compression with scalar operations.
+
+This package reproduces *"SZOps: Scalar Operations for Error-bounded Lossy
+Compressor for Scientific Data"* (SC 2024): an SZp-derived compression
+pipeline (quantization -> blockwise 1-D Lorenzo -> blockwise fixed-length
+encoding) that supports negation, scalar addition/subtraction/multiplication
+and mean/variance/standard-deviation directly on the compressed stream.
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import SZOps, ops
+>>> codec = SZOps()
+>>> data = np.linspace(0, 1, 10_000, dtype=np.float32) ** 2
+>>> c = codec.compress(data, error_bound=1e-4)
+>>> shifted = ops.scalar_add(c, 3.0)          # fully compressed space
+>>> mu = ops.mean(c)                          # no full decompression
+>>> abs(mu - codec.decompress(c).mean()) < 1e-6
+True
+
+Subpackages
+-----------
+``repro.core``       the SZOps pipeline, container format and operations
+``repro.baselines``  SZp / SZ2 / SZ3 / SZx / ZFP-class comparison codecs
+``repro.datasets``   synthetic SDRBench stand-ins + raw binary I/O
+``repro.workflow``   traditional vs compressed-domain operation workflows
+``repro.metrics``    ratio / error / throughput measurement
+``repro.harness``    table- and figure-regeneration drivers
+``repro.parallel``   thread executor and simulated-MPI collectives
+"""
+
+from repro.core import (
+    ConfigError,
+    ErrorBoundViolation,
+    FormatError,
+    OperationError,
+    SZOps,
+    SZOpsCompressed,
+    SZOpsConfig,
+    SZOpsError,
+)
+from repro.core import ops
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SZOps",
+    "SZOpsCompressed",
+    "SZOpsConfig",
+    "ops",
+    "SZOpsError",
+    "ConfigError",
+    "FormatError",
+    "OperationError",
+    "ErrorBoundViolation",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Comparison compressors: SZp, SZ2-, SZ3-, SZx- and ZFP-class codecs."""
+
+from repro.baselines.base import BaseCompressor, GenericCompressed
+from repro.baselines.registry import BASELINE_FACTORIES, baseline_names, make_codec
+from repro.baselines.sz2 import SZ2
+from repro.baselines.sz3 import SZ3
+from repro.baselines.szp import SZp
+from repro.baselines.szx import SZx
+from repro.baselines.zfp import ZFP
+
+__all__ = [
+    "BaseCompressor",
+    "GenericCompressed",
+    "BASELINE_FACTORIES",
+    "baseline_names",
+    "make_codec",
+    "SZp",
+    "SZ2",
+    "SZ3",
+    "SZx",
+    "ZFP",
+]

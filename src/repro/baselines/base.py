@@ -1,0 +1,110 @@
+"""Shared interface for the comparison compressors.
+
+Every baseline (SZp, SZ2-, SZ3-, SZx-, ZFP-class) implements
+:class:`BaseCompressor`: ``compress`` produces a fully *serialized*
+:class:`GenericCompressed` blob — the compression ratio is measured on real
+bytes, not on an in-memory estimate — and ``decompress`` parses those bytes
+back.  The SZOps core keeps its richer structured container (operations
+need the section planes); its ``to_bytes`` output plays the same role.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import resolve_error_bound
+
+__all__ = ["GenericCompressed", "BaseCompressor"]
+
+
+@dataclass
+class GenericCompressed:
+    """A serialized compressed stream from one of the baseline codecs."""
+
+    codec_name: str
+    shape: tuple[int, ...]
+    dtype: np.dtype
+    eps: float
+    payload: bytes
+
+    @property
+    def n_elements(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+
+    @property
+    def compressed_nbytes(self) -> int:
+        return len(self.payload)
+
+    @property
+    def original_nbytes(self) -> int:
+        return self.n_elements * np.dtype(self.dtype).itemsize
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.original_nbytes / max(self.compressed_nbytes, 1)
+
+
+class BaseCompressor(abc.ABC):
+    """Abstract error-bounded lossy compressor.
+
+    Subclasses set :attr:`name` and implement the byte-level
+    ``_compress_payload`` / ``_decompress_payload`` pair; the template
+    methods here handle dtype checks, error-bound resolution, and blob
+    packaging so all baselines behave uniformly in the harness.
+    """
+
+    #: Human-readable codec name as used in the paper's tables.
+    name: str = "base"
+
+    def compress(
+        self, data: np.ndarray, error_bound: float, mode: str = "abs"
+    ) -> GenericCompressed:
+        arr = np.asarray(data)
+        if not np.issubdtype(arr.dtype, np.floating):
+            raise TypeError(f"{self.name} compresses floating-point data, got {arr.dtype}")
+        flat = np.ascontiguousarray(arr, dtype=arr.dtype).reshape(-1)
+        if flat.size == 0:
+            raise ValueError("cannot compress an empty array")
+        value_range = float(flat.max() - flat.min()) if mode == "rel" else 0.0
+        eps = resolve_error_bound(error_bound, mode, value_range)
+        payload = self._compress_payload(flat, eps, tuple(arr.shape))
+        return GenericCompressed(
+            codec_name=self.name,
+            shape=tuple(arr.shape),
+            dtype=np.dtype(arr.dtype),
+            eps=eps,
+            payload=payload,
+        )
+
+    def decompress(self, blob: GenericCompressed) -> np.ndarray:
+        if blob.codec_name != self.name:
+            raise ValueError(
+                f"blob was produced by {blob.codec_name!r}, not {self.name!r}"
+            )
+        flat = self._decompress_payload(
+            blob.payload, blob.n_elements, blob.eps, blob.shape
+        )
+        return flat.astype(blob.dtype).reshape(blob.shape)
+
+    @abc.abstractmethod
+    def _compress_payload(
+        self, flat: np.ndarray, eps: float, shape: tuple[int, ...]
+    ) -> bytes:
+        """Compress a 1-D float array under absolute bound ``eps`` to bytes.
+
+        ``shape`` is the original array shape — most codecs ignore it, but
+        the ZFP-class transform codec blocks the array in its native
+        dimensionality.
+        """
+
+    @abc.abstractmethod
+    def _decompress_payload(
+        self, payload: bytes, n_elements: int, eps: float, shape: tuple[int, ...]
+    ) -> np.ndarray:
+        """Reconstruct the 1-D float64 array from the serialized payload."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

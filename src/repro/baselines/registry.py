@@ -1,0 +1,44 @@
+"""Codec registry used by the benchmark harness.
+
+Maps the names the paper's tables use to constructed codec instances.  The
+SZOps core is adapted to the same ``compress``/``decompress`` protocol via
+its own class (it already conforms), so harness code can iterate
+``all_codecs()`` uniformly for Table IV / Table VII.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.base import BaseCompressor
+from repro.baselines.sz2 import SZ2
+from repro.baselines.sz3 import SZ3
+from repro.baselines.szp import SZp
+from repro.baselines.szx import SZx
+from repro.baselines.zfp import ZFP
+
+__all__ = ["BASELINE_FACTORIES", "make_codec", "baseline_names"]
+
+BASELINE_FACTORIES: dict[str, Callable[[], BaseCompressor]] = {
+    "SZp": SZp,
+    "SZ2": SZ2,
+    "SZ3": SZ3,
+    "SZx": SZx,
+    "ZFP": ZFP,
+}
+
+
+def baseline_names() -> list[str]:
+    """The baseline codec names in the paper's table order."""
+    return ["SZp", "SZ2", "SZ3", "SZx", "ZFP"]
+
+
+def make_codec(name: str, **kwargs) -> BaseCompressor:
+    """Construct a baseline codec by table name."""
+    try:
+        factory = BASELINE_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown codec {name!r}; valid: {', '.join(BASELINE_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)

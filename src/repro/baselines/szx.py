@@ -1,0 +1,136 @@
+"""SZx-class ultra-fast error-bounded compressor.
+
+Models SZx (Yu et al., HPDC'22, [9] in the paper): a blockwise scheme with
+two modes per block —
+
+* **constant block**: when the block's half-range ``(max - min)/2`` fits the
+  error bound, only the block midpoint is stored;
+* **non-constant block**: every element is stored as its IEEE-754 bit
+  pattern with the low mantissa bits truncated; the per-block truncation
+  depth ``k`` is the largest one whose worst-case truncation error
+  ``2^(e_max - mant_bits + k)`` still meets the bound (``e_max`` the block's
+  largest exponent).
+
+Everything is vectorized (the truncated patterns are packed with the same
+grouped fixed-length kernel as the SZOps core), which is why SZx is the
+fastest baseline after SZp in Table IV — exactly the paper's ordering.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.base import BaseCompressor
+from repro.bitstream import ByteReader, ByteWriter
+from repro.core.blocks import BlockLayout, segment_max
+from repro.core.encode import decode_magnitudes, encode_magnitudes
+
+__all__ = ["SZx"]
+
+_F32 = dict(uint=np.uint32, mant=23, ebias=127, width=32, emask=0xFF)
+_F64 = dict(uint=np.uint64, mant=52, ebias=1023, width=64, emask=0x7FF)
+
+
+class SZx(BaseCompressor):
+    """Constant-block detection + mantissa truncation (SZx-style)."""
+
+    name = "SZx"
+
+    def __init__(self, block_size: int = 128, precision: str = "auto") -> None:
+        if block_size <= 0 or block_size % 8:
+            raise ValueError("block_size must be a positive multiple of 8")
+        if precision not in ("auto", "float32", "float64"):
+            raise ValueError("precision must be 'auto', 'float32' or 'float64'")
+        self.block_size = block_size
+        self.precision = precision
+
+    def _resolve_precision(self, dtype) -> str:
+        if self.precision != "auto":
+            return self.precision
+        # Match the input so the bit-pattern truncation is exact w.r.t. the
+        # stored representation (a float64 -> float32 cast could otherwise
+        # exceed a tight bound on large-magnitude data).
+        return "float64" if np.dtype(dtype) == np.float64 else "float32"
+
+    # ------------------------------------------------------------------ compress
+
+    def _compress_payload(
+        self, flat: np.ndarray, eps: float, shape: tuple[int, ...]
+    ) -> bytes:
+        precision = self._resolve_precision(flat.dtype)
+        spec = _F32 if precision == "float32" else _F64
+        ftype = np.float32 if precision == "float32" else np.float64
+        vals = np.ascontiguousarray(flat, dtype=ftype)
+        layout = BlockLayout(vals.size, self.block_size)
+        lens = layout.lengths()
+
+        # Per-block min/max (reshape trick + ragged tail).
+        bmax = segment_max(vals, layout)
+        bmin = -segment_max(-vals, layout)
+        half_range = 0.5 * (bmax.astype(np.float64) - bmin.astype(np.float64))
+        constant = half_range <= eps
+        mids = (0.5 * (bmax.astype(np.float64) + bmin.astype(np.float64))).astype(
+            ftype
+        )
+
+        # Per-block truncation depth from the largest exponent.
+        bits = vals.view(spec["uint"])
+        exps = ((bits.astype(np.uint64) >> np.uint64(spec["mant"])) & np.uint64(spec["emask"])).astype(np.int64)
+        e_max = segment_max(exps, layout)
+        floor_log2_eps = math.frexp(eps)[1] - 1
+        k = floor_log2_eps + spec["mant"] - (e_max - spec["ebias"])
+        k = np.clip(k, 0, spec["mant"]).astype(np.int64)
+        widths = (spec["width"] - k).astype(np.uint8)
+        widths[constant] = 0
+
+        stored = ~constant
+        elem_mask = np.repeat(stored, lens)
+        elem_shift = np.repeat(k[stored], lens[stored]).astype(np.uint64)
+        mags = (bits[elem_mask].astype(np.uint64)) >> elem_shift
+        payload_bytes, _ = encode_magnitudes(mags, widths[stored], lens[stored])
+
+        w = ByteWriter()
+        w.write_u32(self.block_size)
+        w.write_u8(0 if precision == "float32" else 1)
+        w.write_f64(eps)
+        w.write_bytes(widths)
+        w.write_array(mids[constant])
+        w.write_u64(payload_bytes.size)
+        w.write_bytes(payload_bytes)
+        return w.getvalue()
+
+    # ------------------------------------------------------------------ decompress
+
+    def _decompress_payload(
+        self, payload: bytes, n_elements: int, eps: float, shape: tuple[int, ...]
+    ) -> np.ndarray:
+        r = ByteReader(payload)
+        block_size = r.read_u32()
+        prec_flag = r.read_u8()
+        spec = _F32 if prec_flag == 0 else _F64
+        ftype = np.float32 if prec_flag == 0 else np.float64
+        _stream_eps = r.read_f64()
+        layout = BlockLayout(n_elements, block_size)
+        lens = layout.lengths()
+        widths = np.frombuffer(r.read_bytes(layout.n_blocks), dtype=np.uint8).copy()
+        mids = r.read_array()
+        payload_bytes = np.frombuffer(r.read_bytes(r.read_u64()), dtype=np.uint8)
+        r.expect_end()
+
+        constant = widths == 0
+        stored = ~constant
+        out = np.empty(n_elements, dtype=ftype)
+        if constant.any():
+            out[np.repeat(constant, lens)] = np.repeat(
+                mids.astype(ftype), lens[constant]
+            )
+        if stored.any():
+            stored_lens = lens[stored]
+            mags = decode_magnitudes(payload_bytes, widths[stored], stored_lens)
+            k = (spec["width"] - widths[stored].astype(np.int64)).astype(np.uint64)
+            elem_shift = np.repeat(k, stored_lens)
+            bits = (mags << elem_shift).astype(spec["uint"])
+            out[np.repeat(stored, lens)] = bits.view(ftype)
+        return out.astype(np.float64)

@@ -1,0 +1,231 @@
+"""ZFP-class transform-based compressor (fixed-accuracy mode).
+
+Models ZFP (Lindstrom 2014): the array is cut into 4^d blocks, each block
+is converted to a common-exponent integer representation
+(*block-floating-point*), decorrelated with ZFP's separable integer lifting
+transform, and the coefficients are entropy-packed MSB-first.
+
+Deviations from the reference, recorded in DESIGN.md:
+
+* The group-tested *embedded* coder is replaced by a vectorizable
+  equivalent: coefficients are regrouped by sequency class (total
+  coordinate order) across blocks and packed with per-(class, chunk)
+  adaptive fixed-length widths — smooth data still yields near-zero
+  high-frequency classes and therefore near-zero storage for them, which
+  is the decorrelation win the embedded coder exploits.
+* Fixed-accuracy mode is enforced through the per-block precision: each
+  block is scaled to ``qb = (e_block - floor(log2(eps))) + GUARD`` integer
+  bits, so the total of scaling, rounding and the lifting round-trip wiggle
+  (zfp's integer lifting is reversible only to within ~1 unit) stays under
+  the error bound.  GUARD covers those unit-level effects and is validated
+  by the property tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.base import BaseCompressor
+from repro.baselines.sz2 import zigzag_decode, zigzag_encode
+from repro.bitstream import ByteReader, ByteWriter
+from repro.core.encode import block_widths, decode_magnitudes, encode_magnitudes
+from repro.transforms.zfp_lifting import fwd_transform_block, inv_transform_block
+
+__all__ = ["ZFP"]
+
+#: Initial extra integer bits beyond eps resolution per dimensionality,
+#: absorbing scaling rounding (0.5 units) and the typical lifting
+#: round-trip wiggle; blocks whose *measured* round-trip error still
+#: exceeds the bound get their precision bumped (see ``_compress_payload``).
+GUARD_BITS = {1: 2, 2: 4, 3: 5}
+
+#: Hard cap on per-block integer precision (int64 headroom for the lifting).
+MAX_QBITS = 45
+
+
+def _block_shape_for(ndim: int) -> int:
+    """Blocked dimensionality: ZFP blocks in up to 3 dimensions here."""
+    return max(1, min(ndim, 3))
+
+
+def _sequency_order(d: int) -> np.ndarray:
+    """Coefficient positions of a 4^d block ordered by total sequency."""
+    grids = np.meshgrid(*([np.arange(4)] * d), indexing="ij")
+    total = sum(grids).reshape(-1)
+    return np.argsort(total, kind="stable").astype(np.int64)
+
+
+def _to_blocks(arr: np.ndarray) -> tuple[np.ndarray, tuple[int, ...]]:
+    """Pad to multiples of 4 and return (n_blocks, 4, ..., 4) int view shape.
+
+    Returns the float64 blocks array and the padded shape.
+    """
+    d = arr.ndim
+    pad = [(0, (-s) % 4) for s in arr.shape]
+    padded = np.pad(arr, pad, mode="edge") if any(p[1] for p in pad) else arr
+    pshape = padded.shape
+    # reshape (a,b,c) -> (a/4,4,b/4,4,c/4,4) -> (nblocks, 4,4,4)
+    split = []
+    for s in pshape:
+        split.extend([s // 4, 4])
+    view = padded.reshape(split)
+    order = list(range(0, 2 * d, 2)) + list(range(1, 2 * d, 2))
+    view = view.transpose(order)
+    n_blocks = int(np.prod(pshape, dtype=np.int64) // 4**d)
+    return view.reshape((n_blocks,) + (4,) * d).copy(), pshape
+
+
+def _from_blocks(
+    blocks: np.ndarray, pshape: tuple[int, ...], shape: tuple[int, ...]
+) -> np.ndarray:
+    """Inverse of :func:`_to_blocks`, cropping the edge padding."""
+    d = len(pshape)
+    grid = [s // 4 for s in pshape]
+    view = blocks.reshape(grid + [4] * d)
+    order = []
+    for i in range(d):
+        order.extend([i, d + i])
+    padded = view.transpose(order).reshape(pshape)
+    slices = tuple(slice(0, s) for s in shape)
+    return padded[slices]
+
+
+class ZFP(BaseCompressor):
+    """Lifting transform + block-floating-point + adaptive coefficient packing."""
+
+    name = "ZFP"
+
+    def __init__(self, chunk_blocks: int = 1024) -> None:
+        if chunk_blocks <= 0:
+            raise ValueError("chunk_blocks must be positive")
+        self.chunk_blocks = chunk_blocks
+
+    # ------------------------------------------------------------------ helpers
+
+    def _chunk_lens(self, n_blocks: int) -> np.ndarray:
+        full, tail = divmod(n_blocks, self.chunk_blocks)
+        lens = [self.chunk_blocks] * full + ([tail] if tail else [])
+        return np.asarray(lens, dtype=np.int64)
+
+    # ------------------------------------------------------------------ compress
+
+    def _compress_payload(
+        self, flat: np.ndarray, eps: float, shape: tuple[int, ...]
+    ) -> bytes:
+        d = _block_shape_for(len(shape))
+        if len(shape) > d:
+            work_shape = (int(np.prod(shape[: len(shape) - d + 1])),) + tuple(
+                shape[len(shape) - d + 1 :]
+            )
+        else:
+            work_shape = tuple(shape)
+        arr = flat.astype(np.float64).reshape(work_shape)
+        blocks, pshape = _to_blocks(arr)
+        n_blocks = blocks.shape[0]
+        bpe = 4**d  # elements per block
+
+        flat_blocks = blocks.reshape(n_blocks, bpe)
+        bmax = np.abs(flat_blocks).max(axis=1)
+        # Block exponent: 2^(e-1) <= max < 2^e ; frexp exponent.
+        e = np.zeros(n_blocks, dtype=np.int64)
+        nz = bmax > 0
+        e[nz] = np.frexp(bmax[nz])[1]
+        t = math.frexp(eps)[1] - 1  # floor(log2(eps)) (conservative)
+        qb = np.clip(e - t + GUARD_BITS[d], 0, None)
+
+        # zfp's integer lifting is reversible only to within a few units
+        # (data dependent, amplified across axes).  The round-trip error of
+        # a block is deterministic given its integers, so we measure it at
+        # encode time and bump the precision of any block whose scaling
+        # rounding + lifting wiggle would exceed the bound.  This keeps the
+        # common case at the cheap initial guard while making the error
+        # bound a hard guarantee.
+        coeffs = None
+        for _attempt in range(10):
+            if int(qb.max(initial=0)) > MAX_QBITS:
+                raise ValueError(
+                    "error bound too tight relative to the data range for "
+                    "the ZFP-class integer transform (needs > 45 bits per "
+                    "value)"
+                )
+            scale = np.ldexp(1.0, (qb - e).astype(np.int64))
+            ints = np.rint(flat_blocks * scale[:, None]).astype(np.int64)
+            tblocks = ints.reshape((n_blocks,) + (4,) * d).copy()
+            fwd_transform_block(tblocks)
+            coeffs = tblocks.reshape(n_blocks, bpe)
+            recon = coeffs.reshape((n_blocks,) + (4,) * d).copy()
+            inv_transform_block(recon)
+            wiggle = np.abs(recon.reshape(n_blocks, bpe) - ints).max(axis=1)
+            err = (wiggle + 0.5) * np.ldexp(1.0, (e - qb).astype(np.int64))
+            bad = err > eps
+            if not bad.any():
+                break
+            qb = np.where(bad, qb + 2, qb)
+        else:
+            raise RuntimeError("ZFP precision bump did not converge")
+
+        order = _sequency_order(d)
+        # Position-major layout: all blocks' coefficient 0, then 1, ...
+        pos_major = coeffs[:, order].T.reshape(-1)
+        z = zigzag_encode(pos_major)
+
+        chunk_lens = self._chunk_lens(n_blocks)
+        lens = np.tile(chunk_lens, bpe)
+        widths = block_widths(z, lens)
+        payload_bytes, _ = encode_magnitudes(z, widths, lens, align_bits=8)
+
+        w = ByteWriter()
+        w.write_u8(d)
+        w.write_u32(self.chunk_blocks)
+        w.write_f64(eps)
+        w.write_u8(len(work_shape))
+        for s in work_shape:
+            w.write_u64(s)
+        w.write_array((qb - e).astype(np.int16))  # per-block scale exponents
+        w.write_bytes(widths)
+        w.write_u64(payload_bytes.size)
+        w.write_bytes(payload_bytes)
+        return w.getvalue()
+
+    # ------------------------------------------------------------------ decompress
+
+    def _decompress_payload(
+        self, payload: bytes, n_elements: int, eps: float, shape: tuple[int, ...]
+    ) -> np.ndarray:
+        r = ByteReader(payload)
+        d = r.read_u8()
+        chunk_blocks = r.read_u32()
+        _stream_eps = r.read_f64()
+        ndim = r.read_u8()
+        work_shape = tuple(r.read_u64() for _ in range(ndim))
+        scale_exp = r.read_array().astype(np.int64)
+        n_blocks = scale_exp.size
+        bpe = 4**d
+
+        full, tail = divmod(n_blocks, chunk_blocks)
+        chunk_lens = np.asarray(
+            [chunk_blocks] * full + ([tail] if tail else []), dtype=np.int64
+        )
+        lens = np.tile(chunk_lens, bpe)
+        widths = np.frombuffer(r.read_bytes(lens.size), dtype=np.uint8).copy()
+        payload_bytes = np.frombuffer(r.read_bytes(r.read_u64()), dtype=np.uint8)
+        r.expect_end()
+
+        z = decode_magnitudes(payload_bytes, widths, lens, align_bits=8)
+        pos_major = zigzag_decode(z).reshape(bpe, n_blocks)
+        order = _sequency_order(d)
+        coeffs = np.empty((n_blocks, bpe), dtype=np.int64)
+        coeffs[:, order] = pos_major.T
+
+        tblocks = coeffs.reshape((n_blocks,) + (4,) * d)
+        inv_transform_block(tblocks)
+        ints = tblocks.reshape(n_blocks, bpe)
+        vals = ints.astype(np.float64) * np.ldexp(1.0, -scale_exp)[:, None]
+
+        pshape = tuple(-(-s // 4) * 4 for s in work_shape)
+        arr = _from_blocks(
+            vals.reshape((n_blocks,) + (4,) * d), pshape, work_shape
+        )
+        return arr.reshape(-1)[:n_elements]

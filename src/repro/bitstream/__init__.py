@@ -1,0 +1,31 @@
+"""Bit- and byte-level packing substrate shared by every codec."""
+
+from repro.bitstream.bitpack import (
+    bit_width,
+    bits_of,
+    exclusive_cumsum,
+    max_bit_width,
+    pack_bits,
+    pack_uints,
+    ragged_arange,
+    uints_from_bits,
+    unpack_bits,
+    unpack_uints,
+)
+from repro.bitstream.stream import ByteReader, ByteWriter, StreamFormatError
+
+__all__ = [
+    "bit_width",
+    "bits_of",
+    "exclusive_cumsum",
+    "max_bit_width",
+    "pack_bits",
+    "pack_uints",
+    "ragged_arange",
+    "uints_from_bits",
+    "unpack_bits",
+    "unpack_uints",
+    "ByteReader",
+    "ByteWriter",
+    "StreamFormatError",
+]

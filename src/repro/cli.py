@@ -1,0 +1,178 @@
+"""Command-line interface: compress, decompress, and operate on streams.
+
+SDRBench-style headerless binary fields go in; SZOps streams come out, and
+every compressed-domain operation is available without ever materializing
+the decompressed array::
+
+    python -m repro compress U.f32 U.szops --shape 100,500,500 --eps 1e-4
+    python -m repro info U.szops
+    python -m repro stats U.szops
+    python -m repro op U.szops scalar_add --scalar 273.15 -o K.szops
+    python -m repro op U.szops mean
+    python -m repro decompress K.szops K.f32
+
+Input/output binary convention matches :mod:`repro.datasets.io`:
+little-endian float32 (or float64 with ``--dtype f64``), C order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import SZOps, ops
+from repro.core.format import SZOpsCompressed
+from repro.core.ops.dispatch import OPERATIONS
+
+__all__ = ["main", "build_parser"]
+
+_DTYPES = {"f32": np.float32, "f64": np.float64}
+
+
+def _parse_shape(text: str) -> tuple[int, ...]:
+    try:
+        dims = tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad shape {text!r}; expected e.g. 100,500,500")
+    if not dims or any(d <= 0 for d in dims):
+        raise argparse.ArgumentTypeError(f"shape dimensions must be positive: {text!r}")
+    return dims
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SZOps: error-bounded lossy compression with compressed-domain operations",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="compress a raw binary field")
+    p.add_argument("input", type=Path)
+    p.add_argument("output", type=Path)
+    p.add_argument("--shape", type=_parse_shape, required=True, help="e.g. 100,500,500")
+    p.add_argument("--eps", type=float, required=True, help="error bound")
+    p.add_argument("--rel", action="store_true", help="value-range-relative bound")
+    p.add_argument("--dtype", choices=sorted(_DTYPES), default="f32")
+    p.add_argument("--block-size", type=int, default=64)
+    p.add_argument("--threads", type=int, default=1)
+
+    p = sub.add_parser("decompress", help="decompress a stream to raw binary")
+    p.add_argument("input", type=Path)
+    p.add_argument("output", type=Path)
+
+    p = sub.add_parser("info", help="print stream metadata")
+    p.add_argument("input", type=Path)
+
+    p = sub.add_parser("stats", help="compressed-domain statistics")
+    p.add_argument("input", type=Path)
+
+    p = sub.add_parser(
+        "op", help="apply a Table II operation (reductions print, ops write)"
+    )
+    p.add_argument("input", type=Path)
+    p.add_argument("name", choices=list(OPERATIONS))
+    p.add_argument("--scalar", type=float, default=None)
+    p.add_argument("-o", "--output", type=Path, default=None)
+
+    return parser
+
+
+def _load_stream(path: Path) -> SZOpsCompressed:
+    return SZOpsCompressed.from_bytes(path.read_bytes())
+
+
+def _cmd_compress(args) -> int:
+    dtype = _DTYPES[args.dtype]
+    raw = np.fromfile(args.input, dtype=np.dtype(dtype).newbyteorder("<"))
+    expected = int(np.prod(args.shape))
+    if raw.size != expected:
+        print(
+            f"error: {args.input} holds {raw.size} values, shape "
+            f"{args.shape} needs {expected}",
+            file=sys.stderr,
+        )
+        return 2
+    codec = SZOps(block_size=args.block_size, n_threads=args.threads)
+    c = codec.compress(
+        raw.reshape(args.shape), args.eps, mode="rel" if args.rel else "abs"
+    )
+    args.output.write_bytes(c.to_bytes())
+    print(
+        f"{args.input} -> {args.output}: {raw.nbytes} -> {c.compressed_nbytes} "
+        f"bytes (ratio {c.compression_ratio:.2f}x, eps {c.eps:g}, "
+        f"{100 * c.constant_fraction:.1f}% constant blocks)"
+    )
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    c = _load_stream(args.input)
+    data = SZOps(block_size=c.block_size).decompress(c)
+    np.ascontiguousarray(data, dtype=np.dtype(data.dtype).newbyteorder("<")).tofile(
+        args.output
+    )
+    print(f"{args.input} -> {args.output}: shape {c.shape}, dtype {c.dtype}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    c = _load_stream(args.input)
+    print(f"shape:           {c.shape}")
+    print(f"dtype:           {c.dtype}")
+    print(f"error bound:     {c.eps:g} (absolute)")
+    print(f"block size:      {c.block_size}")
+    print(f"blocks:          {c.n_blocks} ({c.n_constant_blocks} constant, "
+          f"{100 * c.constant_fraction:.1f}%)")
+    print(f"compressed size: {c.compressed_nbytes} bytes")
+    print(f"ratio:           {c.compression_ratio:.3f}x")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    c = _load_stream(args.input)
+    stats = ops.summary_statistics(c)
+    print(f"mean:     {stats['mean']:+.8g}")
+    print(f"variance: {stats['variance']:.8g}")
+    print(f"std:      {stats['std']:.8g}")
+    print(f"min:      {ops.minimum(c):+.8g}")
+    print(f"max:      {ops.maximum(c):+.8g}")
+    return 0
+
+
+def _cmd_op(args) -> int:
+    c = _load_stream(args.input)
+    spec = OPERATIONS[args.name]
+    if spec.needs_scalar and args.scalar is None:
+        print(f"error: operation {args.name!r} needs --scalar", file=sys.stderr)
+        return 2
+    result = ops.apply_operation(c, args.name, args.scalar)
+    if spec.result == "computation":
+        print(f"{args.name}: {result:.10g}")
+        return 0
+    if args.output is None:
+        print(f"error: operation {args.name!r} produces a stream; pass -o", file=sys.stderr)
+        return 2
+    args.output.write_bytes(result.to_bytes())
+    print(f"{args.name} -> {args.output} ({result.compressed_nbytes} bytes)")
+    return 0
+
+
+_COMMANDS = {
+    "compress": _cmd_compress,
+    "decompress": _cmd_decompress,
+    "info": _cmd_info,
+    "stats": _cmd_stats,
+    "op": _cmd_op,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

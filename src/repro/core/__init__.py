@@ -1,0 +1,24 @@
+"""SZOps core: the error-bounded pipeline and compressed-domain operations."""
+
+from repro.core.compressor import SZOps
+from repro.core.config import SZOpsConfig, resolve_error_bound
+from repro.core.errors import (
+    ConfigError,
+    ErrorBoundViolation,
+    FormatError,
+    OperationError,
+    SZOpsError,
+)
+from repro.core.format import SZOpsCompressed
+
+__all__ = [
+    "SZOps",
+    "SZOpsConfig",
+    "SZOpsCompressed",
+    "resolve_error_bound",
+    "SZOpsError",
+    "ConfigError",
+    "FormatError",
+    "OperationError",
+    "ErrorBoundViolation",
+]

@@ -1,0 +1,88 @@
+"""Block partitioning of the flattened array.
+
+SZOps compresses the C-order flattened array in fixed-size 1-D blocks
+(the paper's ``m' x n'`` 2-D blocking is the same thing after flattening,
+because the Lorenzo operator inside a block is 1-D).  The last block may be
+shorter ("ragged tail"); every kernel in :mod:`repro.core.encode` accepts
+per-block lengths so no padding is ever introduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BlockLayout", "segment_max", "segment_sum"]
+
+
+@dataclass(frozen=True)
+class BlockLayout:
+    """Derived geometry of a blocked 1-D array."""
+
+    n_elements: int
+    block_size: int
+
+    @property
+    def n_blocks(self) -> int:
+        return (self.n_elements + self.block_size - 1) // self.block_size
+
+    @property
+    def n_full_blocks(self) -> int:
+        return self.n_elements // self.block_size
+
+    @property
+    def tail_length(self) -> int:
+        """Length of the ragged final block (0 if the array tiles exactly)."""
+        return self.n_elements - self.n_full_blocks * self.block_size
+
+    def lengths(self) -> np.ndarray:
+        """Per-block element counts, shape ``(n_blocks,)``."""
+        lens = np.full(self.n_blocks, self.block_size, dtype=np.int64)
+        if self.tail_length:
+            lens[-1] = self.tail_length
+        return lens
+
+    def starts(self) -> np.ndarray:
+        """Element index of each block's first element."""
+        return np.arange(self.n_blocks, dtype=np.int64) * self.block_size
+
+    def block_ids(self) -> np.ndarray:
+        """Block index of every element, shape ``(n_elements,)``."""
+        return np.arange(self.n_elements, dtype=np.int64) // self.block_size
+
+
+def _split_tail(values: np.ndarray, layout: BlockLayout):
+    """View the leading full blocks as a 2-D matrix plus the ragged tail."""
+    nf = layout.n_full_blocks
+    body = values[: nf * layout.block_size].reshape(nf, layout.block_size)
+    tail = values[nf * layout.block_size :]
+    return body, tail
+
+
+def segment_max(values: np.ndarray, layout: BlockLayout) -> np.ndarray:
+    """Per-block maximum, vectorized via the full-block reshape trick."""
+    if values.shape != (layout.n_elements,):
+        raise ValueError("values must be 1-D and match the layout")
+    out = np.empty(layout.n_blocks, dtype=values.dtype)
+    body, tail = _split_tail(values, layout)
+    if body.size:
+        np.max(body, axis=1, out=out[: layout.n_full_blocks])
+    if tail.size:
+        out[-1] = tail.max()
+    return out
+
+
+def segment_sum(values: np.ndarray, layout: BlockLayout, dtype=np.float64) -> np.ndarray:
+    """Per-block sum (accumulated in ``dtype``, float64 by default)."""
+    if values.shape != (layout.n_elements,):
+        raise ValueError("values must be 1-D and match the layout")
+    out = np.empty(layout.n_blocks, dtype=dtype)
+    body, tail = _split_tail(values, layout)
+    if body.size:
+        np.sum(body, axis=1, dtype=dtype, out=out[: layout.n_full_blocks])
+    elif layout.n_full_blocks:
+        out[: layout.n_full_blocks] = 0
+    if tail.size:
+        out[-1] = tail.sum(dtype=dtype)
+    return out

@@ -1,0 +1,233 @@
+"""The SZOps compressor: QZ -> LZ -> BF, and its inverse.
+
+This is the CPU reimplementation of the paper's pipeline (Section IV): the
+array is quantized against the user error bound, decorrelated with a
+blockwise 1-D Lorenzo operator, split into sign bitmaps and magnitudes, and
+the magnitudes are stored with blockwise fixed-length encoding.  Constant
+blocks (all deltas zero) carry only a width byte and an outlier.
+
+Thread parallelism follows the paper's multi-threaded CPU SZp port: blocks
+are independent, so contiguous chunks of blocks are encoded/decoded by a
+thread pool and their byte-aligned sections concatenated.  Alignment is
+guaranteed because the block size is a multiple of 8 and only the globally
+last block may be ragged (see :class:`repro.core.config.SZOpsConfig`).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.bitstream import exclusive_cumsum
+from repro.core.blocks import BlockLayout
+from repro.core.config import SZOpsConfig, resolve_error_bound
+from repro.core.encode import (
+    block_widths,
+    decode_block_sections,
+    encode_block_sections,
+)
+from repro.core.format import SZOpsCompressed
+from repro.core.lorenzo import lorenzo_forward, lorenzo_inverse
+from repro.core.quantize import dequantize, quantize
+
+__all__ = ["SZOps"]
+
+
+class SZOps:
+    """Error-bounded lossy compressor with compressed-domain scalar ops.
+
+    Parameters
+    ----------
+    block_size : elements per 1-D block (multiple of 8), default 64 (the
+        geometry the paper's Table VI block counts imply).
+    n_threads : worker threads for chunked encode/decode; 1 runs inline.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import SZOps
+    >>> codec = SZOps()
+    >>> data = np.cumsum(np.random.default_rng(0).normal(size=4096)).astype(np.float32)
+    >>> c = codec.compress(data, error_bound=1e-3)
+    >>> np.abs(codec.decompress(c) - data).max() <= 1e-3
+    True
+    """
+
+    def __init__(
+        self,
+        block_size: int = 64,
+        n_threads: int = 1,
+        config: SZOpsConfig | None = None,
+    ) -> None:
+        self.config = config if config is not None else SZOpsConfig(
+            block_size=block_size, n_threads=n_threads
+        )
+        self._pool: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------ helpers
+
+    @property
+    def block_size(self) -> int:
+        return self.config.block_size
+
+    @property
+    def n_threads(self) -> int:
+        return self.config.n_threads
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.config.n_threads)
+        return self._pool
+
+    def _chunk_ranges(self, n_blocks: int) -> list[tuple[int, int]]:
+        """Contiguous block ranges, one per worker (all blocks covered)."""
+        n = min(self.config.n_threads, max(n_blocks, 1))
+        bounds = np.linspace(0, n_blocks, n + 1, dtype=np.int64)
+        return [
+            (int(bounds[i]), int(bounds[i + 1]))
+            for i in range(n)
+            if bounds[i + 1] > bounds[i]
+        ]
+
+    # ------------------------------------------------------------------ compress
+
+    def compress(
+        self,
+        data: np.ndarray,
+        error_bound: float,
+        mode: str = "abs",
+    ) -> SZOpsCompressed:
+        """Compress ``data`` under an absolute or value-range-relative bound."""
+        arr = np.asarray(data)
+        if not np.issubdtype(arr.dtype, np.floating):
+            raise TypeError(f"SZOps compresses floating-point data, got {arr.dtype}")
+        flat = np.ascontiguousarray(arr, dtype=arr.dtype).reshape(-1)
+        if flat.size == 0:
+            raise ValueError("cannot compress an empty array")
+        value_range = float(flat.max() - flat.min()) if mode == "rel" else 0.0
+        eps = resolve_error_bound(error_bound, mode, value_range)
+        q = quantize(flat, eps)
+        return self.encode_quantized(q, arr.shape, arr.dtype, eps)
+
+    def encode_quantized(
+        self,
+        q: np.ndarray,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        eps: float,
+    ) -> SZOpsCompressed:
+        """Run LZ + BF on an already-quantized integer array.
+
+        Exposed because scalar multiplication re-enters the pipeline at this
+        stage (it never touches inverse quantization, Table II's note).
+        """
+        layout = BlockLayout(q.size, self.config.block_size)
+        lens = layout.lengths()
+        deltas, outliers = lorenzo_forward(q, layout)
+        signs = (deltas < 0).view(np.uint8)
+        mags = np.abs(deltas).astype(np.uint64)
+        widths = block_widths(mags, lens)
+
+        ranges = self._chunk_ranges(layout.n_blocks)
+        if len(ranges) == 1:
+            sign_bytes, payload_bytes = encode_block_sections(mags, signs, widths, lens)
+        else:
+            elem_bounds = [(lo * self.block_size, min(hi * self.block_size, q.size))
+                           for lo, hi in ranges]
+            futures = [
+                self._executor().submit(
+                    encode_block_sections,
+                    mags[elo:ehi],
+                    signs[elo:ehi],
+                    widths[lo:hi],
+                    lens[lo:hi],
+                )
+                for (lo, hi), (elo, ehi) in zip(ranges, elem_bounds)
+            ]
+            parts = [f.result() for f in futures]
+            sign_bytes = np.concatenate([p[0] for p in parts])
+            payload_bytes = np.concatenate([p[1] for p in parts])
+
+        return SZOpsCompressed(
+            shape=tuple(shape),
+            dtype=np.dtype(dtype),
+            eps=float(eps),
+            block_size=self.config.block_size,
+            widths=widths,
+            outliers=outliers,
+            sign_bytes=sign_bytes,
+            payload_bytes=payload_bytes,
+        )
+
+    # ------------------------------------------------------------------ decompress
+
+    def _section_offsets(self, c: SZOpsCompressed):
+        """Per-block cumulative byte offsets into the sign/payload sections."""
+        layout = c.layout
+        lens = layout.lengths()
+        stored = (c.widths > 0).astype(np.int64)
+        sign_bits = exclusive_cumsum(lens * stored)
+        payload_bits = exclusive_cumsum(c.widths.astype(np.int64) * lens)
+        return lens, sign_bits, payload_bits
+
+    def decode_deltas(self, c: SZOpsCompressed) -> np.ndarray:
+        """Decode BF + signs back to the signed delta array (partial decode)."""
+        layout = c.layout
+        lens, sign_bit_off, payload_bit_off = self._section_offsets(c)
+        ranges = self._chunk_ranges(layout.n_blocks)
+
+        def total_bits(cum: np.ndarray, per_block_bits_last: int, hi: int) -> int:
+            if hi < layout.n_blocks:
+                return int(cum[hi])
+            return int(per_block_bits_last)
+
+        stored_lens = lens * (c.widths > 0)
+        sign_total = int(stored_lens.sum())
+        payload_total = int((c.widths.astype(np.int64) * lens).sum())
+
+        if len(ranges) == 1:
+            return decode_block_sections(c.sign_bytes, c.payload_bytes, c.widths, lens)
+
+        def run(lo: int, hi: int) -> np.ndarray:
+            s0 = int(sign_bit_off[lo]) // 8
+            s1 = (total_bits(sign_bit_off, sign_total, hi) + 7) // 8
+            p0 = int(payload_bit_off[lo]) // 8
+            p1 = (total_bits(payload_bit_off, payload_total, hi) + 7) // 8
+            return decode_block_sections(
+                c.sign_bytes[s0:s1], c.payload_bytes[p0:p1], c.widths[lo:hi], lens[lo:hi]
+            )
+
+        futures = [self._executor().submit(run, lo, hi) for lo, hi in ranges]
+        return np.concatenate([f.result() for f in futures])
+
+    def decompress_quantized(self, c: SZOpsCompressed) -> np.ndarray:
+        """Partial decompression: recover the quantized integers (no QZ^-1)."""
+        c.validate_structure()
+        deltas = self.decode_deltas(c)
+        return lorenzo_inverse(deltas, c.outliers, c.layout)
+
+    def decompress(self, c: SZOpsCompressed) -> np.ndarray:
+        """Full decompression back to a floating-point array of ``c.shape``."""
+        q = self.decompress_quantized(c)
+        return dequantize(q, c.eps, c.dtype).reshape(c.shape)
+
+    # ------------------------------------------------------------------ misc
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op when single-threaded)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SZOps":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SZOps(block_size={self.config.block_size}, "
+            f"n_threads={self.config.n_threads})"
+        )

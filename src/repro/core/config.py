@@ -1,0 +1,84 @@
+"""Compressor configuration.
+
+The paper's pipeline has two tunables: the user-specified error bound and
+the block size of the 1-D Lorenzo / fixed-length-encoding stage (cuSZp uses
+warp-sized 1-D blocks; the CPU SZp port in the paper keeps the same scheme).
+We add the thread count of the CPU executor, mirroring the 12-thread OpenMP
+configuration of the paper's test machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigError
+
+__all__ = ["SZOpsConfig", "ErrorBoundMode", "resolve_error_bound"]
+
+
+#: Error-bound interpretation, matching SDRBench / SZ conventions:
+#: ``"abs"`` — the bound is an absolute value tolerance;
+#: ``"rel"`` — the bound is a fraction of the data's value range
+#: (value-range-relative, the convention the paper's 1E-4 experiments use
+#: for "relative error bound").
+ErrorBoundMode = str
+
+_VALID_MODES = ("abs", "rel")
+
+
+def resolve_error_bound(
+    error_bound: float, mode: ErrorBoundMode, value_range: float
+) -> float:
+    """Convert a (bound, mode) pair into an absolute error bound.
+
+    ``value_range`` is ``max(data) - min(data)`` and is only consulted in
+    ``"rel"`` mode.  A zero value range (constant data) degrades to the
+    smallest positive bound that still quantizes the constant exactly; we use
+    the absolute bound equal to the relative bound itself so the pipeline
+    stays well-defined.
+    """
+    if error_bound <= 0:
+        raise ConfigError(f"error bound must be positive, got {error_bound}")
+    if mode == "abs":
+        return float(error_bound)
+    if mode == "rel":
+        if value_range < 0:
+            raise ConfigError("value range must be non-negative")
+        if value_range == 0:
+            return float(error_bound)
+        return float(error_bound) * float(value_range)
+    raise ConfigError(f"error-bound mode must be one of {_VALID_MODES}, got {mode!r}")
+
+
+@dataclass(frozen=True)
+class SZOpsConfig:
+    """Static configuration of an :class:`~repro.core.compressor.SZOps` instance.
+
+    Parameters
+    ----------
+    block_size:
+        Elements per 1-D block over the C-order flattened array (default 64,
+        matching the block geometry implied by the paper's Table VI counts).
+        Must be a
+        positive multiple of 8 so that per-block sign bitmaps and payload
+        sections stay byte-aligned, which is what lets independently
+        compressed chunks be concatenated by the thread-parallel executor.
+    n_threads:
+        Worker threads for the blockwise executor.  ``1`` runs inline.
+    """
+
+    block_size: int = 64
+    n_threads: int = 1
+    #: Reserved for forward compatibility; containers record it.
+    format_version: int = field(default=1, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ConfigError(f"block_size must be positive, got {self.block_size}")
+        if self.block_size % 8:
+            raise ConfigError(
+                f"block_size must be a multiple of 8 for byte-aligned block "
+                f"sections, got {self.block_size}"
+            )
+        if self.n_threads <= 0:
+            raise ConfigError(f"n_threads must be positive, got {self.n_threads}")

@@ -1,0 +1,381 @@
+"""Blockwise fixed-length encoding (the BF stage).
+
+Each stored block records every delta magnitude at the same bit width — the
+width of the block's largest magnitude.  A width of zero marks a *constant
+block* (all deltas zero); constant blocks store no sign bitmap and no
+payload, which is the optimization behind the reduction speedups of
+Table V / Table VI of the paper.
+
+The kernels operate on an arbitrary *selection* of blocks described by
+ragged per-block lengths, so the same code serves:
+
+* the compressor (all non-constant blocks of the array),
+* scalar multiplication (only the non-constant blocks are decoded,
+  multiplied, and re-encoded — constant blocks are transformed in O(1)),
+* the thread-parallel executor (contiguous chunks of blocks),
+* the SZp / SZx / ZFP-class baselines (with their own alignments).
+
+Vectorization strategy: blocks are sorted by (width, length) — at most a
+few dozen distinct pairs — and each group's payload is packed or unpacked
+with whole-byte ``packbits``/``unpackbits`` calls plus a byte-granular
+scatter/gather.  This *byte fast path* applies whenever every non-final
+block's (aligned) payload is a whole number of bytes, which all in-tree
+formats guarantee by construction (block sizes are multiples of 8, or the
+stream is byte/word aligned).  A bit-granular fallback covers arbitrary
+geometries.
+
+``align_bits`` rounds every block's payload up to a multiple of that many
+bits.  SZOps always uses 1 (tight packing); SZp passes its 32-bit word
+alignment, reproducing the format overhead the paper cites as SZp's
+compression-efficiency limitation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitstream import (
+    bit_width,
+    bits_of,
+    exclusive_cumsum,
+    pack_bits,
+    ragged_arange,
+    uints_from_bits,
+    unpack_bits,
+)
+
+__all__ = [
+    "block_widths",
+    "payload_bit_counts",
+    "encode_signs",
+    "decode_signs",
+    "encode_magnitudes",
+    "decode_magnitudes",
+    "encode_block_sections",
+    "decode_block_sections",
+    "decode_stored_deltas",
+]
+
+
+def block_widths(mags: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """Per-block fixed bit width: the bit length of the block's max magnitude.
+
+    ``mags`` is the concatenation of the blocks' delta magnitudes and
+    ``lens`` gives each block's element count.
+    """
+    lens = np.asarray(lens, dtype=np.int64)
+    n_blocks = lens.size
+    widths = np.zeros(n_blocks, dtype=np.uint8)
+    if mags.size == 0:
+        return widths
+    # Per-block max via reduceat (handles ragged lengths in one call).
+    starts = exclusive_cumsum(lens)
+    nonempty = lens > 0
+    if np.all(nonempty):
+        maxima = np.maximum.reduceat(mags, starts)
+    else:
+        maxima = np.zeros(n_blocks, dtype=mags.dtype)
+        maxima[nonempty] = np.maximum.reduceat(mags, starts[nonempty])[
+            : int(nonempty.sum())
+        ]
+    widths[:] = bit_width(maxima)
+    return widths
+
+
+def payload_bit_counts(
+    widths: np.ndarray, lens: np.ndarray, align_bits: int = 1
+) -> np.ndarray:
+    """Bits of payload each block contributes (``width * length``, aligned)."""
+    bits = np.asarray(widths, dtype=np.int64) * np.asarray(lens, dtype=np.int64)
+    if align_bits > 1:
+        bits = -(-bits // align_bits) * align_bits
+    return bits
+
+
+def encode_signs(signs: np.ndarray) -> np.ndarray:
+    """Pack a per-element sign array (1 = negative) into a byte buffer."""
+    return pack_bits(np.asarray(signs, dtype=np.uint8))
+
+
+def decode_signs(sign_bytes: np.ndarray, n_bits: int) -> np.ndarray:
+    """Unpack the leading ``n_bits`` sign bits from a byte buffer."""
+    return unpack_bits(sign_bytes, n_bits)
+
+
+# --------------------------------------------------------------------------
+# group-sorted byte fast path
+# --------------------------------------------------------------------------
+
+
+def _grouped_blocks(widths: np.ndarray, lens: np.ndarray):
+    """Stable-sort blocks by (width, length) and expose contiguous groups.
+
+    Returns (order, perm_elems, group_bounds) where ``perm_elems`` maps the
+    sorted element stream back to positions in the original concatenated
+    element stream, and ``group_bounds`` delimits equal-(width, length) runs
+    of ``order``.
+    """
+    key = widths * (int(lens.max(initial=0)) + 1) + lens
+    order = np.argsort(key, kind="stable")
+    elem_starts = exclusive_cumsum(lens)
+    perm_elems = ragged_arange(lens[order], elem_starts[order])
+    sorted_key = key[order]
+    bounds = np.flatnonzero(np.diff(sorted_key)) + 1
+    group_bounds = np.concatenate(([0], bounds, [order.size]))
+    return order, perm_elems, group_bounds
+
+
+def _byte_path_ok(block_bits: np.ndarray) -> bool:
+    """True when every non-final block's payload is whole bytes."""
+    if block_bits.size <= 1:
+        return True
+    return bool((block_bits[:-1] % 8 == 0).all())
+
+
+def encode_magnitudes(
+    mags: np.ndarray, widths: np.ndarray, lens: np.ndarray, align_bits: int = 1
+) -> tuple[np.ndarray, int]:
+    """Pack block delta magnitudes at per-block fixed widths.
+
+    Parameters
+    ----------
+    mags : concatenated non-negative magnitudes of the selected blocks.
+    widths : per-block bit widths (zero-width blocks contribute nothing and
+        must have all-zero magnitudes).
+    lens : per-block element counts.
+    align_bits : round each block's payload up to this many bits.
+
+    Returns
+    -------
+    (payload_bytes, total_bits): the packed byte buffer and the number of
+    stream bits in it (the final byte may carry zero padding).
+    """
+    widths64 = np.asarray(widths, dtype=np.int64)
+    lens64 = np.asarray(lens, dtype=np.int64)
+    block_bits = payload_bit_counts(widths64, lens64, align_bits)
+    total_bits = int(block_bits.sum())
+    if widths64.size == 0 or total_bits == 0:
+        return np.zeros(0, dtype=np.uint8), total_bits
+    if not _byte_path_ok(block_bits):
+        return _encode_magnitudes_bits(mags, widths64, lens64, block_bits)
+
+    offsets = exclusive_cumsum(block_bits)
+    out = np.zeros((total_bits + 7) // 8, dtype=np.uint8)
+    order, perm_elems, bounds = _grouped_blocks(widths64, lens64)
+    vals_sorted = np.asarray(mags, dtype=np.uint64)[perm_elems]
+    epos = 0
+    for g in range(bounds.size - 1):
+        g0, g1 = int(bounds[g]), int(bounds[g + 1])
+        bsel = order[g0:g1]
+        w = int(widths64[bsel[0]])
+        blen = int(lens64[bsel[0]])
+        nblk = g1 - g0
+        n_e = nblk * blen
+        vals = vals_sorted[epos : epos + n_e]
+        epos += n_e
+        if w == 0 or n_e == 0:
+            continue
+        row_bits = blen * w
+        row_bytes = (row_bits + 7) // 8
+        bits = bits_of(vals, w).reshape(nblk, row_bits)
+        if row_bits % 8:
+            padded = np.zeros((nblk, row_bytes * 8), dtype=np.uint8)
+            padded[:, :row_bits] = bits
+            bits = padded
+        # Flat packbits (rows are whole bytes after padding) — much faster
+        # than packbits(axis=1).
+        packed = np.packbits(np.ascontiguousarray(bits).reshape(-1)).reshape(
+            nblk, row_bytes
+        )
+        idx = offsets[bsel] // 8
+        idx = (idx[:, None] + np.arange(row_bytes, dtype=np.int64)[None, :]).reshape(-1)
+        out[idx] = packed.reshape(-1)
+    return out, total_bits
+
+
+def decode_magnitudes(
+    payload_bytes: np.ndarray, widths: np.ndarray, lens: np.ndarray, align_bits: int = 1
+) -> np.ndarray:
+    """Inverse of :func:`encode_magnitudes`.
+
+    Returns the concatenated magnitudes (uint64) of the selected blocks,
+    with zero-width blocks expanded to zeros.
+    """
+    widths64 = np.asarray(widths, dtype=np.int64)
+    lens64 = np.asarray(lens, dtype=np.int64)
+    block_bits = payload_bit_counts(widths64, lens64, align_bits)
+    n_elems = int(lens64.sum())
+    out = np.zeros(n_elems, dtype=np.uint64)
+    total_bits = int(block_bits.sum())
+    if total_bits == 0:
+        return out
+    if not _byte_path_ok(block_bits):
+        return _decode_magnitudes_bits(payload_bytes, widths64, lens64, block_bits)
+
+    buf = (
+        np.frombuffer(payload_bytes, dtype=np.uint8)
+        if isinstance(payload_bytes, (bytes, bytearray, memoryview))
+        else np.asarray(payload_bytes, dtype=np.uint8)
+    )
+    if buf.size < (total_bits + 7) // 8:
+        raise ValueError(
+            f"payload of {buf.size} bytes shorter than the width plane "
+            f"implies ({(total_bits + 7) // 8} bytes)"
+        )
+    offsets = exclusive_cumsum(block_bits)
+    order, perm_elems, bounds = _grouped_blocks(widths64, lens64)
+    epos = 0
+    for g in range(bounds.size - 1):
+        g0, g1 = int(bounds[g]), int(bounds[g + 1])
+        bsel = order[g0:g1]
+        w = int(widths64[bsel[0]])
+        blen = int(lens64[bsel[0]])
+        nblk = g1 - g0
+        n_e = nblk * blen
+        dst = perm_elems[epos : epos + n_e]
+        epos += n_e
+        if w == 0 or n_e == 0:
+            continue
+        row_bits = blen * w
+        row_bytes = (row_bits + 7) // 8
+        idx = offsets[bsel] // 8
+        idx = (idx[:, None] + np.arange(row_bytes, dtype=np.int64)[None, :]).reshape(-1)
+        rows = buf[idx]
+        bits = np.unpackbits(rows).reshape(nblk, row_bytes * 8)[:, :row_bits]
+        out[dst] = uints_from_bits(np.ascontiguousarray(bits).reshape(-1), w)
+    return out
+
+
+# --------------------------------------------------------------------------
+# bit-granular fallback (arbitrary geometries)
+# --------------------------------------------------------------------------
+
+
+def _element_geometry(widths: np.ndarray, lens: np.ndarray, block_bits: np.ndarray):
+    """Per-element width and starting bit offset for the selected blocks."""
+    block_off = exclusive_cumsum(block_bits)
+    elem_block = np.repeat(np.arange(lens.size, dtype=np.int64), lens)
+    elem_pos = ragged_arange(lens)
+    elem_w = widths[elem_block]
+    elem_off = block_off[elem_block] + elem_pos * elem_w
+    return elem_w, elem_off
+
+
+def _encode_magnitudes_bits(
+    mags: np.ndarray, widths: np.ndarray, lens: np.ndarray, block_bits: np.ndarray
+) -> tuple[np.ndarray, int]:
+    elem_w, elem_off = _element_geometry(widths, lens, block_bits)
+    total_bits = int(block_bits.sum())
+    bits = np.zeros(total_bits, dtype=np.uint8)
+    for w in np.unique(widths):
+        w = int(w)
+        if w == 0:
+            continue
+        sel = elem_w == w
+        vals = np.asarray(mags)[sel]
+        if vals.size == 0:
+            continue
+        group_bits = bits_of(vals, w).reshape(vals.size, w)
+        idx = (elem_off[sel][:, None] + np.arange(w, dtype=np.int64)[None, :]).ravel()
+        bits[idx] = group_bits.ravel()
+    return pack_bits(bits), total_bits
+
+
+def _decode_magnitudes_bits(
+    payload_bytes: np.ndarray,
+    widths: np.ndarray,
+    lens: np.ndarray,
+    block_bits: np.ndarray,
+) -> np.ndarray:
+    elem_w, elem_off = _element_geometry(widths, lens, block_bits)
+    total_bits = int(block_bits.sum())
+    out = np.zeros(elem_w.size, dtype=np.uint64)
+    bits = unpack_bits(payload_bytes, total_bits)
+    for w in np.unique(widths):
+        w = int(w)
+        if w == 0:
+            continue
+        sel = elem_w == w
+        if not sel.any():
+            continue
+        idx = (elem_off[sel][:, None] + np.arange(w, dtype=np.int64)[None, :]).ravel()
+        out[sel] = uints_from_bits(bits[idx], w)
+    return out
+
+
+# --------------------------------------------------------------------------
+# combined sign + payload sections
+# --------------------------------------------------------------------------
+
+
+def encode_block_sections(
+    mags: np.ndarray, signs: np.ndarray, widths: np.ndarray, lens: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode the sign + payload sections for a contiguous run of blocks.
+
+    ``mags``/``signs`` cover *all* elements of the run; constant blocks
+    (width 0) are filtered out here because their bits are implicit in the
+    stream format.
+    """
+    stored = widths > 0
+    if stored.all():
+        elem_mask: slice | np.ndarray = slice(None)
+        stored_widths, stored_lens = widths, lens
+    else:
+        elem_mask = np.repeat(stored, lens)
+        stored_widths, stored_lens = widths[stored], lens[stored]
+    sign_bytes = encode_signs(np.asarray(signs, dtype=np.uint8)[elem_mask])
+    payload_bytes, _ = encode_magnitudes(
+        np.asarray(mags)[elem_mask], stored_widths, stored_lens
+    )
+    return sign_bytes, payload_bytes
+
+
+def decode_block_sections(
+    sign_bytes: np.ndarray,
+    payload_bytes: np.ndarray,
+    widths: np.ndarray,
+    lens: np.ndarray,
+) -> np.ndarray:
+    """Decode a run of blocks back to signed deltas (constant blocks -> 0)."""
+    stored = widths > 0
+    n_elems = int(np.asarray(lens, dtype=np.int64).sum())
+    deltas = np.zeros(n_elems, dtype=np.int64)
+    if not stored.any():
+        return deltas
+    stored_lens = np.asarray(lens, dtype=np.int64)[stored]
+    n_stored_elems = int(stored_lens.sum())
+    signs = decode_signs(sign_bytes, n_stored_elems)
+    mags = decode_magnitudes(payload_bytes, widths[stored], stored_lens).astype(
+        np.int64
+    )
+    signed = np.where(signs.astype(bool), -mags, mags)
+    if stored.all():
+        deltas[:] = signed
+    else:
+        deltas[np.repeat(stored, lens)] = signed
+    return deltas
+
+
+def decode_stored_deltas(
+    sign_bytes: np.ndarray,
+    payload_bytes: np.ndarray,
+    stored_widths: np.ndarray,
+    stored_lens: np.ndarray,
+) -> np.ndarray:
+    """Decode only the stored (non-constant) blocks, leaving them compacted.
+
+    Unlike :func:`decode_block_sections` this never materializes the
+    constant blocks, which is what lets scalar multiplication and the
+    reductions honour the paper's "excluding constant block computations"
+    optimization (Table V).
+    """
+    stored_lens = np.asarray(stored_lens, dtype=np.int64)
+    n_stored_elems = int(stored_lens.sum())
+    if n_stored_elems == 0:
+        return np.zeros(0, dtype=np.int64)
+    signs = decode_signs(sign_bytes, n_stored_elems)
+    mags = decode_magnitudes(payload_bytes, stored_widths, stored_lens).astype(
+        np.int64
+    )
+    return np.where(signs.astype(bool), -mags, mags)

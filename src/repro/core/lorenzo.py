@@ -1,0 +1,70 @@
+"""Blockwise 1-D Lorenzo decorrelation (the LZ stage).
+
+Formula (2) of the paper: within a block, each quantized value is replaced
+by its difference from the previous element; the block's first quantized
+value is extracted as the *outlier* and the delta slot it leaves behind is
+zero.  Spatially smooth data therefore produces small-magnitude deltas,
+which is what the fixed-length encoder exploits.
+
+Both directions are fully vectorized: the forward pass is one subtraction
+plus a scatter at block starts, and the inverse is a per-block cumulative
+sum done with the full-block reshape trick (ragged tail handled separately).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.blocks import BlockLayout
+
+__all__ = ["lorenzo_forward", "lorenzo_inverse"]
+
+
+def lorenzo_forward(q: np.ndarray, layout: BlockLayout):
+    """Apply the blockwise 1-D Lorenzo operator.
+
+    Parameters
+    ----------
+    q : int64 array of quantization bins, shape ``(n_elements,)``.
+    layout : block geometry.
+
+    Returns
+    -------
+    deltas : int64 array, same shape; ``deltas[block_start] == 0``.
+    outliers : int64 array of shape ``(n_blocks,)`` — each block's first bin.
+    """
+    if q.shape != (layout.n_elements,):
+        raise ValueError("q must be 1-D and match the layout")
+    q = np.ascontiguousarray(q, dtype=np.int64)
+    deltas = np.empty_like(q)
+    if q.size:
+        deltas[0] = 0
+        np.subtract(q[1:], q[:-1], out=deltas[1:])
+    starts = layout.starts()
+    outliers = q[starts] if q.size else np.zeros(0, dtype=np.int64)
+    deltas[starts] = 0
+    return deltas, outliers
+
+
+def lorenzo_inverse(
+    deltas: np.ndarray, outliers: np.ndarray, layout: BlockLayout
+) -> np.ndarray:
+    """Invert :func:`lorenzo_forward`: per-block prefix sum plus the outlier."""
+    if deltas.shape != (layout.n_elements,):
+        raise ValueError("deltas must be 1-D and match the layout")
+    if outliers.shape != (layout.n_blocks,):
+        raise ValueError("outliers must have one entry per block")
+    deltas = np.ascontiguousarray(deltas, dtype=np.int64)
+    q = np.empty_like(deltas)
+    nf = layout.n_full_blocks
+    B = layout.block_size
+    if nf:
+        body = deltas[: nf * B].reshape(nf, B)
+        out_body = q[: nf * B].reshape(nf, B)
+        np.cumsum(body, axis=1, out=out_body)
+        out_body += outliers[:nf, None]
+    tail = deltas[nf * B :]
+    if tail.size:
+        np.cumsum(tail, out=q[nf * B :])
+        q[nf * B :] += outliers[-1]
+    return q

@@ -1,0 +1,47 @@
+"""Compressed-domain scalar operations and reductions (Table II)."""
+
+from repro.core.ops.dispatch import OPERATIONS, OpSpec, apply_operation, operation_names
+from repro.core.ops.negate import negate
+from repro.core.ops.reductions import (
+    block_means,
+    maximum,
+    mean,
+    minimum,
+    std,
+    summary_statistics,
+    value_range,
+    variance,
+)
+from repro.core.ops.multivariate import (
+    add,
+    cosine_similarity,
+    dot,
+    l2_distance,
+    subtract,
+)
+from repro.core.ops.scalar_add import scalar_add, scalar_subtract
+from repro.core.ops.scalar_mul import scalar_multiply
+
+__all__ = [
+    "OPERATIONS",
+    "OpSpec",
+    "apply_operation",
+    "operation_names",
+    "negate",
+    "scalar_add",
+    "scalar_subtract",
+    "scalar_multiply",
+    "mean",
+    "variance",
+    "std",
+    "block_means",
+    "summary_statistics",
+    "add",
+    "subtract",
+    "dot",
+    "l2_distance",
+    "cosine_similarity",
+    "minimum",
+    "maximum",
+    "value_range",
+]

@@ -1,0 +1,90 @@
+"""Partial-decompression helpers shared by the compressed-domain operations.
+
+Scalar multiplication and the reductions operate in the *quantized integer
+domain*: they decode the fixed-length payload and invert the Lorenzo
+operator, but never apply inverse quantization (Table II's note — this is
+what preserves error-boundedness).  Constant blocks are never decoded at
+all; their quantized values are known from the outlier plane alone, which
+is the "excluding constant block computations" optimization of Table V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitstream import exclusive_cumsum
+from repro.core.encode import decode_stored_deltas
+from repro.core.format import SZOpsCompressed
+
+__all__ = ["StoredBlocks", "stored_quantized", "ragged_cumsum"]
+
+
+def ragged_cumsum(values: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """Per-block inclusive prefix sum over a concatenated ragged array.
+
+    Requires ``values[block_start] == 0`` for every block (true for Lorenzo
+    delta arrays, whose block-start slot is always zero) — under that
+    precondition the per-block cumulative sum equals the global cumulative
+    sum minus the global sum at each block's start.
+    """
+    v = np.asarray(values, dtype=np.int64)
+    lens = np.asarray(lens, dtype=np.int64)
+    if v.size == 0:
+        return v.copy()
+    total = np.cumsum(v)
+    starts = exclusive_cumsum(lens)
+    base = total[starts]
+    return total - np.repeat(base, lens)
+
+
+@dataclass
+class StoredBlocks:
+    """Quantized view of a container, split by constant-ness.
+
+    Attributes
+    ----------
+    q : concatenated quantized integers of the *stored* (non-constant)
+        blocks, in block order.
+    lens : element counts of the stored blocks.
+    stored_mask : boolean over all blocks (True = stored).
+    const_outliers : quantized value of each constant block.
+    const_lens : element counts of the constant blocks.
+    """
+
+    q: np.ndarray
+    lens: np.ndarray
+    stored_mask: np.ndarray
+    const_outliers: np.ndarray
+    const_lens: np.ndarray
+
+    @property
+    def n_stored_elements(self) -> int:
+        return int(self.lens.sum())
+
+    @property
+    def n_constant_elements(self) -> int:
+        return int(self.const_lens.sum())
+
+
+def stored_quantized(c: SZOpsCompressed) -> StoredBlocks:
+    """Decode only the non-constant blocks of ``c`` to quantized integers."""
+    c.validate_structure()
+    layout = c.layout
+    lens = layout.lengths()
+    stored = c.widths > 0
+    stored_lens = lens[stored]
+    deltas = decode_stored_deltas(
+        c.sign_bytes, c.payload_bytes, c.widths[stored], stored_lens
+    )
+    q = ragged_cumsum(deltas, stored_lens)
+    if q.size:
+        q += np.repeat(c.outliers[stored], stored_lens)
+    return StoredBlocks(
+        q=q,
+        lens=stored_lens,
+        stored_mask=stored,
+        const_outliers=c.outliers[~stored],
+        const_lens=lens[~stored],
+    )

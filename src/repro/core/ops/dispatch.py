@@ -1,0 +1,102 @@
+"""Operation registry and dispatch for the seven SZOps operations.
+
+Table II of the paper enumerates the supported operations together with
+their type (univariate operation vs. univariate reduction) and result type
+(compression-as-output vs. computation-as-output).  This module encodes
+that table as data so the workflow drivers, the benchmark harness, and the
+Table V assertions can iterate the operations uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.errors import OperationError
+from repro.core.format import SZOpsCompressed
+from repro.core.ops.negate import negate
+from repro.core.ops.reductions import mean, std, variance
+from repro.core.ops.scalar_add import scalar_add, scalar_subtract
+from repro.core.ops.scalar_mul import scalar_multiply
+
+__all__ = ["OpSpec", "OPERATIONS", "apply_operation", "operation_names"]
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Metadata row of Table II plus the executable kernel.
+
+    Attributes
+    ----------
+    name : canonical operation name.
+    kind : ``"operation"`` (pointwise) or ``"reduction"``.
+    result : ``"compression"`` (a new compressed stream) or
+        ``"computation"`` (a scalar).
+    space : ``"full"`` (fully compressed space — no payload touched),
+        ``"partial"`` (partial decompression to the quantized domain).
+    needs_scalar : whether the kernel takes a scalar operand.
+    fn : the kernel; signature ``fn(c)`` or ``fn(c, s)``.
+    """
+
+    name: str
+    kind: str
+    result: str
+    space: str
+    needs_scalar: bool
+    fn: Callable[..., Any]
+
+
+OPERATIONS: dict[str, OpSpec] = {
+    spec.name: spec
+    for spec in [
+        OpSpec("negation", "operation", "compression", "full", False, negate),
+        OpSpec("scalar_add", "operation", "compression", "full", True, scalar_add),
+        OpSpec(
+            "scalar_subtract",
+            "operation",
+            "compression",
+            "full",
+            True,
+            scalar_subtract,
+        ),
+        OpSpec(
+            "scalar_multiply",
+            "operation",
+            "compression",
+            "partial",
+            True,
+            scalar_multiply,
+        ),
+        OpSpec("mean", "reduction", "computation", "partial", False, mean),
+        OpSpec("variance", "reduction", "computation", "partial", False, variance),
+        OpSpec("std", "reduction", "computation", "partial", False, std),
+    ]
+}
+
+
+def operation_names() -> list[str]:
+    """The seven operation names, in the paper's Table II order."""
+    return list(OPERATIONS)
+
+
+def apply_operation(
+    c: SZOpsCompressed, name: str, scalar: float | None = None
+) -> SZOpsCompressed | float:
+    """Apply a named operation to a compressed stream.
+
+    Returns either a new :class:`SZOpsCompressed` (compression-as-output)
+    or a Python float (computation-as-output), per Table II.
+    """
+    try:
+        spec = OPERATIONS[name]
+    except KeyError:
+        raise OperationError(
+            f"unknown operation {name!r}; valid: {', '.join(OPERATIONS)}"
+        ) from None
+    if spec.needs_scalar:
+        if scalar is None:
+            raise OperationError(f"operation {name!r} requires a scalar operand")
+        return spec.fn(c, scalar)
+    if scalar is not None:
+        raise OperationError(f"operation {name!r} takes no scalar operand")
+    return spec.fn(c)

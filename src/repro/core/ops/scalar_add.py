@@ -1,0 +1,76 @@
+"""Scalar addition and subtraction in fully compressed space (Section V-A.2/3).
+
+Adding a constant ``s`` shifts every quantized value by the same amount, so
+every intra-block delta is unchanged — only the per-block outliers (each
+block's first quantized value) move.  SZOps therefore quantizes the scalar
+once, ``rho_s = floor((s + eps) / (2 eps))``, and adds (or subtracts) it to
+the outlier plane.  The sign bitmap and fixed-length payload are untouched:
+the operation runs in fully compressed space.
+
+Error semantics: the result decodes to ``x_hat + 2*eps*rho_s``, and
+``|2*eps*rho_s - s| <= eps``, so the output is within ``eps`` of
+``x_hat + s`` (and within ``2*eps`` of ``x + s``).  The stream's recorded
+error bound is unchanged, matching the paper's Table II statement that all
+operations preserve error-boundedness because inverse quantization is never
+applied.
+
+Note on the paper's worked example: Section V-A.2 prints a mutated delta
+array and sign bitmap after the addition, which contradicts the
+construction one paragraph earlier (a uniform shift of the quantization
+bins cannot change their differences).  We implement the mathematically
+consistent semantics — only the outlier plane changes — which is also the
+only reading under which the operation is "fully compressed space" as the
+paper claims.  DESIGN.md records this deviation.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import OperationError
+from repro.core.format import SZOpsCompressed
+from repro.core.quantize import dequantize_scalar, quantize_scalar
+
+__all__ = ["scalar_add", "scalar_subtract", "quantized_scalar_shift"]
+
+
+def quantized_scalar_shift(s: float, eps: float) -> tuple[int, float]:
+    """Quantize the scalar operand; returns (bin index, representative value)."""
+    rho = quantize_scalar(s, eps)
+    return rho, dequantize_scalar(rho, eps)
+
+
+def scalar_add(c: SZOpsCompressed, s: float, inplace: bool = False) -> SZOpsCompressed:
+    """Add the scalar ``s`` to every element, in fully compressed space.
+
+    Cost: one integer add over the outlier plane — O(n_blocks), independent
+    of the array size and of the payload, the cheapest operation after
+    negation in Figures 5/6.
+    """
+    out = c if inplace else c.copy()
+    rho, _ = quantized_scalar_shift(s, out.eps)
+    out.outliers += rho
+    return out
+
+
+def scalar_subtract(
+    c: SZOpsCompressed, s: float, inplace: bool = False
+) -> SZOpsCompressed:
+    """Subtract the scalar ``s`` from every element (Section V-A.3).
+
+    Mirrors :func:`scalar_add` with the quantized scalar *deducted* from the
+    outliers, exactly as the paper specifies (note this differs from
+    ``scalar_add(c, -s)`` by at most one quantization bin, since
+    ``floor((-s+eps)/2eps) != -floor((s+eps)/2eps)`` in general; both
+    readings stay within the error bound).
+    """
+    out = c if inplace else c.copy()
+    rho, _ = quantized_scalar_shift(s, out.eps)
+    out.outliers -= rho
+    return out
+
+
+def _require_same_geometry(a: SZOpsCompressed, b: SZOpsCompressed) -> None:
+    if a.shape != b.shape or a.block_size != b.block_size:
+        raise OperationError(
+            "compressed operands must share shape and block size; got "
+            f"{a.shape}/{a.block_size} vs {b.shape}/{b.block_size}"
+        )

@@ -1,0 +1,99 @@
+"""Scalar multiplication in partially decompressed space (Section V-A.4).
+
+Multiplication does not commute with the Lorenzo deltas' fixed-length
+encoding the way a uniform shift does, so the paper reverts the non-constant
+blocks to their quantized values, multiplies, and re-encodes.  Following the
+worked example (s = 3.14, eps = 0.01): the scalar is quantized to
+``rho_s``, every quantized value is scaled by the *representative* value
+``s~ = 2*eps*rho_s`` and re-quantized by rounding::
+
+    q'_i = round(q_i * s~)            # equivalently round(q_i * rho_s * 2eps)
+
+Constant blocks never touch the payload: all their elements equal the
+outlier, so ``O' = round(O * s~)`` transforms them in O(1) per block and
+they *remain* constant — this is the "partial decompression + constant
+blocks" fast path of Table V.
+
+Error semantics: the output decodes to ``2*eps*q'`` with
+``|2*eps*q' - s*x_hat| <= eps + |x_hat| * |s~ - s|`` where
+``|s~ - s| <= eps``; i.e. a pointwise absolute term plus a relative term
+proportional to the scalar's own quantization error, as inherent to the
+paper's scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitstream import exclusive_cumsum
+from repro.core.encode import block_widths, encode_block_sections
+from repro.core.errors import OperationError
+from repro.core.format import SZOpsCompressed
+from repro.core.ops._partial import stored_quantized
+from repro.core.ops.scalar_add import quantized_scalar_shift
+
+__all__ = ["scalar_multiply"]
+
+_Q_LIMIT = np.int64(1) << 62
+
+
+def _requantize(q: np.ndarray, factor: float) -> np.ndarray:
+    """``round(q * factor)`` with an overflow guard on the int64 result."""
+    scaled = np.rint(q.astype(np.float64) * factor)
+    if scaled.size and np.abs(scaled).max() >= float(_Q_LIMIT):
+        raise OperationError(
+            "scalar multiplication overflows the quantized integer range; "
+            "use a larger error bound or a smaller scalar"
+        )
+    return scaled.astype(np.int64)
+
+
+def scalar_multiply(c: SZOpsCompressed, s: float) -> SZOpsCompressed:
+    """Multiply every element by the scalar ``s``, re-encoding in place.
+
+    The non-constant blocks are decoded to quantized integers (BF^-1 and
+    Lorenzo^-1 only — never inverse quantization), scaled, and re-encoded;
+    constant blocks are transformed through their outlier alone.
+    """
+    rho, s_rep = quantized_scalar_shift(s, c.eps)
+    blocks = stored_quantized(c)
+    layout = c.layout
+    lens = layout.lengths()
+    stored = blocks.stored_mask
+
+    new_outliers = np.empty(layout.n_blocks, dtype=np.int64)
+    new_widths = np.zeros(layout.n_blocks, dtype=np.uint8)
+
+    # Constant blocks: O(1) per block, no payload involved.
+    new_outliers[~stored] = _requantize(blocks.const_outliers, s_rep)
+
+    if blocks.q.size:
+        q_new = _requantize(blocks.q, s_rep)
+        # Re-apply the Lorenzo operator within each stored block.
+        starts = exclusive_cumsum(blocks.lens)
+        deltas = np.empty_like(q_new)
+        deltas[0] = 0
+        np.subtract(q_new[1:], q_new[:-1], out=deltas[1:])
+        deltas[starts] = 0
+        new_outliers[stored] = q_new[starts]
+        signs = (deltas < 0).view(np.uint8)
+        mags = np.abs(deltas).astype(np.uint64)
+        stored_widths = block_widths(mags, blocks.lens)
+        new_widths[stored] = stored_widths
+        sign_bytes, payload_bytes = encode_block_sections(
+            mags, signs, stored_widths, blocks.lens
+        )
+    else:
+        sign_bytes = np.zeros(0, dtype=np.uint8)
+        payload_bytes = np.zeros(0, dtype=np.uint8)
+
+    return SZOpsCompressed(
+        shape=c.shape,
+        dtype=c.dtype,
+        eps=c.eps,
+        block_size=c.block_size,
+        widths=new_widths,
+        outliers=new_outliers,
+        sign_bytes=sign_bytes,
+        payload_bytes=payload_bytes,
+    )

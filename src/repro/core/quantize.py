@@ -1,0 +1,78 @@
+"""Error-controlled quantization (the QZ stage).
+
+Formula (1) of the paper::
+
+    q_i = floor((a_i + eps) / (2 * eps))
+
+with reconstruction ``a'_i = 2 * eps * q_i``.  Writing
+``a_i = 2*eps*q_i - eps + r`` with ``r in [0, 2*eps)`` gives
+``a'_i - a_i = eps - r in (-eps, eps]``, i.e. the absolute error is bounded
+by ``eps`` for every element — this is the compressor's central invariant
+and is property-tested in ``tests/core/test_quantize.py``.
+
+Floating-point caveat: the representative ``2*eps*q`` is itself a rounded
+float64 product, so for an input sitting exactly on a bin boundary the
+best representable reconstruction can overshoot the bound by half an ulp
+of the value.  The practical contract is therefore
+``|a' - a| <= eps + 0.5*ulp(|a| + eps)`` — the same contract the reference
+SZ implementations provide.  A correction pass below removes the one other
+float64 artifact (the division in Formula (1) occasionally picking the
+wrong bin).
+
+All arithmetic happens in float64 regardless of the input dtype so that
+float32 inputs do not lose bound guarantees to intermediate rounding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+
+__all__ = ["quantize", "dequantize", "quantize_scalar", "dequantize_scalar"]
+
+
+def quantize(values: np.ndarray, eps: float) -> np.ndarray:
+    """Quantize floats to integer bin numbers at absolute error bound ``eps``.
+
+    Returns an int64 array of the same shape.  Non-finite inputs are
+    rejected: NaN/Inf cannot be error-bounded and the reference compressors
+    treat them as a pre-filtering concern.
+    """
+    if eps <= 0:
+        raise ConfigError(f"error bound must be positive, got {eps}")
+    v = np.asarray(values, dtype=np.float64)
+    if not np.all(np.isfinite(v)):
+        raise ValueError("input contains non-finite values; error-bounded "
+                         "quantization requires finite data")
+    q = np.floor((v + eps) / (2.0 * eps)).astype(np.int64)
+    # Formula (1) guarantees the bound in exact arithmetic; float64 rounding
+    # of (v + eps) / (2 eps) can push an element one bin off by ~1 ulp of
+    # its value.  One correction pass turns the bound into a hard guarantee.
+    err = 2.0 * eps * q.astype(np.float64) - v
+    half_ulp = 0.5 * np.spacing(np.abs(v) + eps)
+    np.subtract(q, 1, out=q, where=err > eps + half_ulp)
+    np.add(q, 1, out=q, where=err < -(eps + half_ulp))
+    return q
+
+
+def dequantize(bins: np.ndarray, eps: float, dtype=np.float64) -> np.ndarray:
+    """Reconstruct representative values ``2 * eps * q`` from bin numbers."""
+    if eps <= 0:
+        raise ConfigError(f"error bound must be positive, got {eps}")
+    q = np.asarray(bins)
+    return (2.0 * eps * q.astype(np.float64)).astype(dtype)
+
+
+def quantize_scalar(value: float, eps: float) -> int:
+    """Quantize a single scalar; used for the compressed-domain scalar ops."""
+    if eps <= 0:
+        raise ConfigError(f"error bound must be positive, got {eps}")
+    if not np.isfinite(value):
+        raise ValueError(f"scalar operand must be finite, got {value}")
+    return int(np.floor((float(value) + eps) / (2.0 * eps)))
+
+
+def dequantize_scalar(bin_index: int, eps: float) -> float:
+    """Representative value of a scalar quantization bin."""
+    return 2.0 * eps * float(bin_index)

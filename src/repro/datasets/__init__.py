@@ -1,0 +1,24 @@
+"""Dataset substrate: synthetic SDRBench stand-ins and raw binary I/O."""
+
+from repro.datasets.io import load_field, save_field
+from repro.datasets.sdrbench import (
+    SDRBENCH,
+    DatasetSpec,
+    dataset_names,
+    generate_fields,
+    get_dataset,
+)
+from repro.datasets.synthetic import FieldSpec, gaussian_random_field, synthesize_field
+
+__all__ = [
+    "SDRBENCH",
+    "DatasetSpec",
+    "FieldSpec",
+    "dataset_names",
+    "generate_fields",
+    "get_dataset",
+    "gaussian_random_field",
+    "synthesize_field",
+    "load_field",
+    "save_field",
+]

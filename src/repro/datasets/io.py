@@ -1,0 +1,72 @@
+"""Raw binary field I/O in the SDRBench convention.
+
+SDRBench distributes fields as headerless little-endian ``.f32`` / ``.dat``
+files in C order; the geometry comes from the dataset documentation (our
+catalog).  ``save_field`` / ``load_field`` implement that convention so
+users with real SDRBench data can run every experiment on it: point
+``REPRO_SDRBENCH_DIR`` at a directory laid out as
+``<dir>/<dataset>/<field>.f32`` and the generators pick the real fields up
+automatically (resampled by striding if larger than the working shape).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_field", "load_field", "try_load_real_field", "SDRBENCH_DIR_ENV"]
+
+SDRBENCH_DIR_ENV = "REPRO_SDRBENCH_DIR"
+
+
+def save_field(path: str | Path, field: np.ndarray) -> None:
+    """Write a field as headerless little-endian float32, C order."""
+    arr = np.ascontiguousarray(field, dtype="<f4")
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    arr.tofile(path)
+
+
+def load_field(path: str | Path, shape: tuple[int, ...]) -> np.ndarray:
+    """Read a headerless little-endian float32 field of the given shape."""
+    arr = np.fromfile(path, dtype="<f4")
+    expected = int(np.prod(shape, dtype=np.int64))
+    if arr.size != expected:
+        raise ValueError(
+            f"{path}: {arr.size} float32 values on disk, expected {expected} "
+            f"for shape {shape}"
+        )
+    return arr.reshape(shape)
+
+
+def _strided_resample(arr: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Subsample a larger grid down to ``shape`` by regular striding."""
+    if arr.ndim != len(shape):
+        raise ValueError(f"rank mismatch: data {arr.ndim}-D, target {len(shape)}-D")
+    slices = []
+    for have, want in zip(arr.shape, shape):
+        if have < want:
+            raise ValueError(f"real field smaller than working shape: {arr.shape} < {shape}")
+        step = have // want
+        slices.append(slice(0, step * want, step))
+    return np.ascontiguousarray(arr[tuple(slices)])
+
+
+def try_load_real_field(spec, field_name: str, shape: tuple[int, ...]):
+    """Load ``<REPRO_SDRBENCH_DIR>/<dataset>/<field>.f32`` if present.
+
+    Returns None (falling back to synthesis) when the env var is unset or
+    the file is missing; raises only on malformed files, so a typo'd
+    directory degrades gracefully to synthetic data.
+    """
+    root = os.environ.get(SDRBENCH_DIR_ENV)
+    if not root:
+        return None
+    base = Path(root) / spec.name
+    for suffix in (".f32", ".dat"):
+        path = base / f"{field_name}{suffix}"
+        if path.is_file():
+            full = load_field(path, spec.paper_shape)
+            return _strided_resample(full, shape)
+    return None

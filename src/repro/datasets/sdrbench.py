@@ -1,0 +1,165 @@
+"""Catalog of the paper's four evaluation datasets (Table III).
+
+Each entry records the real dataset's geometry (field count, dimensions,
+size) and the synthetic recipe that stands in for it (see
+:mod:`repro.datasets.synthetic` and the substitution table in DESIGN.md).
+The default working shapes shrink the grids so the pure-Python baseline
+codecs stay tractable; ``scale`` rescales linearly per axis and
+``shape=None, scale=1.0`` gives the defaults below.  If the environment
+variable ``REPRO_SDRBENCH_DIR`` points at a directory containing real
+SDRBench ``.f32`` files, those are loaded instead (see
+:mod:`repro.datasets.io`).
+
+Recipe calibration targets (validated by ``tests/datasets``):
+
+* Table VII compression-ratio ordering: SCALE-LETKF >> Miranda > Hurricane
+  ~ CESM-ATM for every codec, with SZOps > SZp everywhere;
+* Table VI constant-block ordering: Miranda ~ Hurricane >> SCALE-LETKF >
+  CESM-ATM (the paper's 14 / 13 / 4 / 1.5 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.synthetic import FieldSpec, synthesize_field
+
+__all__ = ["DatasetSpec", "SDRBENCH", "dataset_names", "get_dataset", "generate_fields"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of the paper's Table III plus its synthetic recipe."""
+
+    name: str
+    paper_shape: tuple[int, ...]
+    default_shape: tuple[int, ...]
+    fields: tuple[FieldSpec, ...]
+    description: str = ""
+
+    @property
+    def n_fields(self) -> int:
+        return len(self.fields)
+
+    def shape_at(self, scale: float) -> tuple[int, ...]:
+        """Default working shape rescaled by ``scale`` per axis (min 8)."""
+        return tuple(max(8, int(round(s * scale))) for s in self.default_shape)
+
+
+SDRBENCH: dict[str, DatasetSpec] = {
+    "Hurricane": DatasetSpec(
+        name="Hurricane",
+        paper_shape=(100, 500, 500),
+        default_shape=(20, 100, 100),
+        description="Hurricane ISABEL weather simulation (IEEE Vis 2004)",
+        fields=(
+            FieldSpec("U", beta=4.5, amplitude=1239.5488803, plateau=0.084, noise=0.0003, envelope=1.3),
+            FieldSpec("V", beta=4.5, amplitude=552.29627319, plateau=0.084, noise=0.0003, envelope=1.3),
+            FieldSpec("W", beta=4.2, amplitude=1481.14999672, plateau=0.168, noise=0.0003, envelope=1.3),
+            FieldSpec("TC", beta=5.0, amplitude=344.4066708, plateau=0.056, noise=0.0002, offset=10.0, envelope=1.3),
+            FieldSpec("P", beta=5.5, amplitude=1222.12592836, noise=0.0002, envelope=1.3),
+            FieldSpec("QVAPOR", beta=4.5, amplitude=0.79343294, plateau=0.175, noise=0.0002, envelope=1.3),
+            FieldSpec("PRECIP", beta=4.5, amplitude=0.01897707, sparse=True, plateau=0.8, noise=0.0001),
+        ),
+    ),
+    "CESM-ATM": DatasetSpec(
+        name="CESM-ATM",
+        paper_shape=(1800, 3600),
+        default_shape=(360, 720),
+        description="CESM atmosphere component, 2-D climate fields",
+        fields=(
+            FieldSpec("CLDHGH", beta=3.2, amplitude=22.19865394, plateau=0.015, noise=0.0004, offset=0.4, envelope=1.3),
+            FieldSpec("CLDLOW", beta=3.2, amplitude=31.54344998, plateau=0.015, noise=0.0004, offset=0.4, envelope=1.3),
+            FieldSpec("FLDSC", beta=3.5, amplitude=209.3706427, noise=0.0003, offset=300.0, envelope=1.3),
+            FieldSpec("FREQSH", beta=3.0, amplitude=19.09239443, plateau=0.018, noise=0.0004, offset=0.3, envelope=1.3),
+            FieldSpec("PHIS", beta=3.8, amplitude=0.56442539, noise=0.0002, envelope=1.3),
+        ),
+    ),
+    "SCALE-LETKF": DatasetSpec(
+        name="SCALE-LETKF",
+        paper_shape=(98, 1200, 1200),
+        default_shape=(13, 150, 150),
+        description="SCALE-LETKF regional weather ensemble",
+        fields=(
+            FieldSpec("QC", beta=5.0, amplitude=0.00085624, sparse=True, plateau=0.92),
+            FieldSpec("QR", beta=5.0, amplitude=0.0011139, sparse=True, plateau=0.94),
+            FieldSpec("QI", beta=5.0, amplitude=0.00090529, sparse=True, plateau=0.93),
+            FieldSpec("QS", beta=5.0, amplitude=0.00057417, sparse=True, plateau=0.91),
+            FieldSpec("QG", beta=5.0, amplitude=0.00094, sparse=True, plateau=0.95),
+            FieldSpec("QV", beta=5.2, amplitude=0.05509669, plateau=0.048, noise=0.0001, envelope=1.3),
+            FieldSpec("RH", beta=5.0, amplitude=0.9539749, noise=0.0002, offset=50.0, envelope=1.3),
+            FieldSpec("T", beta=5.5, amplitude=1.40650478, noise=0.0001, offset=273.0, envelope=1.3),
+            FieldSpec("U", beta=5.0, amplitude=0.45436477, noise=0.0002, envelope=1.3),
+            FieldSpec("V", beta=5.0, amplitude=0.35451578, noise=0.0002, envelope=1.3),
+            FieldSpec("W", beta=4.8, amplitude=0.19865489, plateau=0.09, noise=0.0002, envelope=1.3),
+            FieldSpec("PRES", beta=6.0, amplitude=0.10771646, noise=5e-05, offset=90000.0, envelope=1.3),
+        ),
+    ),
+    "Miranda": DatasetSpec(
+        name="Miranda",
+        paper_shape=(256, 384, 384),
+        default_shape=(64, 96, 96),
+        description="Miranda large-eddy turbulence simulation",
+        fields=(
+            FieldSpec("density", beta=6.5, amplitude=0.30645327, plateau=0.077, noise=5e-05, offset=2.0, envelope=1.3),
+            FieldSpec("diffusivity", beta=6.3, amplitude=0.03868517, plateau=0.09, noise=5e-05, envelope=1.3),
+            FieldSpec("pressure", beta=6.8, amplitude=0.0755471, plateau=0.05, noise=3e-05, offset=30.0, envelope=1.3),
+            FieldSpec("velocityx", beta=6.2, amplitude=0.48660299, plateau=0.045, noise=6e-05, envelope=1.3),
+            FieldSpec("velocityy", beta=6.2, amplitude=0.61058008, plateau=0.045, noise=6e-05, envelope=1.3),
+            FieldSpec("velocityz", beta=6.2, amplitude=0.85257911, plateau=0.059, noise=6e-05, envelope=1.3),
+            FieldSpec("viscocity", beta=6.3, amplitude=0.04465665, plateau=0.09, noise=5e-05, envelope=1.3),
+        ),
+    ),
+}
+
+
+def dataset_names() -> list[str]:
+    """Dataset names in the paper's Table III order."""
+    return list(SDRBENCH)
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    try:
+        return SDRBENCH[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; valid: {', '.join(SDRBENCH)}"
+        ) from None
+
+
+def generate_fields(
+    name: str,
+    scale: float = 1.0,
+    shape: tuple[int, ...] | None = None,
+    seed: int = 20240624,
+    fields: list[str] | None = None,
+) -> dict[str, np.ndarray]:
+    """Synthesize (or load, see :mod:`repro.datasets.io`) a dataset's fields.
+
+    Returns an ordered mapping field name -> float32 array.  ``fields``
+    restricts to a subset; ``shape`` overrides the scaled default shape.
+    The per-field seed mixes the dataset seed with the field index so each
+    field is an independent realization.
+    """
+    from repro.datasets.io import try_load_real_field  # cycle-free local import
+
+    spec = get_dataset(name)
+    target_shape = shape if shape is not None else spec.shape_at(scale)
+    wanted = set(fields) if fields is not None else None
+    out: dict[str, np.ndarray] = {}
+    for i, fspec in enumerate(spec.fields):
+        if wanted is not None and fspec.name not in wanted:
+            continue
+        real = try_load_real_field(spec, fspec.name, target_shape)
+        if real is not None:
+            out[fspec.name] = real
+        else:
+            out[fspec.name] = synthesize_field(
+                fspec, target_shape, seed=seed + 1009 * i
+            )
+    if wanted is not None and len(out) != len(wanted):
+        missing = wanted - set(out)
+        raise KeyError(f"dataset {name!r} has no fields named {sorted(missing)}")
+    return out

@@ -1,0 +1,22 @@
+"""Entropy-coding substrate: canonical Huffman, zero-RLE, DEFLATE backend."""
+
+from repro.encoding.deflate import DEFAULT_LEVEL, deflate, inflate
+from repro.encoding.huffman import (
+    MAX_CODE_LENGTH,
+    HuffmanCodebook,
+    huffman_decode,
+    huffman_encode,
+)
+from repro.encoding.rle import rle_decode_zeros, rle_encode_zeros
+
+__all__ = [
+    "DEFAULT_LEVEL",
+    "deflate",
+    "inflate",
+    "MAX_CODE_LENGTH",
+    "HuffmanCodebook",
+    "huffman_decode",
+    "huffman_encode",
+    "rle_decode_zeros",
+    "rle_encode_zeros",
+]

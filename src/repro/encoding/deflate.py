@@ -1,0 +1,26 @@
+"""DEFLATE backend standing in for Zstd.
+
+The SZ family finishes its pipeline with a general-purpose lossless pass
+(Zstd in the reference implementations).  This offline environment only
+ships the standard library, so we use zlib's DEFLATE — same role in the
+pipeline, slightly lower ratio and speed than Zstd, which does not affect
+any of the paper's orderings (documented in DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["deflate", "inflate", "DEFAULT_LEVEL"]
+
+DEFAULT_LEVEL = 6
+
+
+def deflate(data: bytes, level: int = DEFAULT_LEVEL) -> bytes:
+    """Compress a byte string with DEFLATE."""
+    return zlib.compress(data, level)
+
+
+def inflate(data: bytes) -> bytes:
+    """Decompress a DEFLATE byte string."""
+    return zlib.decompress(data)

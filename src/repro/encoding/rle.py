@@ -1,0 +1,55 @@
+"""Zero-run-length coding for sparse integer streams.
+
+Quantization-code streams from very smooth or very sparse fields (the
+SCALE-LETKF stand-in especially) are dominated by zeros.  This helper
+collapses zero runs before entropy coding; the SZ3-class baseline applies
+it when it pays (the header records whether it was used).
+
+Encoding: the stream is rewritten as ``(values, run_lengths)`` pairs where
+``values`` are the non-zero entries plus a 0 sentinel per zero-run and
+``run_lengths`` hold each zero run's length.  This keeps everything as two
+dense integer arrays, which the caller entropy-codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rle_encode_zeros", "rle_decode_zeros"]
+
+
+def rle_encode_zeros(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split a stream into (tokens, zero-run lengths).
+
+    ``tokens`` preserves order: non-zero values appear verbatim; each
+    maximal run of zeros is replaced by a single 0 token.  ``runs`` holds
+    the length of each zero run, in token order.
+    """
+    v = np.asarray(values, dtype=np.int64)
+    if v.size == 0:
+        return v.copy(), np.zeros(0, dtype=np.int64)
+    is_zero = v == 0
+    # Boundaries of zero runs.
+    padded = np.concatenate(([False], is_zero, [False]))
+    starts = np.flatnonzero(~padded[:-1] & padded[1:])
+    ends = np.flatnonzero(padded[:-1] & ~padded[1:])
+    runs = (ends - starts).astype(np.int64)
+    keep = ~is_zero
+    keep[starts] = True  # keep one sentinel zero per run
+    tokens = v[keep]
+    return tokens, runs
+
+
+def rle_decode_zeros(tokens: np.ndarray, runs: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`rle_encode_zeros`."""
+    tokens = np.asarray(tokens, dtype=np.int64)
+    runs = np.asarray(runs, dtype=np.int64)
+    zero_slots = np.flatnonzero(tokens == 0)
+    if zero_slots.size != runs.size:
+        raise ValueError(
+            f"token stream has {zero_slots.size} zero runs but {runs.size} "
+            "run lengths were provided"
+        )
+    repeats = np.ones(tokens.size, dtype=np.int64)
+    repeats[zero_slots] = runs
+    return np.repeat(tokens, repeats)

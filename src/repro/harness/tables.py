@@ -1,0 +1,43 @@
+"""ASCII/markdown table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value) -> str:
+    """Human-friendly cell formatting (3 significant-ish digits)."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None
+) -> str:
+    """Render a GitHub-markdown table (also readable as plain ASCII)."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+
+    def fmt_row(values) -> str:
+        return "| " + " | ".join(str(v).ljust(w) for v, w in zip(values, widths)) + " |"
+
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append(fmt_row(headers))
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    lines.extend(fmt_row(r) for r in cells)
+    return "\n".join(lines)

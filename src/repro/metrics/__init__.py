@@ -1,0 +1,20 @@
+"""Measurement substrate: timing, throughput, ratio and distortion metrics."""
+
+from repro.metrics.error import max_abs_error, nrmse, psnr
+from repro.metrics.ratio import aggregate_ratio, compression_ratio, mean_ratio
+from repro.metrics.throughput import gb_per_s, mb_per_s
+from repro.metrics.timing import Timer, TimingBreakdown, time_call
+
+__all__ = [
+    "Timer",
+    "TimingBreakdown",
+    "time_call",
+    "mb_per_s",
+    "gb_per_s",
+    "compression_ratio",
+    "mean_ratio",
+    "aggregate_ratio",
+    "max_abs_error",
+    "psnr",
+    "nrmse",
+]

@@ -1,0 +1,19 @@
+"""Distortion metrics (re-exported from the core validation utilities)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.validate import max_abs_error, psnr
+
+__all__ = ["max_abs_error", "psnr", "nrmse"]
+
+
+def nrmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Range-normalized root-mean-square error."""
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed, dtype=np.float64)
+    rng = float(a.max() - a.min()) if a.size else 0.0
+    if rng == 0.0:
+        return 0.0 if np.array_equal(a, b) else float("inf")
+    return float(np.sqrt(np.mean((a - b) ** 2)) / rng)

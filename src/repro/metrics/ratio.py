@@ -1,0 +1,31 @@
+"""Compression-ratio accounting (Table VII)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["compression_ratio", "mean_ratio", "aggregate_ratio"]
+
+
+def compression_ratio(original_nbytes: int, compressed_nbytes: int) -> float:
+    """Original bytes over compressed bytes."""
+    return original_nbytes / max(compressed_nbytes, 1)
+
+
+def mean_ratio(ratios) -> float:
+    """Arithmetic mean of per-field ratios.
+
+    This is how we aggregate Table VII (the paper says "average compression
+    ratios" without specifying; EXPERIMENTS.md records the choice).
+    """
+    arr = np.asarray(list(ratios), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no ratios to aggregate")
+    return float(arr.mean())
+
+
+def aggregate_ratio(original_nbytes, compressed_nbytes) -> float:
+    """Size-weighted aggregate: total original over total compressed."""
+    orig = int(np.sum(list(original_nbytes)))
+    comp = int(np.sum(list(compressed_nbytes)))
+    return compression_ratio(orig, comp)

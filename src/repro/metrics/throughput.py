@@ -1,0 +1,22 @@
+"""Throughput accounting (Table IV and Figure 6 units)."""
+
+from __future__ import annotations
+
+__all__ = ["mb_per_s", "gb_per_s"]
+
+_MB = 1000.0 * 1000.0
+_GB = _MB * 1000.0
+
+
+def mb_per_s(nbytes: int, seconds: float) -> float:
+    """Decimal megabytes per second (Table IV's unit)."""
+    if seconds <= 0:
+        return float("inf")
+    return nbytes / _MB / seconds
+
+
+def gb_per_s(nbytes: int, seconds: float) -> float:
+    """Decimal gigabytes per second (Figure 6's unit)."""
+    if seconds <= 0:
+        return float("inf")
+    return nbytes / _GB / seconds

@@ -1,0 +1,76 @@
+"""Timing utilities for the evaluation harness.
+
+The paper reports per-kernel time costs (Figure 5) and end-to-end
+throughputs (Figure 6, Table IV).  These helpers standardize how the
+benchmarks measure both: monotonic wall-clock, best-of-N repetition to
+suppress scheduler noise, and a named breakdown container matching the
+decompress / operate / compress split of the traditional workflow.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "time_call", "TimingBreakdown"]
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.seconds >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._t0
+
+
+def time_call(fn, *args, repeats: int = 3, **kwargs):
+    """Run ``fn`` ``repeats`` times; return (last result, best seconds)."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+@dataclass
+class TimingBreakdown:
+    """Per-stage seconds of one operation workflow.
+
+    The traditional workflow fills all three stages; the SZOps workflow
+    reports its single kernel under ``operate`` (its partial decode and
+    re-encode are part of the kernel, per the paper's Figure 5 caption).
+    """
+
+    decompress: float = 0.0
+    operate: float = 0.0
+    compress: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return self.decompress + self.operate + self.compress
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "decompress_s": self.decompress,
+            "operate_s": self.operate,
+            "compress_s": self.compress,
+            "total_s": self.total,
+        }

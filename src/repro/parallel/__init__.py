@@ -1,0 +1,24 @@
+"""Execution substrate: thread executor and simulated-MPI collectives."""
+
+from repro.parallel.collectives import (
+    compressed_mean_allreduce,
+    compressed_stats_allreduce,
+    local_quantized_moments,
+    traditional_stats_allreduce,
+)
+from repro.parallel.executor import ChunkedExecutor, parallel_map
+from repro.parallel.partition import block_aligned_ranges, even_ranges
+from repro.parallel.simmpi import SimComm, run_spmd
+
+__all__ = [
+    "ChunkedExecutor",
+    "parallel_map",
+    "even_ranges",
+    "block_aligned_ranges",
+    "SimComm",
+    "run_spmd",
+    "local_quantized_moments",
+    "compressed_mean_allreduce",
+    "compressed_stats_allreduce",
+    "traditional_stats_allreduce",
+]

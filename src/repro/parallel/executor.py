@@ -1,0 +1,83 @@
+"""Thread-pool executor over block ranges.
+
+Stand-in for the 12-thread OpenMP execution of the paper's CPU SZp:
+compression blocks are independent, so chunked kernels can run on a thread
+pool (NumPy's packing kernels release the GIL for the bulk of their work).
+The :class:`~repro.core.compressor.SZOps` class embeds the same pattern;
+this standalone executor is for user kernels — e.g. applying a
+compressed-domain operation to many fields concurrently, as the in-situ
+statistics example does.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.parallel.partition import even_ranges
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["ChunkedExecutor", "parallel_map"]
+
+
+class ChunkedExecutor:
+    """Reusable thread pool running range-chunked kernels.
+
+    >>> ex = ChunkedExecutor(n_threads=2)
+    >>> ex.map_ranges(lambda lo, hi: hi - lo, n_items=10)
+    [5, 5]
+    >>> ex.close()
+    """
+
+    def __init__(self, n_threads: int = 1) -> None:
+        if n_threads <= 0:
+            raise ValueError("n_threads must be positive")
+        self.n_threads = n_threads
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.n_threads)
+        return self._pool
+
+    def map_ranges(
+        self, fn: Callable[[int, int], R], n_items: int
+    ) -> list[R]:
+        """Apply ``fn(lo, hi)`` over an even partition of ``[0, n_items)``.
+
+        Results come back in range order, so callers can concatenate them.
+        """
+        ranges = even_ranges(n_items, self.n_threads)
+        if len(ranges) == 1:
+            lo, hi = ranges[0]
+            return [fn(lo, hi)]
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, lo, hi) for lo, hi in ranges]
+        return [f.result() for f in futures]
+
+    def map_items(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to each item concurrently, preserving order."""
+        if self.n_threads == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, item) for item in items]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ChunkedExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def parallel_map(fn: Callable[[T], R], items: Iterable[T], n_threads: int) -> list[R]:
+    """One-shot ordered parallel map (convenience wrapper)."""
+    with ChunkedExecutor(n_threads) as ex:
+        return ex.map_items(fn, list(items))

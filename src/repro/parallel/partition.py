@@ -1,0 +1,42 @@
+"""Work partitioning helpers for the blockwise executors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["even_ranges", "block_aligned_ranges"]
+
+
+def even_ranges(n_items: int, n_parts: int) -> list[tuple[int, int]]:
+    """Split ``[0, n_items)`` into up to ``n_parts`` near-equal ranges.
+
+    Empty ranges are dropped, so fewer parts are returned when
+    ``n_items < n_parts``.
+    """
+    if n_items < 0 or n_parts <= 0:
+        raise ValueError("n_items must be >= 0 and n_parts > 0")
+    parts = min(n_parts, max(n_items, 1))
+    bounds = np.linspace(0, n_items, parts + 1, dtype=np.int64)
+    return [
+        (int(bounds[i]), int(bounds[i + 1]))
+        for i in range(parts)
+        if bounds[i + 1] > bounds[i]
+    ]
+
+
+def block_aligned_ranges(
+    n_elements: int, block_size: int, n_parts: int
+) -> list[tuple[int, int]]:
+    """Element ranges aligned to compression-block boundaries.
+
+    Each returned (start, stop) covers whole blocks except possibly the
+    final range, which absorbs the ragged tail.  This is the partitioning
+    contract that keeps independently encoded chunks byte-aligned.
+    """
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    n_blocks = (n_elements + block_size - 1) // block_size
+    return [
+        (lo * block_size, min(hi * block_size, n_elements))
+        for lo, hi in even_ranges(n_blocks, n_parts)
+    ]

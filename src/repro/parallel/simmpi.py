@@ -1,0 +1,153 @@
+"""In-process simulated MPI communicator.
+
+The paper's introduction motivates compressed-domain operations with
+error-bounded MPI collectives ([18]): every participating process currently
+has to fully decompress incoming streams, reduce, and recompress.  Real MPI
+is not available offline, so this module provides a deterministic
+in-process rank simulator with the mpi4py-style subset the examples and the
+collective substrate need: ``send``/``recv``, ``bcast``, ``gather``,
+``allgather``, ``allreduce``, and ``barrier``.
+
+Each rank runs as a thread executing the same SPMD function; point-to-point
+channels are queues keyed by (src, dst, tag).  The simulator is for
+*correct semantics*, not for network-performance modelling — the collective
+benchmarks measure compute cost (decompression vs compressed-domain
+kernels), which is exactly the component SZOps claims to reduce.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable
+
+__all__ = ["SimComm", "run_spmd"]
+
+
+class _World:
+    """Shared state of one SPMD run."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.channels: dict[tuple[int, int, int], queue.Queue] = {}
+        self.channel_lock = threading.Lock()
+        self.barrier = threading.Barrier(size)
+
+    def channel(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self.channel_lock:
+            if key not in self.channels:
+                self.channels[key] = queue.Queue()
+            return self.channels[key]
+
+
+class SimComm:
+    """Communicator handle passed to each SPMD rank function."""
+
+    #: Seconds a blocked receive waits before declaring deadlock.
+    TIMEOUT = 60.0
+
+    def __init__(self, world: _World, rank: int) -> None:
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+
+    # ------------------------------------------------------------------ p2p
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"invalid destination rank {dest}")
+        self._world.channel(self.rank, dest, tag).put(obj)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        if not 0 <= source < self.size:
+            raise ValueError(f"invalid source rank {source}")
+        try:
+            return self._world.channel(source, self.rank, tag).get(
+                timeout=self.TIMEOUT
+            )
+        except queue.Empty:
+            raise RuntimeError(
+                f"rank {self.rank} deadlocked waiting for rank {source} "
+                f"(tag {tag})"
+            ) from None
+
+    # ------------------------------------------------------------------ collectives
+
+    def barrier(self) -> None:
+        self._world.barrier.wait()
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        if self.rank == root:
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(obj, dst, tag=-1)
+            return obj
+        return self.recv(root, tag=-1)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        if self.rank == root:
+            out = [None] * self.size
+            out[root] = obj
+            for src in range(self.size):
+                if src != root:
+                    out[src] = self.recv(src, tag=-2)
+            return out
+        self.send(obj, root, tag=-2)
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any]) -> Any:
+        """Reduce with a binary ``op`` at rank 0, then broadcast."""
+        gathered = self.gather(obj, root=0)
+        if self.rank == 0:
+            acc = gathered[0]
+            for item in gathered[1:]:
+                acc = op(acc, item)
+        else:
+            acc = None
+        return self.bcast(acc, root=0)
+
+
+def run_spmd(size: int, fn: Callable[[SimComm], Any]) -> list[Any]:
+    """Run ``fn(comm)`` on ``size`` simulated ranks; return per-rank results.
+
+    Exceptions in any rank are re-raised in the caller (first failing rank
+    wins), so tests see real tracebacks instead of hangs.
+    """
+    if size <= 0:
+        raise ValueError("size must be positive")
+    world = _World(size)
+    results: list[Any] = [None] * size
+    errors: list[BaseException | None] = [None] * size
+
+    def runner(rank: int) -> None:
+        try:
+            results[rank] = fn(SimComm(world, rank))
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            errors[rank] = exc
+            # Unblock anyone waiting on the barrier.
+            world.barrier.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"simmpi-rank-{r}")
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # Prefer the root-cause exception: a rank that died aborts the barrier,
+    # which surfaces as BrokenBarrierError in the *other* ranks.
+    broken = None
+    for exc in errors:
+        if isinstance(exc, threading.BrokenBarrierError):
+            broken = exc
+        elif exc is not None:
+            raise exc
+    if broken is not None:
+        raise broken
+    return results

@@ -1,0 +1,10 @@
+"""Transform substrate: ZFP's integer lifting scheme."""
+
+from repro.transforms.zfp_lifting import (
+    fwd_lift,
+    fwd_transform_block,
+    inv_lift,
+    inv_transform_block,
+)
+
+__all__ = ["fwd_lift", "inv_lift", "fwd_transform_block", "inv_transform_block"]

@@ -1,0 +1,16 @@
+"""Operation workflows: traditional (decompress/op/recompress) vs SZOps."""
+
+from repro.workflow.compressed import CompressedResult, run_compressed
+from repro.workflow.traditional import (
+    TraditionalResult,
+    numpy_reference_op,
+    run_traditional,
+)
+
+__all__ = [
+    "CompressedResult",
+    "run_compressed",
+    "TraditionalResult",
+    "numpy_reference_op",
+    "run_traditional",
+]

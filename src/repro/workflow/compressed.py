@@ -1,0 +1,45 @@
+"""The SZOps workflow: operate directly on the compressed stream.
+
+The counterpart of :mod:`repro.workflow.traditional` for Figure 1(b)'s new
+workflows: the operation kernel runs on the compressed container (fully
+compressed space for negation and scalar add/sub; partial decompression for
+multiplication and the reductions) and the measured kernel time is the
+*total* SZOps cost that Figure 5 plots against the traditional stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.format import SZOpsCompressed
+from repro.core.ops.dispatch import OPERATIONS, apply_operation
+from repro.metrics.timing import Timer, TimingBreakdown
+
+__all__ = ["run_compressed", "CompressedResult"]
+
+
+@dataclass
+class CompressedResult:
+    """Output and kernel timing of one compressed-domain operation."""
+
+    op_name: str
+    output: Any  # SZOpsCompressed (compression-as-output) or float
+    timing: TimingBreakdown
+
+    @property
+    def kernel_seconds(self) -> float:
+        return self.timing.operate
+
+
+def run_compressed(
+    c: SZOpsCompressed, op_name: str, scalar: float | None = None
+) -> CompressedResult:
+    """Apply a Table II operation in the compressed domain and time it."""
+    if op_name not in OPERATIONS:
+        raise ValueError(f"unknown operation {op_name!r}")
+    timing = TimingBreakdown()
+    with Timer() as t:
+        output = apply_operation(c, op_name, scalar)
+    timing.operate = t.seconds
+    return CompressedResult(op_name=op_name, output=output, timing=timing)

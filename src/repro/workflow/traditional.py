@@ -1,0 +1,92 @@
+"""The traditional operation workflow: decompress -> operate -> recompress.
+
+This is the baseline workflow of Figure 1(a) / Figure 4 that every
+conventional error-bounded compressor forces on its users: to apply even a
+scalar operation, the stream must be fully decompressed, the operation
+applied to the raw array, and — for compression-as-output operations — the
+result fully recompressed.  The per-stage timings feed Figure 5's stacked
+bars and Table IV / Figure 6's end-to-end throughputs.
+
+The driver works with any codec exposing ``compress``/``decompress`` (all
+five baselines and the SZOps core itself, for ablations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.ops.dispatch import OPERATIONS
+from repro.metrics.timing import Timer, TimingBreakdown
+
+__all__ = ["numpy_reference_op", "run_traditional", "TraditionalResult"]
+
+
+def numpy_reference_op(data: np.ndarray, op_name: str, scalar: float | None):
+    """Apply a Table II operation to a raw array with plain NumPy.
+
+    This is both the traditional workflow's operation stage and the ground
+    truth the tests compare the compressed-domain kernels against.
+    """
+    if op_name not in OPERATIONS:
+        raise ValueError(f"unknown operation {op_name!r}")
+    spec = OPERATIONS[op_name]
+    if spec.needs_scalar and scalar is None:
+        raise ValueError(f"operation {op_name!r} requires a scalar operand")
+    x = data
+    if op_name == "negation":
+        return -x
+    if op_name == "scalar_add":
+        return x + np.asarray(scalar, dtype=x.dtype)
+    if op_name == "scalar_subtract":
+        return x - np.asarray(scalar, dtype=x.dtype)
+    if op_name == "scalar_multiply":
+        return x * np.asarray(scalar, dtype=x.dtype)
+    if op_name == "mean":
+        return float(x.mean(dtype=np.float64))
+    if op_name == "variance":
+        return float(x.var(dtype=np.float64))
+    if op_name == "std":
+        return float(x.std(dtype=np.float64))
+    raise ValueError(f"unknown operation {op_name!r}")
+
+
+@dataclass
+class TraditionalResult:
+    """Output and per-stage timing of one traditional-workflow operation."""
+
+    op_name: str
+    output: Any  # recompressed blob (compression-as-output) or float
+    timing: TimingBreakdown
+
+
+def run_traditional(
+    codec, blob, op_name: str, scalar: float | None = None
+) -> TraditionalResult:
+    """Execute decompress -> operate (-> recompress) and time each stage.
+
+    For scalar operations the result is recompressed at the blob's error
+    bound (the paper's Figure 4 "traditional workflow"); for reductions the
+    workflow ends at the computed scalar (Section VI-B1).
+    """
+    spec = OPERATIONS[op_name]
+    timing = TimingBreakdown()
+
+    with Timer() as t:
+        data = codec.decompress(blob)
+    timing.decompress = t.seconds
+
+    with Timer() as t:
+        result = numpy_reference_op(data, op_name, scalar)
+    timing.operate = t.seconds
+
+    if spec.result == "compression":
+        with Timer() as t:
+            output = codec.compress(result, blob.eps, mode="abs")
+        timing.compress = t.seconds
+    else:
+        output = result
+
+    return TraditionalResult(op_name=op_name, output=output, timing=timing)

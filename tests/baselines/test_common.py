@@ -1,0 +1,100 @@
+"""Cross-codec contract tests: every baseline honours the same interface.
+
+Each codec must (a) round-trip within the error bound, (b) produce a real
+serialized byte payload, (c) reject invalid inputs, (d) handle 1-/2-/3-D
+arrays, ragged sizes, float32 and float64, constant data, and relative
+bounds.  Parametrized over all five baselines so a new codec inherits the
+whole contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import GenericCompressed, baseline_names, make_codec
+
+
+def field(rng, shape, scale=1.0):
+    arr = rng.normal(size=shape)
+    arr = np.cumsum(arr, axis=-1) * 0.02 * scale
+    return arr.astype(np.float32)
+
+
+@pytest.fixture(params=baseline_names())
+def any_codec(request):
+    return make_codec(request.param)
+
+
+class TestContract:
+    @pytest.mark.parametrize("eps", [1e-2, 1e-4])
+    def test_bound_1d(self, any_codec, rng, assert_within_bound, eps):
+        data = field(rng, 4096)
+        blob = any_codec.compress(data, eps)
+        assert_within_bound(data, any_codec.decompress(blob), eps)
+
+    def test_bound_3d(self, any_codec, rng, assert_within_bound):
+        data = field(rng, (16, 24, 24))
+        blob = any_codec.compress(data, 1e-3)
+        out = any_codec.decompress(blob)
+        assert out.shape == data.shape and out.dtype == data.dtype
+        assert_within_bound(data, out, 1e-3)
+
+    def test_bound_2d_float64(self, any_codec, rng, assert_within_bound):
+        data = field(rng, (40, 50)).astype(np.float64)
+        blob = any_codec.compress(data, 1e-6)
+        assert_within_bound(data, any_codec.decompress(blob), 1e-6)
+
+    def test_ragged_size(self, any_codec, rng, assert_within_bound):
+        data = field(rng, 1003)
+        blob = any_codec.compress(data, 1e-3)
+        assert_within_bound(data, any_codec.decompress(blob), 1e-3)
+
+    def test_constant_data(self, any_codec):
+        data = np.full(512, 3.25, dtype=np.float32)
+        blob = any_codec.compress(data, 1e-3)
+        out = any_codec.decompress(blob)
+        assert np.max(np.abs(out - 3.25)) <= 1e-3
+
+    def test_relative_bound(self, any_codec, rng):
+        data = field(rng, 2048, scale=100.0)
+        blob = any_codec.compress(data, 1e-3, mode="rel")
+        expected_eps = 1e-3 * float(data.max() - data.min())
+        assert blob.eps == pytest.approx(expected_eps)
+
+    def test_payload_is_bytes(self, any_codec, rng):
+        blob = any_codec.compress(field(rng, 1024), 1e-3)
+        assert isinstance(blob, GenericCompressed)
+        assert isinstance(blob.payload, bytes) and len(blob.payload) > 0
+        assert blob.compression_ratio > 0
+
+    def test_wrong_codec_blob_rejected(self, any_codec, rng):
+        blob = any_codec.compress(field(rng, 256), 1e-3)
+        other = [n for n in baseline_names() if n != any_codec.name][0]
+        with pytest.raises(ValueError, match="produced by"):
+            make_codec(other).decompress(blob)
+
+    def test_integer_input_rejected(self, any_codec):
+        with pytest.raises(TypeError):
+            any_codec.compress(np.arange(16), 1e-3)
+
+    def test_empty_input_rejected(self, any_codec):
+        with pytest.raises(ValueError):
+            any_codec.compress(np.zeros(0, dtype=np.float32), 1e-3)
+
+    def test_nonpositive_bound_rejected(self, any_codec, rng):
+        with pytest.raises(Exception):
+            any_codec.compress(field(rng, 64), 0.0)
+
+
+class TestRegistry:
+    def test_names_in_paper_order(self):
+        assert baseline_names() == ["SZp", "SZ2", "SZ3", "SZx", "ZFP"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown codec"):
+            make_codec("LZ4")
+
+    def test_kwargs_forwarded(self):
+        codec = make_codec("SZp", block_size=128)
+        assert codec.block_size == 128

@@ -1,0 +1,97 @@
+"""SZp-specific tests: format flags and the ratio relation to SZOps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SZOps
+from repro.baselines import SZp
+from repro.core.errors import FormatError
+
+
+@pytest.fixture
+def data(rng):
+    return (np.cumsum(rng.normal(size=20_000)) * 0.02).astype(np.float32)
+
+
+class TestFormatFlags:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(),
+            dict(store_block_lengths=False),
+            dict(full_sign_bitmap=False),
+            dict(word_align_payload=False),
+            dict(
+                store_block_lengths=False,
+                full_sign_bitmap=False,
+                word_align_payload=False,
+            ),
+        ],
+    )
+    def test_every_variant_roundtrips(self, data, assert_within_bound, kwargs):
+        codec = SZp(**kwargs)
+        blob = codec.compress(data, 1e-3)
+        assert_within_bound(data, codec.decompress(blob), 1e-3)
+
+    def test_length_plane_inflates_stream(self, data):
+        """The per-block byte-length plane strictly inflates the stream
+        (Section VI-B3's headline overhead)."""
+        full = SZp().compress(data, 1e-4).compressed_nbytes
+        reduced = SZp(store_block_lengths=False).compress(data, 1e-4).compressed_nbytes
+        assert reduced < full
+
+    def test_sign_bitmap_inflates_with_constant_blocks(self, rng):
+        """The full sign bitmap only costs bytes where constant blocks
+        exist (constant blocks carry no signs in the SZOps layout)."""
+        data = (np.cumsum(rng.normal(size=20_000)) * 0.02).astype(np.float32)
+        data[:8000] = 1.0  # constant region -> constant blocks
+        full = SZp().compress(data, 1e-4).compressed_nbytes
+        reduced = SZp(full_sign_bitmap=False).compress(data, 1e-4).compressed_nbytes
+        assert reduced < full
+
+    def test_word_alignment_free_at_block64(self, data):
+        """At 64-element blocks every payload is already 32-bit aligned, so
+        the word-alignment flag cannot change the size — a structural fact
+        worth pinning down (the ablation bench reports it)."""
+        a = SZp().compress(data, 1e-4).compressed_nbytes
+        b = SZp(word_align_payload=False).compress(data, 1e-4).compressed_nbytes
+        assert a == b
+
+    def test_stripped_format_close_to_szops(self, data):
+        """All overheads off -> within a few % of the SZOps container size."""
+        stripped = SZp(
+            store_block_lengths=False,
+            full_sign_bitmap=False,
+            word_align_payload=False,
+        ).compress(data, 1e-4)
+        szops = SZOps().compress(data, 1e-4)
+        assert stripped.compressed_nbytes == pytest.approx(
+            szops.compressed_nbytes, rel=0.05
+        )
+
+    def test_szops_ratio_beats_szp(self, data):
+        """The headline Table VII relation on a representative field."""
+        szp_ratio = SZp().compress(data, 1e-4).compression_ratio
+        szops_ratio = SZOps().compress(data, 1e-4).compression_ratio
+        assert szops_ratio > szp_ratio
+
+
+class TestValidation:
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            SZp(block_size=12)
+
+    def test_outlier_overflow_detected(self):
+        # values so large relative to eps that quantized firsts exceed int32
+        data = np.full(128, 1e9, dtype=np.float64)
+        with pytest.raises(FormatError, match="int32"):
+            SZp().compress(data, 1e-5)
+
+    def test_matches_szops_reconstruction(self, data):
+        """Same pipeline math: SZp and SZOps decode to identical values."""
+        a = SZp().decompress(SZp().compress(data, 1e-3))
+        codec = SZOps()
+        b = codec.decompress(codec.compress(data, 1e-3))
+        assert np.array_equal(a, b)

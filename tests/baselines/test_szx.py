@@ -1,0 +1,76 @@
+"""SZx-class codec tests: constant blocks and mantissa truncation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import SZx
+
+
+class TestConstantBlocks:
+    def test_flat_regions_become_constant(self, rng):
+        data = rng.normal(size=4096).astype(np.float32) * 0.1
+        data[:2048] = 5.0
+        loose = SZx().compress(data, 1e-2)
+        tight = SZx().compress(data, 1e-8)
+        assert loose.compressed_nbytes < tight.compressed_nbytes
+
+    def test_entirely_constant(self):
+        data = np.full(1024, -3.75, dtype=np.float32)
+        blob = SZx().compress(data, 1e-3)
+        # one float per block plus headers: far below 10% of the original
+        assert blob.compressed_nbytes < data.nbytes // 10
+        assert np.max(np.abs(SZx().decompress(blob) - data)) <= 1e-3
+
+    def test_half_range_rule(self):
+        # block radius exactly at eps must still satisfy the bound
+        data = np.zeros(256, dtype=np.float32)
+        data[:128] = 0.02
+        blob = SZx(block_size=256).compress(data, 1e-2)
+        out = SZx().decompress(blob)
+        assert np.max(np.abs(out - data)) <= 1e-2 + 1e-9
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("eps", [1e-1, 1e-3, 1e-6])
+    def test_bound_across_magnitudes(self, rng, assert_within_bound, eps):
+        # values spanning several orders of magnitude exercise per-block k
+        data = (rng.normal(size=8192) * np.logspace(-3, 3, 8192)).astype(np.float32)
+        blob = SZx().compress(data, eps)
+        assert_within_bound(data, SZx().decompress(blob), eps)
+
+    def test_looser_bound_truncates_more(self, rng):
+        data = rng.normal(size=8192).astype(np.float32)
+        loose = SZx().compress(data, 1e-1).compressed_nbytes
+        tight = SZx().compress(data, 1e-6).compressed_nbytes
+        assert loose < tight
+
+    def test_float64_precision_mode(self, rng, assert_within_bound):
+        data = rng.normal(size=2048) * 1e6
+        blob = SZx().compress(data, 1e-4)  # auto -> float64 spec
+        assert_within_bound(data, SZx().decompress(blob), 1e-4)
+
+    def test_explicit_precision(self, rng, assert_within_bound):
+        data = rng.normal(size=2048).astype(np.float32)
+        blob = SZx(precision="float32").compress(data, 1e-3)
+        assert_within_bound(data, SZx().decompress(blob), 1e-3)
+
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ValueError):
+            SZx(precision="float16")
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2000),
+        eps_exp=st.integers(min_value=-6, max_value=-1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bound_property(self, seed, eps_exp):
+        rng = np.random.default_rng(seed)
+        eps = 10.0 ** eps_exp
+        data = (rng.normal(size=400) * rng.choice([1e-3, 1.0, 1e3])).astype(np.float32)
+        blob = SZx().compress(data, eps)
+        out = SZx().decompress(blob)
+        assert np.max(np.abs(out - data.astype(np.float64))) <= eps

@@ -1,0 +1,80 @@
+"""ZFP-class codec tests: transform blocks, precision bump, dimensionality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ZFP
+from repro.baselines.zfp import _from_blocks, _sequency_order, _to_blocks
+
+
+class TestBlocking:
+    @pytest.mark.parametrize("shape", [(17,), (9, 13), (5, 6, 7), (8, 8, 8)])
+    def test_to_from_blocks_roundtrip(self, rng, shape):
+        arr = rng.normal(size=shape)
+        blocks, pshape = _to_blocks(arr)
+        assert blocks.shape[1:] == (4,) * arr.ndim
+        out = _from_blocks(blocks, pshape, shape)
+        assert np.array_equal(out, arr)
+
+    def test_sequency_order_is_permutation(self):
+        for d in (1, 2, 3):
+            order = _sequency_order(d)
+            assert sorted(order.tolist()) == list(range(4**d))
+            # DC coefficient first
+            assert order[0] == 0
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("shape", [(4096,), (64, 65), (16, 24, 24), (5, 6, 7, 8)])
+    def test_bound_per_dimension(self, rng, assert_within_bound, shape):
+        arr = (np.cumsum(rng.normal(size=shape), axis=-1) * 0.05).astype(np.float32)
+        codec = ZFP()
+        blob = codec.compress(arr, 1e-3)
+        out = codec.decompress(blob)
+        assert out.shape == arr.shape
+        assert_within_bound(arr, out, 1e-3)
+
+    def test_precision_bump_hard_case(self, rng, assert_within_bound):
+        """Random (worst-case wiggle) data still meets the bound."""
+        arr = rng.normal(size=(16, 16, 16)).astype(np.float64)
+        blob = ZFP().compress(arr, 1e-5)
+        assert_within_bound(arr, ZFP().decompress(blob), 1e-5)
+
+    def test_smooth_data_compresses_well(self):
+        x = np.linspace(0, 4 * np.pi, 64)
+        arr = (np.sin(x)[:, None] * np.cos(x)[None, :]).astype(np.float32)
+        blob = ZFP().compress(arr, 1e-3)
+        assert blob.compression_ratio > 3.0
+
+    def test_all_zero(self):
+        arr = np.zeros((8, 8, 8), dtype=np.float32)
+        blob = ZFP().compress(arr, 1e-3)
+        assert np.allclose(ZFP().decompress(blob), 0.0, atol=1e-3)
+
+    def test_too_tight_bound_rejected(self):
+        arr = np.linspace(0, 1e6, 4096).astype(np.float64)
+        with pytest.raises(ValueError, match="too tight"):
+            ZFP().compress(arr, 1e-12)
+
+    def test_chunk_blocks_validation(self):
+        with pytest.raises(ValueError):
+            ZFP(chunk_blocks=0)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        eps_exp=st.integers(min_value=-5, max_value=-1),
+        d=st.sampled_from([1, 2, 3]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bound_property(self, seed, eps_exp, d):
+        rng = np.random.default_rng(seed)
+        eps = 10.0 ** eps_exp
+        shape = {1: (97,), 2: (13, 14), 3: (6, 7, 9)}[d]
+        arr = np.cumsum(rng.normal(size=shape), axis=-1) * 0.1
+        blob = ZFP().compress(arr, eps)
+        out = ZFP().decompress(blob)
+        assert np.max(np.abs(out - arr)) <= eps

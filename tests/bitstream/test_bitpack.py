@@ -1,0 +1,168 @@
+"""Unit and property tests for the bit-packing primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitstream import (
+    bit_width,
+    bits_of,
+    exclusive_cumsum,
+    max_bit_width,
+    pack_bits,
+    pack_uints,
+    ragged_arange,
+    uints_from_bits,
+    unpack_bits,
+    unpack_uints,
+)
+
+
+class TestBitWidth:
+    def test_zero_has_width_zero(self):
+        assert bit_width(np.array([0]))[0] == 0
+
+    def test_powers_of_two(self):
+        values = np.array([1, 2, 3, 4, 7, 8, 255, 256, 2**31, 2**63 - 1], dtype=np.uint64)
+        expected = np.array([1, 2, 2, 3, 3, 4, 8, 9, 32, 63], dtype=np.uint8)
+        assert np.array_equal(bit_width(values), expected)
+
+    def test_matches_python_bit_length(self, rng):
+        values = rng.integers(0, 2**62, size=500).astype(np.uint64)
+        expected = np.array([int(v).bit_length() for v in values], dtype=np.uint8)
+        assert np.array_equal(bit_width(values), expected)
+
+    def test_uint64_max(self):
+        assert bit_width(np.array([2**64 - 1], dtype=np.uint64))[0] == 64
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            bit_width(np.array([-1], dtype=np.int64))
+
+    def test_empty(self):
+        assert bit_width(np.array([], dtype=np.uint64)).size == 0
+
+    def test_max_bit_width(self):
+        assert max_bit_width(np.array([0, 3, 17], dtype=np.uint64)) == 5
+        assert max_bit_width(np.array([], dtype=np.uint64)) == 0
+        with pytest.raises(ValueError):
+            max_bit_width(np.array([-2]))
+
+
+class TestBitsRoundtrip:
+    @pytest.mark.parametrize("width", [1, 2, 5, 7, 8, 9, 13, 16, 24, 31, 32, 33, 48, 63, 64])
+    def test_roundtrip_random(self, rng, width):
+        high = (1 << width) - 1
+        vals = rng.integers(0, high, size=257, endpoint=True, dtype=np.uint64)
+        bits = bits_of(vals, width)
+        assert bits.shape == (257 * width,)
+        assert np.array_equal(uints_from_bits(bits, width), vals)
+
+    def test_msb_first_layout(self):
+        # 0b101 at width 3 -> bits [1, 0, 1]
+        assert np.array_equal(bits_of(np.array([0b101], dtype=np.uint64), 3), [1, 0, 1])
+
+    def test_width_zero_all_zero_ok(self):
+        assert bits_of(np.array([0, 0], dtype=np.uint64), 0).size == 0
+
+    def test_width_zero_nonzero_rejected(self):
+        with pytest.raises(ValueError, match="width 0"):
+            bits_of(np.array([1], dtype=np.uint64), 0)
+
+    def test_value_too_large_rejected(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            bits_of(np.array([8], dtype=np.uint64), 3)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            bits_of(np.array([1], dtype=np.uint64), 65)
+
+    def test_uints_from_bits_length_mismatch(self):
+        with pytest.raises(ValueError, match="multiple"):
+            uints_from_bits(np.zeros(7, dtype=np.uint8), 3)
+
+    @given(
+        width=st.integers(min_value=1, max_value=64),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, width, data):
+        n = data.draw(st.integers(min_value=0, max_value=40))
+        vals = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=(1 << width) - 1),
+                    min_size=n,
+                    max_size=n,
+                )
+            ),
+            dtype=np.uint64,
+        )
+        assert np.array_equal(uints_from_bits(bits_of(vals, width), width), vals)
+
+
+class TestPackUnpack:
+    def test_pack_bits_pads_tail(self):
+        packed = pack_bits(np.array([1, 0, 1], dtype=np.uint8))
+        assert packed.tobytes() == b"\xa0"
+
+    def test_unpack_bits_offset(self):
+        buf = np.array([0b10100000, 0b01000000], dtype=np.uint8)
+        assert np.array_equal(unpack_bits(buf, 3, bit_offset=0), [1, 0, 1])
+        assert np.array_equal(unpack_bits(buf, 2, bit_offset=8), [0, 1])
+
+    def test_unpack_bits_overflow_rejected(self):
+        with pytest.raises(ValueError, match="exceed"):
+            unpack_bits(np.zeros(1, dtype=np.uint8), 9)
+
+    def test_pack_unpack_uints(self, rng):
+        vals = rng.integers(0, 2**11, size=100, dtype=np.uint64)
+        buf = pack_uints(vals, 11)
+        assert np.array_equal(unpack_uints(buf, 100, 11), vals)
+
+    def test_unpack_uints_width_zero(self):
+        assert np.array_equal(unpack_uints(b"", 5, 0), np.zeros(5, dtype=np.uint64))
+
+    def test_unpack_bits_accepts_bytes(self):
+        assert np.array_equal(unpack_bits(b"\x80", 1), [1])
+
+
+class TestIndexHelpers:
+    def test_exclusive_cumsum(self):
+        assert np.array_equal(exclusive_cumsum(np.array([3, 1, 4])), [0, 3, 4])
+
+    def test_exclusive_cumsum_empty(self):
+        assert exclusive_cumsum(np.array([], dtype=np.int64)).size == 0
+
+    def test_ragged_arange_basic(self):
+        assert np.array_equal(ragged_arange(np.array([2, 0, 3])), [0, 1, 0, 1, 2])
+
+    def test_ragged_arange_with_starts(self):
+        out = ragged_arange(np.array([2, 3]), starts=np.array([10, 100]))
+        assert np.array_equal(out, [10, 11, 100, 101, 102])
+
+    def test_ragged_arange_empty(self):
+        assert ragged_arange(np.array([], dtype=np.int64)).size == 0
+
+    def test_ragged_arange_all_zero(self):
+        assert ragged_arange(np.array([0, 0])).size == 0
+
+    def test_ragged_arange_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ragged_arange(np.array([1, -1]))
+
+    def test_ragged_arange_starts_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            ragged_arange(np.array([1, 2]), starts=np.array([0]))
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_ragged_arange_matches_naive(self, lens):
+        lens_arr = np.array(lens, dtype=np.int64)
+        expected = np.concatenate(
+            [np.arange(n, dtype=np.int64) for n in lens] or [np.zeros(0, np.int64)]
+        )
+        assert np.array_equal(ragged_arange(lens_arr), expected)

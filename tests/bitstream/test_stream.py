@@ -1,0 +1,78 @@
+"""Tests for the byte-stream writer/reader framing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitstream import ByteReader, ByteWriter, StreamFormatError
+
+
+class TestRoundtrip:
+    def test_scalars(self):
+        w = ByteWriter()
+        w.write_u8(7)
+        w.write_u32(123456)
+        w.write_u64(2**40)
+        w.write_i64(-5)
+        w.write_f64(3.5)
+        w.write_str("hello δ")
+        r = ByteReader(w.getvalue())
+        assert r.read_u8() == 7
+        assert r.read_u32() == 123456
+        assert r.read_u64() == 2**40
+        assert r.read_i64() == -5
+        assert r.read_f64() == 3.5
+        assert r.read_str() == "hello δ"
+        r.expect_end()
+
+    @pytest.mark.parametrize(
+        "arr",
+        [
+            np.arange(10, dtype=np.int64),
+            np.arange(5, dtype=np.uint8),
+            np.linspace(0, 1, 7, dtype=np.float32),
+            np.zeros(0, dtype=np.int16),
+        ],
+    )
+    def test_arrays(self, arr):
+        w = ByteWriter()
+        w.write_array(arr)
+        r = ByteReader(w.getvalue())
+        out = r.read_array()
+        assert out.dtype == arr.dtype
+        assert np.array_equal(out, arr)
+        r.expect_end()
+
+    def test_raw_bytes_and_ndarray_sections(self):
+        w = ByteWriter()
+        w.write_bytes(b"abc")
+        w.write_bytes(np.array([1, 2, 3], dtype=np.uint8))
+        buf = w.getvalue()
+        assert buf == b"abc\x01\x02\x03"
+        r = ByteReader(np.frombuffer(buf, dtype=np.uint8))
+        assert r.read_bytes(6) == buf
+
+    def test_tell_tracks_position(self):
+        w = ByteWriter()
+        assert w.tell() == 0
+        w.write_u32(1)
+        assert w.tell() == 4
+        r = ByteReader(w.getvalue())
+        assert r.tell() == 0
+        r.read_u32()
+        assert r.tell() == 4
+        assert r.remaining() == 0
+
+
+class TestErrors:
+    def test_truncated_read(self):
+        r = ByteReader(b"\x01")
+        with pytest.raises(StreamFormatError, match="truncated"):
+            r.read_u32()
+
+    def test_trailing_bytes_detected(self):
+        r = ByteReader(b"\x01\x02")
+        r.read_u8()
+        with pytest.raises(StreamFormatError, match="trailing"):
+            r.expect_end()

@@ -1,0 +1,60 @@
+"""Block layout and segment-reduction tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import BlockLayout, segment_max, segment_sum
+
+
+class TestLayout:
+    def test_exact_tiling(self):
+        layout = BlockLayout(128, 64)
+        assert layout.n_blocks == 2
+        assert layout.n_full_blocks == 2
+        assert layout.tail_length == 0
+        assert np.array_equal(layout.lengths(), [64, 64])
+        assert np.array_equal(layout.starts(), [0, 64])
+
+    def test_ragged_tail(self):
+        layout = BlockLayout(130, 64)
+        assert layout.n_blocks == 3
+        assert layout.tail_length == 2
+        assert np.array_equal(layout.lengths(), [64, 64, 2])
+
+    def test_single_short_block(self):
+        layout = BlockLayout(5, 64)
+        assert layout.n_blocks == 1
+        assert np.array_equal(layout.lengths(), [5])
+
+    def test_block_ids(self):
+        layout = BlockLayout(10, 4)
+        assert np.array_equal(layout.block_ids(), [0, 0, 0, 0, 1, 1, 1, 1, 2, 2])
+
+
+class TestSegmentReductions:
+    @given(
+        n=st.integers(min_value=1, max_value=300),
+        block=st.sampled_from([8, 16, 64]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_naive(self, n, block):
+        rng = np.random.default_rng(n * 1000 + block)
+        values = rng.integers(-100, 100, size=n).astype(np.int64)
+        layout = BlockLayout(n, block)
+        lens = layout.lengths()
+        starts = layout.starts()
+        expected_max = [values[s : s + l].max() for s, l in zip(starts, lens)]
+        expected_sum = [values[s : s + l].sum() for s, l in zip(starts, lens)]
+        assert np.array_equal(segment_max(values, layout), expected_max)
+        assert np.allclose(segment_sum(values, layout), expected_sum)
+
+    def test_shape_mismatch_rejected(self):
+        layout = BlockLayout(10, 8)
+        with pytest.raises(ValueError):
+            segment_max(np.zeros(5), layout)
+        with pytest.raises(ValueError):
+            segment_sum(np.zeros(5), layout)

@@ -1,0 +1,109 @@
+"""Command-line interface tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.format import SZOpsCompressed
+
+
+@pytest.fixture
+def raw_file(tmp_path, rng):
+    data = (np.cumsum(rng.normal(size=6000)) * 0.01).astype("<f4").reshape(20, 300)
+    path = tmp_path / "field.f32"
+    data.tofile(path)
+    return path, data
+
+
+@pytest.fixture
+def stream_file(tmp_path, raw_file):
+    path, data = raw_file
+    out = tmp_path / "field.szops"
+    rc = main(["compress", str(path), str(out), "--shape", "20,300", "--eps", "1e-3"])
+    assert rc == 0
+    return out, data
+
+
+class TestCompressDecompress:
+    def test_roundtrip(self, tmp_path, stream_file):
+        stream, data = stream_file
+        out = tmp_path / "back.f32"
+        assert main(["decompress", str(stream), str(out)]) == 0
+        back = np.fromfile(out, dtype="<f4").reshape(20, 300)
+        assert np.max(np.abs(back.astype(np.float64) - data.astype(np.float64))) <= 1e-3 + 1e-7
+
+    def test_wrong_shape_rejected(self, raw_file, tmp_path, capsys):
+        path, _ = raw_file
+        rc = main(
+            ["compress", str(path), str(tmp_path / "x.szops"), "--shape", "7,7", "--eps", "1e-3"]
+        )
+        assert rc == 2
+        assert "needs" in capsys.readouterr().err
+
+    def test_relative_bound(self, raw_file, tmp_path):
+        path, data = raw_file
+        out = tmp_path / "rel.szops"
+        assert main(
+            ["compress", str(path), str(out), "--shape", "20,300", "--eps", "1e-3", "--rel"]
+        ) == 0
+        c = SZOpsCompressed.from_bytes(out.read_bytes())
+        assert c.eps == pytest.approx(1e-3 * float(data.max() - data.min()))
+
+    def test_float64_input(self, tmp_path, rng):
+        data = rng.normal(size=100).astype("<f8")
+        src = tmp_path / "d.f64"
+        data.tofile(src)
+        out = tmp_path / "d.szops"
+        assert main(
+            ["compress", str(src), str(out), "--shape", "100", "--eps", "1e-6", "--dtype", "f64"]
+        ) == 0
+        c = SZOpsCompressed.from_bytes(out.read_bytes())
+        assert c.dtype == np.float64
+
+
+class TestInfoStats:
+    def test_info_prints_metadata(self, stream_file, capsys):
+        stream, _ = stream_file
+        assert main(["info", str(stream)]) == 0
+        out = capsys.readouterr().out
+        assert "shape:" in out and "(20, 300)" in out
+        assert "ratio:" in out
+
+    def test_stats_match_numpy(self, stream_file, capsys):
+        stream, data = stream_file
+        assert main(["stats", str(stream)]) == 0
+        out = capsys.readouterr().out
+        mean_line = [l for l in out.splitlines() if l.startswith("mean:")][0]
+        reported = float(mean_line.split()[-1])
+        assert reported == pytest.approx(float(data.astype(np.float64).mean()), abs=1e-3)
+
+
+class TestOp:
+    def test_reduction_prints_value(self, stream_file, capsys):
+        stream, data = stream_file
+        assert main(["op", str(stream), "mean"]) == 0
+        value = float(capsys.readouterr().out.split()[-1])
+        assert value == pytest.approx(float(data.astype(np.float64).mean()), abs=1e-3)
+
+    def test_scalar_op_writes_stream(self, stream_file, tmp_path, capsys):
+        stream, data = stream_file
+        out = tmp_path / "shifted.szops"
+        assert main(["op", str(stream), "scalar_add", "--scalar", "5", "-o", str(out)]) == 0
+        c = SZOpsCompressed.from_bytes(out.read_bytes())
+        from repro import SZOps, ops
+
+        assert ops.mean(c) == pytest.approx(
+            float(data.astype(np.float64).mean()) + 5.0, abs=2e-3
+        )
+
+    def test_missing_scalar_rejected(self, stream_file, capsys):
+        stream, _ = stream_file
+        assert main(["op", str(stream), "scalar_add"]) == 2
+        assert "--scalar" in capsys.readouterr().err
+
+    def test_stream_op_requires_output(self, stream_file, capsys):
+        stream, _ = stream_file
+        assert main(["op", str(stream), "negation"]) == 2
+        assert "-o" in capsys.readouterr().err

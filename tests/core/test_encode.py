@@ -1,0 +1,174 @@
+"""Fixed-length encoding (BF stage) tests, including the byte fast path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encode import (
+    block_widths,
+    decode_block_sections,
+    decode_magnitudes,
+    decode_signs,
+    decode_stored_deltas,
+    encode_block_sections,
+    encode_magnitudes,
+    encode_signs,
+    payload_bit_counts,
+)
+
+
+def random_blocks(seed, n_blocks, max_len=64, max_width=14, byte_aligned=True):
+    """Generate (mags, widths, lens) with per-block respected widths."""
+    rng = np.random.default_rng(seed)
+    if byte_aligned:
+        lens = rng.choice([8, 16, 64], size=n_blocks).astype(np.int64)
+    else:
+        lens = rng.integers(1, max_len, size=n_blocks).astype(np.int64)
+    widths = rng.integers(0, max_width, size=n_blocks).astype(np.uint8)
+    mags_parts = []
+    for w, l in zip(widths, lens):
+        if w == 0:
+            mags_parts.append(np.zeros(l, dtype=np.uint64))
+        else:
+            part = rng.integers(0, 1 << int(w), size=l, dtype=np.uint64)
+            part[rng.integers(0, l)] = (1 << int(w)) - 1  # force the width
+            mags_parts.append(part)
+    mags = np.concatenate(mags_parts) if mags_parts else np.zeros(0, dtype=np.uint64)
+    return mags, widths, lens
+
+
+class TestBlockWidths:
+    def test_paper_example(self):
+        # deltas {0,0,2,0} -> max magnitude 2 -> width 2.
+        widths = block_widths(np.array([0, 0, 2, 0], dtype=np.uint64), np.array([4]))
+        assert widths[0] == 2
+
+    def test_constant_block_width_zero(self):
+        widths = block_widths(np.zeros(8, dtype=np.uint64), np.array([8]))
+        assert widths[0] == 0
+
+    def test_multiple_blocks(self):
+        mags = np.array([0, 1, 7, 0, 0, 0], dtype=np.uint64)
+        widths = block_widths(mags, np.array([3, 3]))
+        assert np.array_equal(widths, [3, 0])
+
+    def test_empty(self):
+        assert block_widths(np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.int64)).size == 0
+
+    def test_payload_bit_counts_alignment(self):
+        bits = payload_bit_counts(np.array([3]), np.array([10]), align_bits=32)
+        assert bits[0] == 32  # 30 bits padded to one word
+
+
+class TestMagnitudesRoundtrip:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_byte_aligned_roundtrip(self, seed):
+        mags, widths, lens = random_blocks(seed, 30)
+        payload, total = encode_magnitudes(mags, widths, lens)
+        assert payload.size == (total + 7) // 8
+        out = decode_magnitudes(payload, widths, lens)
+        assert np.array_equal(out, mags)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bit_fallback_roundtrip(self, seed):
+        # ragged lengths force the bit-granular path
+        mags, widths, lens = random_blocks(seed, 20, byte_aligned=False)
+        payload, total = encode_magnitudes(mags, widths, lens)
+        out = decode_magnitudes(payload, widths, lens)
+        assert np.array_equal(out, mags)
+
+    @pytest.mark.parametrize("align", [8, 32])
+    def test_aligned_roundtrip(self, align):
+        mags, widths, lens = random_blocks(11, 25, byte_aligned=False)
+        payload, total = encode_magnitudes(mags, widths, lens, align_bits=align)
+        assert total % align == 0 or lens.size == 0
+        out = decode_magnitudes(payload, widths, lens, align_bits=align)
+        assert np.array_equal(out, mags)
+
+    def test_alignment_increases_size(self):
+        mags, widths, lens = random_blocks(3, 40)
+        tight, tight_bits = encode_magnitudes(mags, widths, lens)
+        padded, padded_bits = encode_magnitudes(mags, widths, lens, align_bits=32)
+        assert padded_bits >= tight_bits
+
+    def test_all_constant(self):
+        lens = np.full(4, 8, dtype=np.int64)
+        widths = np.zeros(4, dtype=np.uint8)
+        payload, total = encode_magnitudes(np.zeros(32, dtype=np.uint64), widths, lens)
+        assert total == 0 and payload.size == 0
+        out = decode_magnitudes(payload, widths, lens)
+        assert np.array_equal(out, np.zeros(32, dtype=np.uint64))
+
+    def test_ragged_final_block(self):
+        # full blocks then a short tail -> byte path with ragged final row
+        lens = np.array([8, 8, 3], dtype=np.int64)
+        widths = np.array([3, 5, 7], dtype=np.uint8)
+        rng = np.random.default_rng(0)
+        mags = np.concatenate(
+            [rng.integers(0, 1 << int(w), size=l, dtype=np.uint64) for w, l in zip(widths, lens)]
+        )
+        payload, total = encode_magnitudes(mags, widths, lens)
+        assert np.array_equal(decode_magnitudes(payload, widths, lens), mags)
+
+    def test_truncated_payload_rejected(self):
+        mags, widths, lens = random_blocks(4, 10)
+        payload, _ = encode_magnitudes(mags, widths, lens)
+        with pytest.raises(ValueError, match="shorter"):
+            decode_magnitudes(payload[:-2], widths, lens)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, seed):
+        mags, widths, lens = random_blocks(seed, int(seed % 17) + 1, byte_aligned=(seed % 2 == 0))
+        payload, _ = encode_magnitudes(mags, widths, lens)
+        assert np.array_equal(decode_magnitudes(payload, widths, lens), mags)
+
+
+class TestSections:
+    def test_sign_roundtrip(self, rng):
+        signs = (rng.random(100) < 0.5).astype(np.uint8)
+        assert np.array_equal(decode_signs(encode_signs(signs), 100), signs)
+
+    def test_sections_roundtrip_with_constant_blocks(self, rng):
+        lens = np.full(6, 16, dtype=np.int64)
+        deltas = rng.integers(-40, 40, size=96).astype(np.int64)
+        deltas[0:16] = 0      # constant block
+        deltas[64:80] = 0     # constant block
+        starts = np.arange(0, 96, 16)
+        deltas[starts] = 0
+        mags = np.abs(deltas).astype(np.uint64)
+        signs = (deltas < 0).view(np.uint8)
+        widths = block_widths(mags, lens)
+        assert widths[0] == 0 and widths[4] == 0
+        sign_bytes, payload_bytes = encode_block_sections(mags, signs, widths, lens)
+        # constant blocks contribute no sign bits: 4 stored blocks * 16 bits
+        assert sign_bytes.size == 4 * 16 // 8
+        out = decode_block_sections(sign_bytes, payload_bytes, widths, lens)
+        assert np.array_equal(out, deltas)
+
+    def test_decode_stored_deltas_compacted(self, rng):
+        lens = np.full(4, 8, dtype=np.int64)
+        deltas = rng.integers(-5, 6, size=32).astype(np.int64)
+        deltas[np.arange(0, 32, 8)] = 0
+        deltas[8:16] = 0
+        mags = np.abs(deltas).astype(np.uint64)
+        signs = (deltas < 0).view(np.uint8)
+        widths = block_widths(mags, lens)
+        sign_bytes, payload_bytes = encode_block_sections(mags, signs, widths, lens)
+        stored = widths > 0
+        out = decode_stored_deltas(sign_bytes, payload_bytes, widths[stored], lens[stored])
+        expected = deltas[np.repeat(stored, lens)]
+        assert np.array_equal(out, expected)
+
+    def test_all_constant_sections(self):
+        lens = np.full(3, 8, dtype=np.int64)
+        widths = np.zeros(3, dtype=np.uint8)
+        sign_bytes, payload_bytes = encode_block_sections(
+            np.zeros(24, dtype=np.uint64), np.zeros(24, dtype=np.uint8), widths, lens
+        )
+        assert sign_bytes.size == 0 and payload_bytes.size == 0
+        out = decode_block_sections(sign_bytes, payload_bytes, widths, lens)
+        assert np.array_equal(out, np.zeros(24, dtype=np.int64))

@@ -1,0 +1,94 @@
+"""Container serialization (Figure 3 stream layout) tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SZOps
+from repro.core.errors import FormatError
+from repro.core.format import MAGIC, SZOpsCompressed
+
+
+@pytest.fixture
+def container(codec, smooth_3d):
+    return codec.compress(smooth_3d, 1e-4)
+
+
+class TestSerialization:
+    def test_roundtrip_identical(self, codec, container):
+        buf = container.to_bytes()
+        parsed = SZOpsCompressed.from_bytes(buf)
+        assert parsed.shape == container.shape
+        assert parsed.dtype == container.dtype
+        assert parsed.eps == container.eps
+        assert parsed.block_size == container.block_size
+        assert np.array_equal(parsed.widths, container.widths)
+        assert np.array_equal(parsed.outliers, container.outliers)
+        assert np.array_equal(codec.decompress(parsed), codec.decompress(container))
+
+    def test_roundtrip_is_stable(self, container):
+        buf = container.to_bytes()
+        assert SZOpsCompressed.from_bytes(buf).to_bytes() == buf
+
+    def test_magic_checked(self, container):
+        buf = bytearray(container.to_bytes())
+        buf[:5] = b"WRONG"
+        with pytest.raises(FormatError, match="magic"):
+            SZOpsCompressed.from_bytes(bytes(buf))
+
+    def test_version_checked(self, container):
+        buf = bytearray(container.to_bytes())
+        buf[len(MAGIC)] = 99
+        with pytest.raises(FormatError, match="version"):
+            SZOpsCompressed.from_bytes(bytes(buf))
+
+    def test_truncation_detected(self, container):
+        buf = container.to_bytes()
+        with pytest.raises(Exception):
+            SZOpsCompressed.from_bytes(buf[: len(buf) // 2])
+
+    def test_outlier_narrowing(self, codec, rng):
+        # small quantized values -> int16 plane; huge -> wider
+        small = codec.compress(rng.normal(scale=1e-3, size=1000).astype(np.float32), 1e-3)
+        big = codec.compress((rng.normal(size=1000) * 1e6).astype(np.float64), 1e-3)
+        assert small.compressed_nbytes < big.compressed_nbytes
+        for c in (small, big):
+            parsed = SZOpsCompressed.from_bytes(c.to_bytes())
+            assert np.array_equal(parsed.outliers, c.outliers)
+
+
+class TestStructure:
+    def test_validate_passes_on_fresh_container(self, container):
+        container.validate_structure()
+
+    def test_validate_rejects_wrong_width_count(self, container):
+        broken = container.copy()
+        broken.widths = broken.widths[:-1]
+        with pytest.raises(FormatError):
+            broken.validate_structure()
+
+    def test_validate_rejects_short_payload(self, container):
+        broken = container.copy()
+        broken.payload_bytes = broken.payload_bytes[: broken.payload_bytes.size // 2]
+        with pytest.raises(FormatError, match="payload"):
+            broken.validate_structure()
+
+    def test_validate_rejects_short_signs(self, container):
+        broken = container.copy()
+        broken.sign_bytes = broken.sign_bytes[:1]
+        with pytest.raises(FormatError, match="sign"):
+            broken.validate_structure()
+
+    def test_copy_is_deep(self, container):
+        dup = container.copy()
+        dup.outliers += 1
+        assert not np.array_equal(dup.outliers, container.outliers)
+
+    def test_geometry_properties(self, codec, smooth_3d):
+        c = codec.compress(smooth_3d, 1e-4)
+        assert c.n_elements == smooth_3d.size
+        assert c.n_blocks == (smooth_3d.size + c.block_size - 1) // c.block_size
+        assert c.stored_lengths().sum() + (
+            c.layout.lengths()[c.constant_mask].sum()
+        ) == smooth_3d.size

@@ -1,0 +1,80 @@
+"""Quantization-stage tests: the central error-bound invariant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigError
+from repro.core.quantize import dequantize, dequantize_scalar, quantize, quantize_scalar
+
+
+class TestBound:
+    def test_paper_example(self):
+        # Section IV example: eps=0.01, values quantize to {-1,-1,-3,-3}.
+        values = np.array([-0.025, -0.025, -0.051, -0.052])
+        assert np.array_equal(quantize(values, 0.01), [-1, -1, -3, -3])
+
+    def test_roundtrip_bound(self, rng):
+        data = rng.normal(scale=10, size=10_000)
+        for eps in (1e-1, 1e-3, 1e-5):
+            recon = dequantize(quantize(data, eps), eps)
+            assert np.max(np.abs(recon - data)) <= eps
+
+    @given(
+        eps_exp=st.integers(min_value=-8, max_value=2),
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bound_property(self, eps_exp, values):
+        eps = 10.0 ** eps_exp
+        arr = np.array(values, dtype=np.float64)
+        recon = dequantize(quantize(arr, eps), eps)
+        slack = float(np.spacing(np.max(np.abs(arr)) + eps)) if arr.size else 0.0
+        assert np.max(np.abs(recon - arr)) <= eps + slack
+
+    def test_float32_input_uses_float64_math(self):
+        data = np.array([1e6], dtype=np.float32)
+        q = quantize(data, 1e-3)
+        recon = dequantize(q, 1e-3)
+        # the bound holds against the float32 value exactly
+        assert abs(recon[0] - float(data[0])) <= 1e-3
+
+
+class TestScalar:
+    def test_paper_scalar_examples(self):
+        # Section V: eps=0.01 -> s=3.14 quantizes to bin 157.
+        assert quantize_scalar(3.14, 0.01) == 157
+        assert dequantize_scalar(157, 0.01) == pytest.approx(3.14)
+
+    def test_scalar_bound(self):
+        for s in (-12.7, -0.001, 0.0, 0.49, 1e4):
+            for eps in (1e-1, 1e-4):
+                rho = quantize_scalar(s, eps)
+                assert abs(dequantize_scalar(rho, eps) - s) <= eps
+
+    def test_scalar_matches_array_quantizer(self, rng):
+        vals = rng.normal(scale=5, size=100)
+        q_arr = quantize(vals, 1e-3)
+        q_scalar = [quantize_scalar(float(v), 1e-3) for v in vals]
+        assert np.array_equal(q_arr, q_scalar)
+
+
+class TestValidation:
+    def test_nonpositive_eps_rejected(self):
+        with pytest.raises(ConfigError):
+            quantize(np.zeros(1), 0.0)
+        with pytest.raises(ConfigError):
+            dequantize(np.zeros(1, dtype=np.int64), -1.0)
+        with pytest.raises(ConfigError):
+            quantize_scalar(1.0, 0.0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            quantize(np.array([np.nan]), 1e-3)
+        with pytest.raises(ValueError, match="finite"):
+            quantize_scalar(float("inf"), 1e-3)

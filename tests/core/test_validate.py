@@ -1,0 +1,52 @@
+"""Validation-utility tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import SZOps
+from repro.core.errors import ErrorBoundViolation
+from repro.core.validate import check_error_bound, check_roundtrip, max_abs_error, psnr
+
+
+class TestCheckErrorBound:
+    def test_passes_within_bound(self, rng):
+        a = rng.normal(size=100)
+        b = a + 1e-5
+        assert check_error_bound(a, b, 1e-4) == pytest.approx(1e-5)
+
+    def test_raises_outside_bound(self, rng):
+        a = rng.normal(size=100)
+        b = a.copy()
+        b[3] += 1.0
+        with pytest.raises(ErrorBoundViolation, match="violated"):
+            check_error_bound(a, b, 1e-4)
+
+    def test_slack_admits_cast_error(self, rng):
+        a = rng.normal(size=10)
+        b = a + 2e-4
+        check_error_bound(a, b, 1e-4, slack=2e-4)
+
+
+class TestCheckRoundtrip:
+    def test_szops_roundtrip(self, smooth_1d):
+        c, recon = check_roundtrip(SZOps(), smooth_1d, 1e-3)
+        assert recon.shape == smooth_1d.shape
+        assert c.eps == 1e-3
+
+    def test_relative_mode(self, smooth_1d):
+        c, _ = check_roundtrip(SZOps(), smooth_1d, 1e-3, mode="rel")
+        assert c.eps != 1e-3  # resolved against the value range
+
+
+class TestMetrics:
+    def test_psnr_boundaries(self):
+        a = np.zeros(10)
+        assert math.isinf(psnr(a, a))
+        assert psnr(a, a + 1.0) == float("-inf")  # zero range, nonzero error
+
+    def test_max_abs_error_empty(self):
+        assert max_abs_error(np.zeros(0), np.zeros(0)) == 0.0

@@ -1,0 +1,89 @@
+"""Operation registry tests — Table II and Table V as executable assertions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SZOps, ops
+from repro.core.errors import OperationError
+from repro.core.format import SZOpsCompressed
+from repro.core.ops import OPERATIONS, apply_operation, operation_names
+
+
+class TestTableII:
+    """The registry must encode exactly the paper's Table II."""
+
+    def test_seven_operations(self):
+        assert operation_names() == [
+            "negation",
+            "scalar_add",
+            "scalar_subtract",
+            "scalar_multiply",
+            "mean",
+            "variance",
+            "std",
+        ]
+
+    def test_kinds_and_result_types(self):
+        expected = {
+            "negation": ("operation", "compression"),
+            "scalar_add": ("operation", "compression"),
+            "scalar_subtract": ("operation", "compression"),
+            "scalar_multiply": ("operation", "compression"),
+            "mean": ("reduction", "computation"),
+            "variance": ("reduction", "computation"),
+            "std": ("reduction", "computation"),
+        }
+        for name, (kind, result) in expected.items():
+            assert OPERATIONS[name].kind == kind
+            assert OPERATIONS[name].result == result
+
+    def test_spaces_match_table_v(self):
+        """Table V: neg/add/sub fully compressed; mul and reductions partial."""
+        assert OPERATIONS["negation"].space == "full"
+        assert OPERATIONS["scalar_add"].space == "full"
+        assert OPERATIONS["scalar_subtract"].space == "full"
+        assert OPERATIONS["scalar_multiply"].space == "partial"
+        for red in ("mean", "variance", "std"):
+            assert OPERATIONS[red].space == "partial"
+
+
+class TestDispatch:
+    def test_apply_compression_ops(self, codec, smooth_1d):
+        c = codec.compress(smooth_1d, 1e-3)
+        for name in ("negation", "scalar_add", "scalar_subtract", "scalar_multiply"):
+            scalar = 2.0 if OPERATIONS[name].needs_scalar else None
+            out = apply_operation(c, name, scalar)
+            assert isinstance(out, SZOpsCompressed)
+
+    def test_apply_reductions(self, codec, smooth_1d):
+        c = codec.compress(smooth_1d, 1e-3)
+        for name in ("mean", "variance", "std"):
+            out = apply_operation(c, name)
+            assert isinstance(out, float)
+
+    def test_unknown_operation_rejected(self, codec, smooth_1d):
+        c = codec.compress(smooth_1d, 1e-3)
+        with pytest.raises(OperationError, match="unknown"):
+            apply_operation(c, "matmul")
+
+    def test_missing_scalar_rejected(self, codec, smooth_1d):
+        c = codec.compress(smooth_1d, 1e-3)
+        with pytest.raises(OperationError, match="requires a scalar"):
+            apply_operation(c, "scalar_add")
+
+    def test_unexpected_scalar_rejected(self, codec, smooth_1d):
+        c = codec.compress(smooth_1d, 1e-3)
+        with pytest.raises(OperationError, match="takes no scalar"):
+            apply_operation(c, "mean", 3.0)
+
+
+class TestFullSpaceInvariant:
+    """Executable Table V: fully-compressed-space ops never read the payload."""
+
+    @pytest.mark.parametrize("name,scalar", [("negation", None), ("scalar_add", 3.0), ("scalar_subtract", 3.0)])
+    def test_payload_bytes_shared_or_equal(self, codec, smooth_1d, name, scalar):
+        c = codec.compress(smooth_1d, 1e-3)
+        out = apply_operation(c, name, scalar)
+        assert np.array_equal(out.payload_bytes, c.payload_bytes)

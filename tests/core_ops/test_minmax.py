@@ -1,0 +1,57 @@
+"""Min / max / range reductions (Section III's computation-as-output examples)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SZOps, ops
+
+
+class TestMinMax:
+    def test_matches_decompressed(self, codec, smooth_3d):
+        c = codec.compress(smooth_3d, 1e-4)
+        x = codec.decompress(c).astype(np.float64)
+        assert ops.minimum(c) == pytest.approx(x.min(), abs=1e-6)
+        assert ops.maximum(c) == pytest.approx(x.max(), abs=1e-6)
+        assert ops.value_range(c) == pytest.approx(x.max() - x.min(), abs=2e-6)
+
+    def test_within_eps_of_raw(self, codec, smooth_1d):
+        eps = 1e-3
+        c = codec.compress(smooth_1d, eps)
+        raw = smooth_1d.astype(np.float64)
+        assert abs(ops.maximum(c) - raw.max()) <= eps * (1 + 1e-6)
+        assert abs(ops.minimum(c) - raw.min()) <= eps * (1 + 1e-6)
+
+    def test_constant_blocks_contribute(self, codec, plateau_field):
+        c = codec.compress(plateau_field, 1e-4)
+        assert c.n_constant_blocks > 0
+        x = codec.decompress(c).astype(np.float64)
+        assert ops.minimum(c) == pytest.approx(x.min(), abs=1e-6)
+        assert ops.maximum(c) == pytest.approx(x.max(), abs=1e-6)
+
+    def test_extreme_in_constant_block(self, codec):
+        """The global max can live entirely inside a constant slab."""
+        data = np.zeros(640, dtype=np.float32)
+        data[:320] = 100.0  # 5 fully constant blocks carry the max
+        c = codec.compress(data, 1e-3)
+        assert ops.maximum(c) == pytest.approx(100.0, abs=1e-3)
+        assert ops.minimum(c) == pytest.approx(0.0, abs=1e-3)
+
+    def test_all_constant(self, codec):
+        c = codec.compress(np.full(128, -7.5, dtype=np.float32), 1e-3)
+        assert ops.minimum(c) == pytest.approx(-7.5, abs=1e-3)
+        assert ops.value_range(c) == pytest.approx(0.0, abs=1e-9)
+
+    @given(seed=st.integers(0, 2000), n=st.integers(1, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_decompressed_property(self, seed, n):
+        rng = np.random.default_rng(seed)
+        data = np.cumsum(rng.normal(size=n)) * 0.05
+        codec = SZOps()
+        c = codec.compress(data, 1e-3)
+        x = codec.decompress(c)
+        assert ops.minimum(c) == pytest.approx(x.min(), abs=1e-12)
+        assert ops.maximum(c) == pytest.approx(x.max(), abs=1e-12)

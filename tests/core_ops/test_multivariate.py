@@ -1,0 +1,96 @@
+"""Future-work multivariate operations and measures (Section VII)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SZOps, ops
+from repro.core.errors import OperationError
+
+
+@pytest.fixture
+def pair(codec, rng):
+    x = np.cumsum(rng.normal(scale=2e-2, size=5000)).astype(np.float32)
+    y = np.cumsum(rng.normal(scale=2e-2, size=5000)).astype(np.float32)
+    ca = codec.compress(x, 1e-4)
+    cb = codec.compress(y, 1e-4)
+    return ca, cb, codec.decompress(ca).astype(np.float64), codec.decompress(cb).astype(np.float64)
+
+
+class TestAddSubtract:
+    def test_add_exact_over_represented(self, codec, pair):
+        ca, cb, xa, xb = pair
+        out = codec.decompress(ops.add(ca, cb)).astype(np.float64)
+        assert np.max(np.abs(out - (xa + xb))) <= 1e-6
+
+    def test_subtract_exact_over_represented(self, codec, pair):
+        ca, cb, xa, xb = pair
+        out = codec.decompress(ops.subtract(ca, cb)).astype(np.float64)
+        assert np.max(np.abs(out - (xa - xb))) <= 1e-6
+
+    def test_subtract_self_is_zero(self, codec, pair):
+        ca, _, _, _ = pair
+        out = codec.decompress(ops.subtract(ca, ca))
+        assert np.allclose(out, 0.0)
+
+    def test_constant_pairs_skip_payload(self, codec):
+        a = codec.compress(np.full(640, 1.0, dtype=np.float32), 1e-3)
+        b = codec.compress(np.full(640, 2.0, dtype=np.float32), 1e-3)
+        out = ops.add(a, b)
+        assert out.constant_fraction == 1.0
+        assert out.payload_bytes.size == 0
+        assert np.allclose(codec.decompress(out), 3.0, atol=2e-3)
+
+    def test_shape_mismatch_rejected(self, codec, rng):
+        a = codec.compress(rng.normal(size=100).astype(np.float32), 1e-3)
+        b = codec.compress(rng.normal(size=101).astype(np.float32), 1e-3)
+        with pytest.raises(OperationError, match="shape"):
+            ops.add(a, b)
+
+    def test_eps_mismatch_rejected(self, codec, rng):
+        data = rng.normal(size=100).astype(np.float32)
+        a = codec.compress(data, 1e-3)
+        b = codec.compress(data, 1e-4)
+        with pytest.raises(OperationError, match="error-bound"):
+            ops.add(a, b)
+
+    def test_block_size_mismatch_rejected(self, rng):
+        data = rng.normal(size=256).astype(np.float32)
+        a = SZOps(block_size=64).compress(data, 1e-3)
+        b = SZOps(block_size=128).compress(data, 1e-3)
+        with pytest.raises(OperationError, match="block size"):
+            ops.add(a, b)
+
+
+class TestMeasures:
+    def test_dot(self, pair):
+        ca, cb, xa, xb = pair
+        # xa/xb are float32 casts of the represented values, so allow
+        # a few float32 ulps of relative slack.
+        assert ops.dot(ca, cb) == pytest.approx(float(np.dot(xa, xb)), rel=5e-6)
+
+    def test_l2_distance(self, pair):
+        ca, cb, xa, xb = pair
+        assert ops.l2_distance(ca, cb) == pytest.approx(
+            float(np.linalg.norm(xa - xb)), rel=5e-6, abs=1e-9
+        )
+
+    def test_l2_distance_to_self_zero(self, pair):
+        ca, _, _, _ = pair
+        assert ops.l2_distance(ca, ca) == pytest.approx(0.0, abs=1e-9)
+
+    def test_cosine_similarity(self, pair):
+        ca, cb, xa, xb = pair
+        expected = float(np.dot(xa, xb) / (np.linalg.norm(xa) * np.linalg.norm(xb)))
+        assert ops.cosine_similarity(ca, cb) == pytest.approx(expected, rel=5e-6)
+
+    def test_cosine_of_zero_rejected(self, codec):
+        zero = codec.compress(np.zeros(64, dtype=np.float32), 1e-3)
+        with pytest.raises(OperationError, match="zero"):
+            ops.cosine_similarity(zero, zero)
+
+    def test_measures_with_constant_blocks(self, codec, plateau_field):
+        c = codec.compress(plateau_field, 1e-4)
+        x = codec.decompress(c).astype(np.float64).reshape(-1)
+        assert ops.dot(c, c) == pytest.approx(float(np.dot(x, x)), rel=5e-6)

@@ -1,0 +1,101 @@
+"""Mean / variance / standard deviation (quantized-domain) tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SZOps, ops
+
+
+class TestMean:
+    def test_matches_decompressed_mean(self, codec, smooth_3d):
+        c = codec.compress(smooth_3d, 1e-4)
+        x = codec.decompress(c).astype(np.float64)
+        assert ops.mean(c) == pytest.approx(x.mean(), abs=1e-10)
+
+    def test_paper_example(self, codec):
+        """Section V-B.1: q = {-1,-1,-3,-3}, eps=0.01 -> mean -0.04."""
+        data = np.array([-0.025, -0.025, -0.051, -0.052])
+        c = codec.compress(data, 0.01)
+        assert ops.mean(c) == pytest.approx(-0.04)
+
+    def test_within_eps_of_raw_mean(self, codec, smooth_1d):
+        c = codec.compress(smooth_1d, 1e-3)
+        assert abs(ops.mean(c) - float(smooth_1d.astype(np.float64).mean())) <= 1e-3
+
+    def test_constant_blocks_closed_form(self, codec, plateau_field):
+        c = codec.compress(plateau_field, 1e-4)
+        assert c.n_constant_blocks > 0
+        x = codec.decompress(c).astype(np.float64)
+        assert ops.mean(c) == pytest.approx(x.mean(), abs=1e-10)
+
+    def test_all_constant(self, codec):
+        data = np.full(640, -1.5, dtype=np.float32)
+        c = codec.compress(data, 1e-3)
+        x = codec.decompress(c).astype(np.float64)
+        assert ops.mean(c) == pytest.approx(x.mean(), abs=1e-12)
+
+
+class TestVariance:
+    def test_matches_decompressed_variance(self, codec, smooth_3d):
+        c = codec.compress(smooth_3d, 1e-4)
+        x = codec.decompress(c).astype(np.float64)
+        assert ops.variance(c) == pytest.approx(x.var(), rel=1e-9, abs=1e-12)
+
+    def test_ddof(self, codec, smooth_1d):
+        c = codec.compress(smooth_1d, 1e-3)
+        x = codec.decompress(c).astype(np.float64)
+        assert ops.variance(c, ddof=1) == pytest.approx(x.var(ddof=1), rel=1e-9)
+
+    def test_invalid_ddof_rejected(self, codec):
+        data = np.array([1.0, 2.0], dtype=np.float32)
+        c = codec.compress(data, 1e-3)
+        with pytest.raises(ValueError):
+            ops.variance(c, ddof=2)
+
+    def test_std_is_sqrt_variance(self, codec, smooth_1d):
+        c = codec.compress(smooth_1d, 1e-3)
+        assert ops.std(c) == pytest.approx(np.sqrt(ops.variance(c)))
+
+    def test_constant_array_zero_variance(self, codec):
+        c = codec.compress(np.full(256, 7.0, dtype=np.float32), 1e-3)
+        assert ops.variance(c) == pytest.approx(0.0, abs=1e-15)
+
+
+class TestBlockMeans:
+    def test_matches_per_block_means(self, codec, plateau_field):
+        c = codec.compress(plateau_field, 1e-4)
+        x = codec.decompress(c).astype(np.float64).reshape(-1)
+        bm = ops.block_means(c)
+        lens = c.layout.lengths()
+        starts = c.layout.starts()
+        expected = np.array([x[s : s + l].mean() for s, l in zip(starts, lens)])
+        assert np.allclose(bm, expected, atol=1e-10)
+
+
+class TestSummaryStatistics:
+    def test_matches_individual_reductions(self, codec, smooth_3d):
+        c = codec.compress(smooth_3d, 1e-4)
+        stats = ops.summary_statistics(c)
+        assert stats["mean"] == pytest.approx(ops.mean(c))
+        assert stats["variance"] == pytest.approx(ops.variance(c))
+        assert stats["std"] == pytest.approx(ops.std(c))
+
+
+class TestProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=5000),
+        n=st.integers(min_value=1, max_value=400),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_reductions_exact_over_represented_values(self, seed, n):
+        rng = np.random.default_rng(seed)
+        data = np.cumsum(rng.normal(size=n)) * 0.02
+        codec = SZOps()
+        c = codec.compress(data, 1e-3)
+        x = codec.decompress(c)
+        assert ops.mean(c) == pytest.approx(x.mean(), abs=1e-9)
+        assert ops.variance(c) == pytest.approx(x.var(), rel=1e-7, abs=1e-12)

@@ -1,0 +1,87 @@
+"""Scalar multiplication (partially decompressed space) tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SZOps, ops
+from repro.core.errors import OperationError
+from repro.core.format import SZOpsCompressed
+
+
+def mul_error_limit(x_hat: np.ndarray, s: float, eps: float) -> float:
+    """Paper-derived bound: eps/2-ish rounding + |x_hat| * scalar quantization."""
+    return eps + float(np.max(np.abs(x_hat))) * eps + 1e-9
+
+
+class TestScalarMultiply:
+    @pytest.mark.parametrize("s", [3.14, -1.5, 0.25, 100.0])
+    def test_within_derived_bound(self, codec, smooth_1d, s):
+        eps = 1e-3
+        c = codec.compress(smooth_1d, eps)
+        x = codec.decompress(c).astype(np.float64)
+        out = codec.decompress(ops.scalar_multiply(c, s)).astype(np.float64)
+        assert np.max(np.abs(out - s * x)) <= mul_error_limit(x, s, eps)
+
+    def test_paper_example_block(self, codec):
+        """Section V-A.4 worked example: q={-1,-1,-3,-3}, s=3.14, eps=0.01."""
+        data = np.array([-0.025, -0.025, -0.051, -0.052], dtype=np.float64)
+        c = codec.compress(data, 0.01)
+        out = ops.scalar_multiply(c, 3.14)
+        q_new = codec.decompress_quantized(out)
+        assert np.array_equal(q_new, [-3, -3, -9, -9])
+
+    def test_zero_scalar_gives_constant_zero(self, codec, smooth_1d):
+        c = codec.compress(smooth_1d, 1e-3)
+        out = ops.scalar_multiply(c, 0.0)
+        assert out.constant_fraction == 1.0
+        assert np.allclose(codec.decompress(out), 0.0)
+
+    def test_constant_blocks_stay_constant(self, codec, plateau_field):
+        c = codec.compress(plateau_field, 1e-4)
+        const_before = c.constant_mask
+        out = ops.scalar_multiply(c, 2.5)
+        # every input-constant block is still constant in the output
+        assert np.all(out.constant_mask[const_before])
+
+    def test_eps_preserved(self, codec, smooth_1d):
+        c = codec.compress(smooth_1d, 1e-3)
+        out = ops.scalar_multiply(c, 7.0)
+        assert out.eps == c.eps
+        assert out.shape == c.shape
+
+    def test_input_not_mutated(self, codec, smooth_1d):
+        c = codec.compress(smooth_1d, 1e-3)
+        before = c.to_bytes()
+        ops.scalar_multiply(c, 9.0)
+        assert c.to_bytes() == before
+
+    def test_result_serializes(self, codec, smooth_3d):
+        c = codec.compress(smooth_3d, 1e-4)
+        out = ops.scalar_multiply(c, -2.25)
+        parsed = SZOpsCompressed.from_bytes(out.to_bytes())
+        assert np.array_equal(codec.decompress(parsed), codec.decompress(out))
+
+    def test_overflow_guarded(self, codec):
+        data = np.linspace(0, 1e6, 1000, dtype=np.float64)
+        c = codec.compress(data, 1e-6)
+        with pytest.raises(OperationError, match="overflow"):
+            ops.scalar_multiply(c, 1e12)
+
+    @given(
+        s=st.floats(min_value=-50, max_value=50, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bound_property(self, s, seed):
+        rng = np.random.default_rng(seed)
+        data = np.cumsum(rng.normal(size=200)) * 0.05
+        eps = 1e-3
+        codec = SZOps()
+        c = codec.compress(data, eps)
+        x = codec.decompress(c)
+        out = codec.decompress(ops.scalar_multiply(c, s))
+        assert np.max(np.abs(out - s * x)) <= mul_error_limit(x, s, eps)

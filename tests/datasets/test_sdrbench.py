@@ -1,0 +1,80 @@
+"""SDRBench catalog tests: geometry and the calibrated orderings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SZOps
+from repro.datasets import dataset_names, generate_fields, get_dataset
+
+
+class TestCatalog:
+    def test_four_datasets_in_paper_order(self):
+        assert dataset_names() == ["Hurricane", "CESM-ATM", "SCALE-LETKF", "Miranda"]
+
+    def test_field_counts_match_table_iii(self):
+        expected = {"Hurricane": 7, "CESM-ATM": 5, "SCALE-LETKF": 12, "Miranda": 7}
+        for name, count in expected.items():
+            assert get_dataset(name).n_fields == count
+
+    def test_paper_shapes_match_table_iii(self):
+        assert get_dataset("Hurricane").paper_shape == (100, 500, 500)
+        assert get_dataset("CESM-ATM").paper_shape == (1800, 3600)
+        assert get_dataset("SCALE-LETKF").paper_shape == (98, 1200, 1200)
+        assert get_dataset("Miranda").paper_shape == (256, 384, 384)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            get_dataset("NYX")
+
+    def test_shape_scaling(self):
+        spec = get_dataset("Miranda")
+        half = spec.shape_at(0.5)
+        assert all(h == max(8, round(d * 0.5)) for h, d in zip(half, spec.default_shape))
+
+
+class TestGeneration:
+    def test_field_subset(self):
+        fields = generate_fields("Hurricane", scale=0.3, fields=["U", "PRECIP"])
+        assert set(fields) == {"U", "PRECIP"}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError, match="no fields named"):
+            generate_fields("Hurricane", scale=0.3, fields=["QRAIN"])
+
+    def test_deterministic_given_seed(self):
+        a = generate_fields("CESM-ATM", scale=0.25, seed=5, fields=["PHIS"])["PHIS"]
+        b = generate_fields("CESM-ATM", scale=0.25, seed=5, fields=["PHIS"])["PHIS"]
+        assert np.array_equal(a, b)
+
+    def test_shape_override(self):
+        fields = generate_fields("Miranda", shape=(8, 16, 16), fields=["density"])
+        assert fields["density"].shape == (8, 16, 16)
+
+
+@pytest.mark.slow
+class TestCalibratedOrderings:
+    """Coarse checks of the calibration targets (small scale for speed)."""
+
+    @pytest.fixture(scope="class")
+    def ratios(self):
+        codec = SZOps()
+        out = {}
+        for ds in dataset_names():
+            fields = generate_fields(ds, scale=0.6)
+            out[ds] = float(
+                np.mean([codec.compress(a, 1e-4).compression_ratio for a in fields.values()])
+            )
+        return out
+
+    def test_table7_dataset_ordering(self, ratios):
+        """SCALE >> Miranda > Hurricane ~ CESM (Table VII's SZOps column)."""
+        assert ratios["SCALE-LETKF"] > ratios["Miranda"] > ratios["Hurricane"]
+        assert ratios["SCALE-LETKF"] > 2 * ratios["Miranda"]
+
+    def test_ratios_in_paper_ballpark(self, ratios):
+        """Within a factor ~1.6 of the paper's SZOps column at reduced scale."""
+        paper = {"Hurricane": 2.78, "CESM-ATM": 2.68, "SCALE-LETKF": 17.02, "Miranda": 6.19}
+        for ds, expected in paper.items():
+            assert expected / 1.7 <= ratios[ds] <= expected * 1.7, (ds, ratios[ds])

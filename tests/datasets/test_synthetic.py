@@ -1,0 +1,85 @@
+"""Synthetic field generator tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import FieldSpec, gaussian_random_field, synthesize_field
+
+
+class TestGaussianRandomField:
+    def test_shape_and_normalization(self, rng):
+        f = gaussian_random_field((16, 20, 24), 4.0, rng)
+        assert f.shape == (16, 20, 24)
+        assert abs(f.mean()) < 1e-10
+        assert np.abs(f).max() == pytest.approx(1.0)
+
+    def test_smoothness_increases_with_beta(self):
+        rng1 = np.random.default_rng(1)
+        rng2 = np.random.default_rng(1)
+        rough = gaussian_random_field((64, 64), 1.0, rng1)
+        smooth = gaussian_random_field((64, 64), 6.0, rng2)
+
+        def grad_energy(f):
+            return float(np.mean(np.diff(f, axis=-1) ** 2)) / float(np.mean(f**2))
+
+        assert grad_energy(smooth) < grad_energy(rough)
+
+    def test_2d_and_1d(self, rng):
+        assert gaussian_random_field((100,), 3.0, rng).shape == (100,)
+        assert gaussian_random_field((10, 12), 3.0, rng).shape == (10, 12)
+
+
+class TestSynthesizeField:
+    def test_deterministic(self):
+        spec = FieldSpec("t", beta=4.0, amplitude=2.0, noise=1e-4)
+        a = synthesize_field(spec, (8, 32, 32), seed=7)
+        b = synthesize_field(spec, (8, 32, 32), seed=7)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        spec = FieldSpec("t", beta=4.0)
+        a = synthesize_field(spec, (8, 32, 32), seed=1)
+        b = synthesize_field(spec, (8, 32, 32), seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_float32_output(self):
+        out = synthesize_field(FieldSpec("t"), (64,), seed=0)
+        assert out.dtype == np.float32
+
+    def test_amplitude_and_offset(self):
+        spec = FieldSpec("t", beta=4.0, amplitude=3.0, offset=100.0)
+        f = synthesize_field(spec, (32, 32), seed=0).astype(np.float64)
+        assert abs(f.mean() - 100.0) < 3.0
+        assert np.abs(f - 100.0).max() <= 3.0 * 1.001
+
+    def test_plateau_slab_is_constant(self):
+        spec = FieldSpec("t", beta=4.0, amplitude=1.0, plateau=0.25, noise=1e-3)
+        f = synthesize_field(spec, (16, 32, 32), seed=0)
+        slab = f[:4]
+        assert np.all(slab == slab.reshape(-1)[0])
+
+    def test_sparse_mostly_zero_nonnegative(self):
+        spec = FieldSpec("q", beta=5.0, amplitude=1e-3, sparse=True, plateau=0.9)
+        f = synthesize_field(spec, (8, 64, 64), seed=0)
+        assert float((f == 0).mean()) > 0.8
+        assert f.min() >= 0.0
+
+    def test_envelope_creates_heavy_tails(self):
+        flat = FieldSpec("a", beta=4.0, envelope=0.0)
+        mod = FieldSpec("a", beta=4.0, envelope=1.5)
+        fa = synthesize_field(flat, (64, 64), seed=3).astype(np.float64)
+        fm = synthesize_field(mod, (64, 64), seed=3).astype(np.float64)
+
+        def kurtosis(f):
+            d = np.diff(f.reshape(-1))
+            d = d - d.mean()
+            return float(np.mean(d**4) / np.mean(d**2) ** 2)
+
+        assert kurtosis(fm) > kurtosis(fa)
+
+    def test_noise_not_applied_to_plateau(self):
+        spec = FieldSpec("t", beta=4.0, plateau=0.5, noise=0.1, offset=5.0)
+        f = synthesize_field(spec, (10, 16), seed=0)
+        assert np.all(f[:5] == 5.0)

@@ -1,0 +1,34 @@
+"""DEFLATE backend tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding import deflate, inflate
+
+
+def test_roundtrip_bytes():
+    data = b"the quick brown fox " * 100
+    assert inflate(deflate(data)) == data
+
+
+def test_roundtrip_random(rng):
+    data = rng.integers(0, 256, size=10_000, dtype=np.uint8).tobytes()
+    assert inflate(deflate(data)) == data
+
+
+def test_compresses_redundant_data():
+    data = b"\x00" * 100_000
+    assert len(deflate(data)) < 1000
+
+
+def test_levels_tradeoff():
+    data = bytes(range(256)) * 200
+    fast = deflate(data, level=1)
+    best = deflate(data, level=9)
+    assert inflate(fast) == data and inflate(best) == data
+    assert len(best) <= len(fast)
+
+
+def test_empty():
+    assert inflate(deflate(b"")) == b""

@@ -1,0 +1,112 @@
+"""Canonical Huffman codec tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding import (
+    MAX_CODE_LENGTH,
+    HuffmanCodebook,
+    huffman_decode,
+    huffman_encode,
+)
+
+
+def roundtrip(symbols: np.ndarray, alphabet: int) -> np.ndarray:
+    freqs = np.bincount(symbols, minlength=alphabet)
+    book = HuffmanCodebook.from_frequencies(freqs)
+    payload, _ = huffman_encode(symbols, book)
+    return huffman_decode(payload, symbols.size, book)
+
+
+class TestRoundtrip:
+    def test_geometric_symbols(self, rng):
+        syms = np.clip(rng.geometric(0.4, size=20_000) - 1, 0, 31)
+        assert np.array_equal(roundtrip(syms, 32), syms)
+
+    def test_uniform_symbols(self, rng):
+        syms = rng.integers(0, 200, size=5000)
+        assert np.array_equal(roundtrip(syms, 256), syms)
+
+    def test_single_symbol_alphabet(self):
+        syms = np.full(100, 7, dtype=np.int64)
+        assert np.array_equal(roundtrip(syms, 16), syms)
+
+    def test_two_symbols(self):
+        syms = np.array([0, 1, 0, 0, 1] * 10, dtype=np.int64)
+        assert np.array_equal(roundtrip(syms, 2), syms)
+
+    def test_empty_stream(self):
+        book = HuffmanCodebook.from_frequencies(np.array([1, 1]))
+        payload, bits = huffman_encode(np.zeros(0, dtype=np.int64), book)
+        assert bits == 0
+        assert huffman_decode(payload, 0, book).size == 0
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=1, max_value=500),
+        alphabet=st.sampled_from([2, 5, 64, 1024]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, seed, n, alphabet):
+        rng = np.random.default_rng(seed)
+        syms = np.clip(rng.geometric(0.1, size=n) - 1, 0, alphabet - 1)
+        assert np.array_equal(roundtrip(syms, alphabet), syms)
+
+
+class TestCompressionQuality:
+    def test_beats_fixed_length_on_skewed_data(self, rng):
+        syms = np.clip(rng.geometric(0.6, size=50_000) - 1, 0, 255)
+        freqs = np.bincount(syms, minlength=256)
+        book = HuffmanCodebook.from_frequencies(freqs)
+        _, bits = huffman_encode(syms, book)
+        assert bits / syms.size < 3.0  # vs 8 bits fixed
+
+    def test_code_lengths_bounded(self, rng):
+        # Extremely skewed frequencies would need >16-bit codes without
+        # length limiting.
+        freqs = np.array([2**i for i in range(40, 0, -1)], dtype=np.int64)
+        book = HuffmanCodebook.from_frequencies(freqs)
+        used = book.lengths[book.lengths > 0]
+        assert used.max() <= MAX_CODE_LENGTH
+
+
+class TestCanonical:
+    def test_codebook_rebuilds_from_lengths(self, rng):
+        syms = rng.integers(0, 64, size=3000)
+        freqs = np.bincount(syms, minlength=64)
+        book = HuffmanCodebook.from_frequencies(freqs)
+        rebuilt = HuffmanCodebook.from_lengths(
+            np.frombuffer(book.serialized_lengths(), dtype=np.uint8)
+        )
+        assert np.array_equal(rebuilt.codes, book.codes)
+        assert np.array_equal(rebuilt.lengths, book.lengths)
+
+    def test_prefix_free(self, rng):
+        syms = rng.integers(0, 30, size=1000)
+        book = HuffmanCodebook.from_frequencies(np.bincount(syms, minlength=30))
+        used = np.flatnonzero(book.lengths > 0)
+        codes = [
+            format(int(book.codes[s]), f"0{int(book.lengths[s])}b") for s in used
+        ]
+        for i, a in enumerate(codes):
+            for j, b in enumerate(codes):
+                if i != j:
+                    assert not b.startswith(a)
+
+
+class TestErrors:
+    def test_symbol_without_code_rejected(self):
+        book = HuffmanCodebook.from_frequencies(np.array([5, 0, 5]))
+        with pytest.raises(ValueError, match="no code"):
+            huffman_encode(np.array([1]), book)
+
+    def test_truncated_stream_rejected(self, rng):
+        syms = rng.integers(0, 16, size=1000)
+        book = HuffmanCodebook.from_frequencies(np.bincount(syms, minlength=16))
+        payload, _ = huffman_encode(syms, book)
+        with pytest.raises(ValueError):
+            huffman_decode(payload[: len(payload) // 4], 1000, book)

@@ -1,0 +1,54 @@
+"""Zero-run-length coding tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding import rle_decode_zeros, rle_encode_zeros
+
+
+class TestRoundtrip:
+    def test_mixed_stream(self):
+        v = np.array([0, 0, 0, 5, -2, 0, 7, 0, 0])
+        tokens, runs = rle_encode_zeros(v)
+        assert np.array_equal(tokens, [0, 5, -2, 0, 7, 0])
+        assert np.array_equal(runs, [3, 1, 2])
+        assert np.array_equal(rle_decode_zeros(tokens, runs), v)
+
+    def test_no_zeros(self):
+        v = np.array([1, 2, 3])
+        tokens, runs = rle_encode_zeros(v)
+        assert runs.size == 0
+        assert np.array_equal(rle_decode_zeros(tokens, runs), v)
+
+    def test_all_zeros(self):
+        v = np.zeros(100, dtype=np.int64)
+        tokens, runs = rle_encode_zeros(v)
+        assert tokens.size == 1 and runs[0] == 100
+        assert np.array_equal(rle_decode_zeros(tokens, runs), v)
+
+    def test_empty(self):
+        tokens, runs = rle_encode_zeros(np.zeros(0, dtype=np.int64))
+        assert tokens.size == 0 and runs.size == 0
+
+    def test_shrinks_sparse_streams(self, rng):
+        v = rng.integers(-3, 4, size=10_000)
+        v[rng.random(10_000) < 0.9] = 0
+        tokens, runs = rle_encode_zeros(v)
+        assert tokens.size + runs.size < v.size // 2
+
+    @given(st.lists(st.integers(min_value=-5, max_value=5), max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, values):
+        v = np.array(values, dtype=np.int64)
+        tokens, runs = rle_encode_zeros(v)
+        assert np.array_equal(rle_decode_zeros(tokens, runs), v)
+
+
+class TestErrors:
+    def test_run_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="run"):
+            rle_decode_zeros(np.array([0, 1]), np.array([2, 3]))

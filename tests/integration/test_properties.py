@@ -1,0 +1,117 @@
+"""Cross-stack property tests (hypothesis) on the paper's invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SZOps, ops
+
+
+def make_data(seed: int, n: int, kind: str) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    if kind == "walk":
+        return np.cumsum(rng.normal(size=n)) * 0.05
+    if kind == "spiky":
+        d = rng.normal(size=n) * 0.01
+        d[rng.random(n) < 0.01] *= 1000
+        return np.cumsum(d)
+    if kind == "flat":
+        d = np.zeros(n)
+        d[: n // 2] = rng.normal(size=n // 2) * 0.1
+        return d
+    raise ValueError(kind)
+
+
+DATA_KINDS = ["walk", "spiky", "flat"]
+
+
+class TestCompressionInvariants:
+    @given(
+        seed=st.integers(0, 3000),
+        n=st.integers(1, 600),
+        kind=st.sampled_from(DATA_KINDS),
+        eps_exp=st.integers(-5, -1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_bound(self, seed, n, kind, eps_exp):
+        data = make_data(seed, n, kind)
+        eps = 10.0 ** eps_exp
+        codec = SZOps()
+        recon = codec.decompress(codec.compress(data, eps))
+        slack = float(np.spacing(np.abs(data).max() + eps))
+        assert np.max(np.abs(recon - data)) <= eps + slack
+
+    @given(seed=st.integers(0, 3000), n=st.integers(1, 600), kind=st.sampled_from(DATA_KINDS))
+    @settings(max_examples=30, deadline=None)
+    def test_serialization_identity(self, seed, n, kind):
+        from repro.core.format import SZOpsCompressed
+
+        data = make_data(seed, n, kind)
+        codec = SZOps()
+        c = codec.compress(data, 1e-3)
+        assert SZOpsCompressed.from_bytes(c.to_bytes()).to_bytes() == c.to_bytes()
+
+
+class TestOperationInvariants:
+    @given(
+        seed=st.integers(0, 2000),
+        n=st.integers(1, 400),
+        kind=st.sampled_from(DATA_KINDS),
+        s=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_add_negate_composition(self, seed, n, kind, s):
+        """-(x + s) computed fully in compressed space stays bounded."""
+        data = make_data(seed, n, kind)
+        eps = 1e-3
+        codec = SZOps()
+        c = codec.compress(data, eps)
+        x = codec.decompress(c)
+        out = codec.decompress(ops.negate(ops.scalar_add(c, s)))
+        assert np.max(np.abs(out - (-(x + s)))) <= eps * (1 + 1e-9)
+
+    @given(seed=st.integers(0, 2000), n=st.integers(2, 400), kind=st.sampled_from(DATA_KINDS))
+    @settings(max_examples=40, deadline=None)
+    def test_reductions_consistent(self, seed, n, kind):
+        """mean/var/std agree with the decompressed array exactly."""
+        data = make_data(seed, n, kind)
+        codec = SZOps()
+        c = codec.compress(data, 1e-3)
+        x = codec.decompress(c)
+        assert ops.mean(c) == pytest.approx(x.mean(), abs=1e-9)
+        assert ops.variance(c) == pytest.approx(x.var(), rel=1e-7, abs=1e-12)
+        assert ops.std(c) == pytest.approx(x.std(), rel=1e-7, abs=1e-9)
+
+    @given(seed=st.integers(0, 2000), kind=st.sampled_from(DATA_KINDS))
+    @settings(max_examples=25, deadline=None)
+    def test_multivariate_add_commutes(self, seed, kind):
+        data_a = make_data(seed, 300, kind)
+        data_b = make_data(seed + 1, 300, kind)
+        codec = SZOps()
+        ca = codec.compress(data_a, 1e-3)
+        cb = codec.compress(data_b, 1e-3)
+        ab = codec.decompress(ops.add(ca, cb))
+        ba = codec.decompress(ops.add(cb, ca))
+        assert np.array_equal(ab, ba)
+
+
+class TestBaselineInvariants:
+    @given(
+        seed=st.integers(0, 1000),
+        n=st.integers(1, 400),
+        kind=st.sampled_from(DATA_KINDS),
+        codec_name=st.sampled_from(["SZp", "SZ2", "SZ3", "SZx", "ZFP"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_baselines_bounded(self, seed, n, kind, codec_name):
+        from repro.baselines import make_codec
+
+        data = make_data(seed, n, kind)
+        eps = 1e-3
+        codec = make_codec(codec_name)
+        recon = codec.decompress(codec.compress(data, eps))
+        slack = float(np.spacing(np.abs(data).max() + eps))
+        assert np.max(np.abs(recon - data)) <= eps + slack

@@ -1,0 +1,94 @@
+"""Measurement substrate tests: timing, throughput, ratio, distortion."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    Timer,
+    TimingBreakdown,
+    aggregate_ratio,
+    compression_ratio,
+    gb_per_s,
+    max_abs_error,
+    mb_per_s,
+    mean_ratio,
+    nrmse,
+    psnr,
+    time_call,
+)
+
+
+class TestTiming:
+    def test_timer_measures_elapsed(self):
+        with Timer() as t:
+            sum(range(10_000))
+        assert t.seconds > 0
+
+    def test_time_call_returns_result_and_best(self):
+        result, seconds = time_call(lambda a, b: a + b, 2, 3, repeats=3)
+        assert result == 5 and seconds >= 0
+
+    def test_time_call_validates_repeats(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeats=0)
+
+    def test_breakdown_total(self):
+        bd = TimingBreakdown(decompress=1.0, operate=0.5, compress=2.0)
+        assert bd.total == 3.5
+        row = bd.as_row()
+        assert row["total_s"] == 3.5 and row["operate_s"] == 0.5
+
+
+class TestThroughput:
+    def test_units(self):
+        assert mb_per_s(1_000_000, 1.0) == pytest.approx(1.0)
+        assert gb_per_s(2_000_000_000, 2.0) == pytest.approx(1.0)
+
+    def test_zero_time_is_inf(self):
+        assert math.isinf(mb_per_s(100, 0.0))
+
+
+class TestRatio:
+    def test_compression_ratio(self):
+        assert compression_ratio(100, 25) == 4.0
+
+    def test_mean_ratio(self):
+        assert mean_ratio([2.0, 4.0]) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            mean_ratio([])
+
+    def test_aggregate_ratio_weights_by_size(self):
+        # one big poorly-compressed field dominates the aggregate
+        agg = aggregate_ratio([100, 1_000_000], [10, 1_000_000])
+        assert agg == pytest.approx(1000100 / 1000010)
+
+
+class TestDistortion:
+    def test_max_abs_error(self, rng):
+        a = rng.normal(size=100)
+        b = a.copy()
+        b[7] += 0.5
+        assert max_abs_error(a, b) == pytest.approx(0.5)
+
+    def test_max_abs_error_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            max_abs_error(np.zeros(3), np.zeros(4))
+
+    def test_psnr_exact_is_inf(self, rng):
+        a = rng.normal(size=50)
+        assert math.isinf(psnr(a, a))
+
+    def test_psnr_decreases_with_noise(self, rng):
+        a = rng.normal(size=10_000)
+        small = a + rng.normal(scale=1e-5, size=a.shape)
+        big = a + rng.normal(scale=1e-2, size=a.shape)
+        assert psnr(a, small) > psnr(a, big)
+
+    def test_nrmse(self, rng):
+        a = np.linspace(0, 1, 100)
+        assert nrmse(a, a) == 0.0
+        assert nrmse(a, a + 0.01) == pytest.approx(0.01, rel=1e-6)

@@ -1,0 +1,53 @@
+"""Partitioning helper tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import block_aligned_ranges, even_ranges
+
+
+class TestEvenRanges:
+    def test_covers_everything_in_order(self):
+        ranges = even_ranges(10, 3)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 10
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 == b0
+
+    def test_more_parts_than_items(self):
+        ranges = even_ranges(2, 5)
+        assert len(ranges) == 2
+
+    def test_zero_items(self):
+        assert even_ranges(0, 3) == []
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            even_ranges(-1, 2)
+        with pytest.raises(ValueError):
+            even_ranges(5, 0)
+
+    @given(n=st.integers(0, 1000), parts=st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_property(self, n, parts):
+        ranges = even_ranges(n, parts)
+        covered = sum(hi - lo for lo, hi in ranges)
+        assert covered == n
+        assert all(hi > lo for lo, hi in ranges)
+        sizes = [hi - lo for lo, hi in ranges]
+        if sizes:
+            assert max(sizes) - min(sizes) <= 1
+
+
+class TestBlockAligned:
+    def test_ranges_align_to_blocks(self):
+        ranges = block_aligned_ranges(1000, 64, 3)
+        for lo, hi in ranges[:-1]:
+            assert lo % 64 == 0 and hi % 64 == 0
+        assert ranges[-1][1] == 1000
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            block_aligned_ranges(100, 0, 2)

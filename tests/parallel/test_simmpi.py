@@ -1,0 +1,108 @@
+"""Simulated-MPI communicator tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel import SimComm, run_spmd
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def prog(comm: SimComm):
+            if comm.rank == 0:
+                comm.send({"x": 1}, dest=1)
+                return None
+            return comm.recv(source=0)
+
+        results = run_spmd(2, prog)
+        assert results[1] == {"x": 1}
+
+    def test_tags_separate_channels(self):
+        def prog(comm: SimComm):
+            if comm.rank == 0:
+                comm.send("a", dest=1, tag=1)
+                comm.send("b", dest=1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        assert run_spmd(2, prog)[1] == ("a", "b")
+
+    def test_invalid_rank_rejected(self):
+        def prog(comm: SimComm):
+            if comm.rank == 0:
+                comm.send(1, dest=5)
+            return None
+
+        with pytest.raises(ValueError):
+            run_spmd(2, prog)
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def prog(comm: SimComm):
+            data = [1, 2, 3] if comm.rank == 0 else None
+            return comm.bcast(data)
+
+        assert all(r == [1, 2, 3] for r in run_spmd(4, prog))
+
+    def test_gather(self):
+        def prog(comm: SimComm):
+            return comm.gather(comm.rank * 10)
+
+        results = run_spmd(3, prog)
+        assert results[0] == [0, 10, 20]
+        assert results[1] is None and results[2] is None
+
+    def test_allgather(self):
+        def prog(comm: SimComm):
+            return comm.allgather(comm.rank)
+
+        assert all(r == [0, 1, 2, 3] for r in run_spmd(4, prog))
+
+    def test_allreduce_sum(self):
+        def prog(comm: SimComm):
+            return comm.allreduce(comm.rank + 1, lambda a, b: a + b)
+
+        assert all(r == 10 for r in run_spmd(4, prog))
+
+    def test_allreduce_numpy_arrays(self):
+        def prog(comm: SimComm):
+            local = np.full(5, comm.rank, dtype=np.int64)
+            return comm.allreduce(local, lambda a, b: a + b)
+
+        results = run_spmd(3, prog)
+        assert all(np.array_equal(r, np.full(5, 3)) for r in results)
+
+    def test_barrier(self):
+        order = []
+
+        def prog(comm: SimComm):
+            order.append(("pre", comm.rank))
+            comm.barrier()
+            order.append(("post", comm.rank))
+            return None
+
+        run_spmd(3, prog)
+        pres = [i for i, (phase, _) in enumerate(order) if phase == "pre"]
+        posts = [i for i, (phase, _) in enumerate(order) if phase == "post"]
+        assert max(pres) < min(posts)
+
+
+class TestErrors:
+    def test_rank_exception_propagates(self):
+        def prog(comm: SimComm):
+            if comm.rank == 1:
+                raise ValueError("rank 1 died")
+            comm.barrier()
+            return None
+
+        with pytest.raises(ValueError, match="rank 1 died"):
+            run_spmd(2, prog)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda comm: None)

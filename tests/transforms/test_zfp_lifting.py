@@ -1,0 +1,63 @@
+"""ZFP lifting transform tests: near-invertibility and decorrelation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.transforms import (
+    fwd_lift,
+    fwd_transform_block,
+    inv_lift,
+    inv_transform_block,
+)
+
+
+class TestLift1D:
+    def test_roundtrip_wiggle_bounded(self, rng):
+        """zfp's lifting is reversible to within a couple of integer units."""
+        a = rng.integers(-(2**30), 2**30, size=(5000, 4)).astype(np.int64)
+        b = a.copy()
+        fwd_lift(b)
+        inv_lift(b)
+        assert int(np.abs(b - a).max()) <= 4
+
+    def test_constant_vector_maps_to_dc(self):
+        a = np.full((1, 4), 1000, dtype=np.int64)
+        fwd_lift(a)
+        assert a[0, 0] == 1000
+        assert np.array_equal(a[0, 1:], [0, 0, 0])
+
+    def test_linear_ramp_decorrelates(self):
+        a = np.array([[0, 100, 200, 300]], dtype=np.int64)
+        out = a.copy()
+        fwd_lift(out)
+        # energy concentrates in the low-order coefficients
+        assert abs(out[0, 2]) <= 2 and abs(out[0, 3]) <= 2
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            fwd_lift(np.zeros((3, 5), dtype=np.int64))
+        with pytest.raises(ValueError):
+            inv_lift(np.zeros((3, 5), dtype=np.int64))
+
+
+class TestSeparable:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_roundtrip_wiggle_by_dimension(self, rng, d):
+        a = rng.integers(-(2**28), 2**28, size=(500,) + (4,) * d).astype(np.int64)
+        b = a.copy()
+        fwd_transform_block(b)
+        inv_transform_block(b)
+        wiggle = int(np.abs(b - a).max())
+        limit = {1: 4, 2: 16, 3: 64}[d]
+        assert wiggle <= limit
+
+    def test_smooth_block_concentrates_energy(self):
+        x = np.linspace(0, 1, 4)
+        block = (x[:, None, None] + x[None, :, None] + x[None, None, :]) * 1000
+        a = block[None].astype(np.int64)
+        fwd_transform_block(a)
+        coeffs = np.abs(a.reshape(-1))
+        # DC + the three first-order coefficients carry almost everything
+        assert coeffs.sum() < 4 * coeffs.max()

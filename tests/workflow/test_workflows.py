@@ -1,0 +1,94 @@
+"""Workflow driver tests: traditional vs compressed-domain equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SZOps
+from repro.baselines import SZp
+from repro.core.ops.dispatch import OPERATIONS, operation_names
+from repro.workflow import numpy_reference_op, run_compressed, run_traditional
+
+
+@pytest.fixture
+def workload(rng):
+    data = (np.cumsum(rng.normal(size=8192)) * 0.02).astype(np.float32)
+    szp = SZp()
+    szops = SZOps()
+    return data, szp, szp.compress(data, 1e-3), szops, szops.compress(data, 1e-3)
+
+
+class TestNumpyReference:
+    def test_all_ops_defined(self, rng):
+        data = rng.normal(size=100).astype(np.float32)
+        for op in operation_names():
+            scalar = 2.0 if OPERATIONS[op].needs_scalar else None
+            out = numpy_reference_op(data, op, scalar)
+            if OPERATIONS[op].result == "computation":
+                assert isinstance(out, float)
+            else:
+                assert out.shape == data.shape
+
+    def test_missing_scalar_rejected(self, rng):
+        with pytest.raises(ValueError):
+            numpy_reference_op(rng.normal(size=10), "scalar_add", None)
+
+    def test_unknown_op_rejected(self, rng):
+        with pytest.raises(ValueError):
+            numpy_reference_op(rng.normal(size=10), "median", None)
+
+
+class TestTraditional:
+    def test_scalar_op_has_all_three_stages(self, workload):
+        data, szp, blob, _, _ = workload
+        res = run_traditional(szp, blob, "scalar_add", 2.0)
+        assert res.timing.decompress > 0
+        assert res.timing.compress > 0
+        assert res.timing.total >= res.timing.decompress
+
+    def test_reduction_skips_recompression(self, workload):
+        data, szp, blob, _, _ = workload
+        res = run_traditional(szp, blob, "mean")
+        assert res.timing.compress == 0.0
+        assert isinstance(res.output, float)
+
+    def test_output_value_correct(self, workload):
+        data, szp, blob, _, _ = workload
+        x = szp.decompress(blob)
+        res = run_traditional(szp, blob, "mean")
+        assert res.output == pytest.approx(float(x.astype(np.float64).mean()), rel=1e-9)
+
+
+class TestCompressed:
+    def test_kernel_only_timing(self, workload):
+        _, _, _, szops, c = workload
+        res = run_compressed(c, "negation")
+        assert res.timing.decompress == 0.0 and res.timing.compress == 0.0
+        assert res.kernel_seconds >= 0
+
+    def test_unknown_op_rejected(self, workload):
+        _, _, _, _, c = workload
+        with pytest.raises(ValueError):
+            run_compressed(c, "fft")
+
+
+class TestEquivalence:
+    """Both workflows must produce (near-)identical results — the premise
+    of Figures 5/6's apples-to-apples comparison."""
+
+    @pytest.mark.parametrize("op", operation_names())
+    def test_same_result_both_workflows(self, workload, op):
+        data, szp, szp_blob, szops, c = workload
+        scalar = 3.14 if OPERATIONS[op].needs_scalar else None
+        trad = run_traditional(szp, szp_blob, op, scalar)
+        comp = run_compressed(c, op, scalar)
+        if OPERATIONS[op].result == "computation":
+            assert comp.output == pytest.approx(trad.output, rel=1e-5, abs=1e-10)
+        else:
+            a = szp.decompress(trad.output)
+            b = szops.decompress(comp.output)
+            # both are within eps of the operated decompressed data, so
+            # they sit within 2*eps (+ scalar-quantization slack) of each other
+            limit = 2 * c.eps * (1 + abs(scalar or 0)) + 1e-6
+            assert np.max(np.abs(a.astype(np.float64) - b.astype(np.float64))) <= limit
