@@ -1,0 +1,60 @@
+"""Experiment R1 — runtime fusion: fused op chain vs eager ops.
+
+The ISSUE-1 acceptance benchmark: a fused 3-op chain
+(negate → ×scalar → mean) through :mod:`repro.runtime` must run at least
+2x faster than the three eager operations on the largest synthetic
+dataset, with identical results.  The report case persists both
+``results/runtime_fusion.md`` and the machine-readable
+``BENCH_runtime.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import lazy, ops
+from repro.harness import run_runtime_fusion, save_bench_json
+from repro.runtime import cache_disabled, clear_cache
+
+from conftest import emit
+
+CHAIN = ["negation", "scalar_multiply=0.1", "mean"]
+
+
+def _eager_chain(blob):
+    with cache_disabled():
+        return ops.apply_chain(blob, CHAIN, fused=False)
+
+
+def _fused_chain(blob):
+    clear_cache()
+    return ops.apply_chain(blob, CHAIN, fused=True)
+
+
+def test_eager_chain(benchmark, szops_blob):
+    """Micro-case: three eager ops, decoded-block cache off (baseline)."""
+    benchmark(_eager_chain, szops_blob)
+
+
+def test_fused_chain_cold(benchmark, szops_blob):
+    """Micro-case: one LazyStream chain, cache cleared every round."""
+    benchmark(_fused_chain, szops_blob)
+
+
+def test_fused_chain_warm(benchmark, szops_blob):
+    """Micro-case: the same chain with the decoded-block cache warm."""
+    lazy(szops_blob).negate().scalar_multiply(0.1).mean()  # prime
+    benchmark(lambda b: lazy(b).negate().scalar_multiply(0.1).mean(), szops_blob)
+
+
+def test_runtime_fusion_report(benchmark, bench_cfg):
+    """Regenerate the fusion table and persist BENCH_runtime.json."""
+    result = benchmark.pedantic(
+        run_runtime_fusion, args=(bench_cfg,), rounds=1, iterations=1
+    )
+    emit(result)
+    bench = result.extras["bench"]
+    save_bench_json(bench, Path(__file__).resolve().parent.parent / "BENCH_runtime.json")
+    # ISSUE-1 acceptance: >= 2x on the largest dataset, identical results.
+    assert bench["identical_results"], "fused chain diverged from eager ops"
+    assert bench["speedup_fused_vs_eager"] >= 2.0, bench

@@ -27,6 +27,7 @@ Subpackages
 ``repro.metrics``    ratio / error / throughput measurement
 ``repro.harness``    table- and figure-regeneration drivers
 ``repro.parallel``   thread executor and simulated-MPI collectives
+``repro.runtime``    decoded-block cache, lazy op fusion, parallel reductions
 """
 
 from repro.core import (
@@ -40,14 +41,19 @@ from repro.core import (
     SZOpsError,
 )
 from repro.core import ops
+from repro import runtime
+from repro.runtime import LazyStream, lazy
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SZOps",
     "SZOpsCompressed",
     "SZOpsConfig",
     "ops",
+    "runtime",
+    "LazyStream",
+    "lazy",
     "SZOpsError",
     "ConfigError",
     "FormatError",

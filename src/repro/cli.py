@@ -9,6 +9,7 @@ the decompressed array::
     python -m repro stats U.szops
     python -m repro op U.szops scalar_add --scalar 273.15 -o K.szops
     python -m repro op U.szops mean
+    python -m repro chain U.szops negation scalar_multiply=0.1 mean
     python -m repro decompress K.szops K.f32
 
 Input/output binary convention matches :mod:`repro.datasets.io`:
@@ -76,6 +77,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", choices=list(OPERATIONS))
     p.add_argument("--scalar", type=float, default=None)
     p.add_argument("-o", "--output", type=Path, default=None)
+
+    p = sub.add_parser(
+        "chain",
+        help="run a fused operation chain (one decode, at most one encode)",
+        description=(
+            "Apply a chain of operations through the lazy fusion runtime. "
+            "Steps are operation names, with scalars attached as name=value "
+            "(e.g. 'negation scalar_multiply=0.1 mean'). A reduction may "
+            "only appear as the final step; chains ending in a pointwise "
+            "operation write a stream and need -o."
+        ),
+    )
+    p.add_argument("input", type=Path)
+    p.add_argument(
+        "steps", nargs="+", metavar="step", help="operation name or name=scalar"
+    )
+    p.add_argument("-o", "--output", type=Path, default=None)
+    p.add_argument(
+        "--no-fuse",
+        action="store_true",
+        help="replay the chain eagerly, one op at a time (for comparison)",
+    )
+    p.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        help="route fused reduction partial sums through this many threads",
+    )
+    p.add_argument(
+        "--time", action="store_true", help="print the chain's wall time"
+    )
 
     return parser
 
@@ -160,12 +192,56 @@ def _cmd_op(args) -> int:
     return 0
 
 
+def _cmd_chain(args) -> int:
+    import time
+
+    from repro.core.errors import OperationError
+    from repro.core.ops.dispatch import CHAIN_REDUCTIONS, normalize_chain
+
+    c = _load_stream(args.input)
+    try:
+        steps = normalize_chain(args.steps)
+    except OperationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    ends_in_reduction = bool(steps) and steps[-1][0] in CHAIN_REDUCTIONS
+    if not ends_in_reduction and args.output is None:
+        print(
+            "error: chain produces a stream; pass -o (or end on a reduction)",
+            file=sys.stderr,
+        )
+        return 2
+    executor = args.threads if args.threads > 1 else None
+    t0 = time.perf_counter()
+    try:
+        result = ops.apply_chain(
+            c, steps, fused=not args.no_fuse, executor=executor
+        )
+    except OperationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - t0
+    pretty = " -> ".join(
+        name if scalar is None else f"{name}={scalar:g}" for name, scalar in steps
+    )
+    if ends_in_reduction:
+        print(f"{pretty}: {result:.10g}")
+    else:
+        args.output.write_bytes(result.to_bytes())
+        print(f"{pretty} -> {args.output} ({result.compressed_nbytes} bytes)")
+    if args.time:
+        mode = "eager" if args.no_fuse else "fused"
+        print(f"[{mode} chain: {1e3 * elapsed:.2f} ms]")
+    return 0
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
     "info": _cmd_info,
     "stats": _cmd_stats,
     "op": _cmd_op,
+    "chain": _cmd_chain,
 }
 
 

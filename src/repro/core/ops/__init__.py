@@ -1,6 +1,15 @@
 """Compressed-domain scalar operations and reductions (Table II)."""
 
-from repro.core.ops.dispatch import OPERATIONS, OpSpec, apply_operation, operation_names
+from repro.core.ops.dispatch import (
+    CHAIN_REDUCTIONS,
+    FUSABLE_OPERATIONS,
+    OPERATIONS,
+    OpSpec,
+    apply_chain,
+    apply_operation,
+    normalize_chain,
+    operation_names,
+)
 from repro.core.ops.negate import negate
 from repro.core.ops.reductions import (
     block_means,
@@ -24,8 +33,12 @@ from repro.core.ops.scalar_mul import scalar_multiply
 
 __all__ = [
     "OPERATIONS",
+    "FUSABLE_OPERATIONS",
+    "CHAIN_REDUCTIONS",
     "OpSpec",
     "apply_operation",
+    "apply_chain",
+    "normalize_chain",
     "operation_names",
     "negate",
     "scalar_add",

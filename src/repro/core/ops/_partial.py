@@ -15,10 +15,22 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bitstream import exclusive_cumsum
-from repro.core.encode import decode_stored_deltas
+from repro.core.encode import block_widths, decode_stored_deltas, encode_block_sections
+from repro.core.errors import OperationError
 from repro.core.format import SZOpsCompressed
 
-__all__ = ["StoredBlocks", "stored_quantized", "ragged_cumsum"]
+__all__ = [
+    "StoredBlocks",
+    "stored_quantized",
+    "decode_stored_blocks",
+    "ragged_cumsum",
+    "requantize",
+    "rebuild_stored",
+]
+
+#: Quantized integers are guarded to +-2^62 so downstream Lorenzo deltas
+#: (differences of two quantized values) cannot overflow int64.
+Q_LIMIT = np.int64(1) << 62
 
 
 def ragged_cumsum(values: np.ndarray, lens: np.ndarray) -> np.ndarray:
@@ -69,6 +81,23 @@ class StoredBlocks:
 
 
 def stored_quantized(c: SZOpsCompressed) -> StoredBlocks:
+    """Decoded quantized view of ``c``, through the decoded-block cache.
+
+    This is the entry point every compressed-domain operation uses.  When
+    :mod:`repro.runtime.cache` has an active cache (the default), the
+    BF⁻¹ + Lorenzo⁻¹ decode of a given stream runs once and later operations
+    on the same stream reuse the cached (read-only) view; with the cache
+    disabled this is exactly :func:`decode_stored_blocks`.
+    """
+    from repro.runtime.cache import active_cache
+
+    cache = active_cache()
+    if cache is None:
+        return decode_stored_blocks(c)
+    return cache.get_blocks(c)
+
+
+def decode_stored_blocks(c: SZOpsCompressed) -> StoredBlocks:
     """Decode only the non-constant blocks of ``c`` to quantized integers."""
     c.validate_structure()
     layout = c.layout
@@ -87,4 +116,82 @@ def stored_quantized(c: SZOpsCompressed) -> StoredBlocks:
         stored_mask=stored,
         const_outliers=c.outliers[~stored],
         const_lens=lens[~stored],
+    )
+
+
+def requantize(q: np.ndarray, factor: float) -> np.ndarray:
+    """``round(q * factor)`` with an overflow guard on the int64 result.
+
+    The guard must *raise*, never wrap: a silent int64 wraparound would
+    produce a decodable stream representing garbage.  Three failure shapes
+    are caught — a finite product at or beyond ``Q_LIMIT`` (2^62), a product
+    that overflowed float64 to infinity, and a NaN from ``0 * inf`` — all
+    reported as the documented :class:`OperationError`.
+    """
+    with np.errstate(over="ignore"):  # the guard below reports the overflow
+        scaled = np.rint(np.asarray(q, dtype=np.float64) * factor)
+    if scaled.size and (
+        not np.all(np.isfinite(scaled)) or np.abs(scaled).max() >= float(Q_LIMIT)
+    ):
+        raise OperationError(
+            "scalar multiplication overflows the quantized integer range; "
+            "use a larger error bound or a smaller scalar"
+        )
+    return scaled.astype(np.int64)
+
+
+def rebuild_stored(
+    c: SZOpsCompressed,
+    blocks: StoredBlocks,
+    q_stored: np.ndarray,
+    const_outliers: np.ndarray,
+) -> SZOpsCompressed:
+    """Re-encode transformed quantized values into a new container.
+
+    ``q_stored`` replaces the concatenated quantized values of the stored
+    blocks of ``c`` (same ragged geometry as ``blocks.lens``);
+    ``const_outliers`` replaces the constant blocks' outliers.  The Lorenzo
+    operator is re-applied per stored block and the deltas re-encoded with
+    blockwise fixed-length encoding; constant blocks never touch a payload.
+    A stored block whose transformed deltas are all zero re-encodes at
+    width 0, i.e. it *becomes* constant (exactly as eager scalar
+    multiplication behaves).
+
+    Shared by :func:`repro.core.ops.scalar_mul.scalar_multiply` and the lazy
+    fusion runtime (:mod:`repro.runtime.lazy`) — one encode path is what
+    makes fused and eager chains produce identical streams.
+    """
+    layout = c.layout
+    stored = blocks.stored_mask
+    new_outliers = np.empty(layout.n_blocks, dtype=np.int64)
+    new_widths = np.zeros(layout.n_blocks, dtype=np.uint8)
+    new_outliers[~stored] = const_outliers
+
+    if q_stored.size:
+        starts = exclusive_cumsum(blocks.lens)
+        deltas = np.empty_like(q_stored)
+        deltas[0] = 0
+        np.subtract(q_stored[1:], q_stored[:-1], out=deltas[1:])
+        deltas[starts] = 0
+        new_outliers[stored] = q_stored[starts]
+        signs = (deltas < 0).view(np.uint8)
+        mags = np.abs(deltas).astype(np.uint64)
+        stored_widths = block_widths(mags, blocks.lens)
+        new_widths[stored] = stored_widths
+        sign_bytes, payload_bytes = encode_block_sections(
+            mags, signs, stored_widths, blocks.lens
+        )
+    else:
+        sign_bytes = np.zeros(0, dtype=np.uint8)
+        payload_bytes = np.zeros(0, dtype=np.uint8)
+
+    return SZOpsCompressed(
+        shape=c.shape,
+        dtype=c.dtype,
+        eps=c.eps,
+        block_size=c.block_size,
+        widths=new_widths,
+        outliers=new_outliers,
+        sign_bytes=sign_bytes,
+        payload_bytes=payload_bytes,
     )

@@ -10,16 +10,25 @@ Table V assertions can iterate the operations uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.errors import OperationError
 from repro.core.format import SZOpsCompressed
 from repro.core.ops.negate import negate
-from repro.core.ops.reductions import mean, std, variance
+from repro.core.ops.reductions import maximum, mean, minimum, std, variance
 from repro.core.ops.scalar_add import scalar_add, scalar_subtract
 from repro.core.ops.scalar_mul import scalar_multiply
 
-__all__ = ["OpSpec", "OPERATIONS", "apply_operation", "operation_names"]
+__all__ = [
+    "OpSpec",
+    "OPERATIONS",
+    "FUSABLE_OPERATIONS",
+    "CHAIN_REDUCTIONS",
+    "apply_operation",
+    "apply_chain",
+    "normalize_chain",
+    "operation_names",
+]
 
 
 @dataclass(frozen=True)
@@ -100,3 +109,118 @@ def apply_operation(
     if scalar is not None:
         raise OperationError(f"operation {name!r} takes no scalar operand")
     return spec.fn(c)
+
+
+# ---------------------------------------------------------------------------
+# fusion-aware chain dispatch
+# ---------------------------------------------------------------------------
+
+#: Pointwise operations the lazy runtime composes into one pending
+#: ``(a·x + b)``-style transform (see :mod:`repro.runtime.lazy`).
+FUSABLE_OPERATIONS = frozenset(
+    {"negation", "scalar_add", "scalar_subtract", "scalar_multiply"}
+)
+
+#: Reductions accepted as the terminal step of a chain.  ``minimum`` /
+#: ``maximum`` are not Table II rows but use the same partial-decode
+#: machinery, so chains may end on them too.
+CHAIN_REDUCTIONS: dict[str, Callable[[SZOpsCompressed], float]] = {
+    "mean": mean,
+    "variance": variance,
+    "std": std,
+    "minimum": minimum,
+    "maximum": maximum,
+}
+
+def normalize_chain(
+    steps: Iterable,
+) -> list[tuple[str, float | None]]:
+    """Validate a chain spec into ``[(name, scalar), ...]``.
+
+    Accepts bare names (``"negation"``), ``(name, scalar)`` pairs, and
+    ``"name=scalar"`` strings (the CLI syntax).  Reductions are only valid
+    as the final step; scalar arity is checked against the op table.
+    """
+    normalized: list[tuple[str, float | None]] = []
+    for step in steps:
+        if isinstance(step, str):
+            name, sep, text = step.partition("=")
+            if sep:
+                try:
+                    scalar = float(text)
+                except ValueError:
+                    raise OperationError(
+                        f"bad scalar in chain step {step!r}"
+                    ) from None
+            else:
+                scalar = None
+        else:
+            try:
+                name, scalar = step
+            except (TypeError, ValueError):
+                raise OperationError(
+                    f"chain steps must be 'name', 'name=scalar' or "
+                    f"(name, scalar); got {step!r}"
+                ) from None
+        if name in CHAIN_REDUCTIONS:
+            if scalar is not None:
+                raise OperationError(f"reduction {name!r} takes no scalar operand")
+        else:
+            try:
+                spec = OPERATIONS[name]
+            except KeyError:
+                valid = ", ".join(dict.fromkeys([*OPERATIONS, *CHAIN_REDUCTIONS]))
+                raise OperationError(
+                    f"unknown operation {name!r}; valid: {valid}"
+                ) from None
+            if spec.needs_scalar and scalar is None:
+                raise OperationError(f"operation {name!r} requires a scalar operand")
+            if not spec.needs_scalar and scalar is not None:
+                raise OperationError(f"operation {name!r} takes no scalar operand")
+        normalized.append((name, scalar))
+    for i, (name, _) in enumerate(normalized):
+        if name in CHAIN_REDUCTIONS and i != len(normalized) - 1:
+            raise OperationError(
+                f"reduction {name!r} must be the final step of a chain"
+            )
+    return normalized
+
+
+def apply_chain(
+    c: SZOpsCompressed,
+    steps: Sequence,
+    fused: bool = True,
+    executor=None,
+) -> SZOpsCompressed | float:
+    """Apply a chain of operations, fusing pointwise ops when possible.
+
+    With ``fused=True`` (default) the pointwise prefix is composed lazily by
+    :class:`repro.runtime.lazy.LazyStream` — one decode and at most one
+    encode for the whole chain; a terminal reduction skips the encode
+    entirely.  ``fused=False`` replays the exact same chain eagerly, one
+    operation at a time (the pre-runtime behavior; results are identical).
+    ``executor`` (a :class:`~repro.parallel.executor.ChunkedExecutor` or a
+    thread count) routes fused reduction partial sums through the parallel
+    executor.
+    """
+    normalized = normalize_chain(steps)
+    if not fused:
+        result: SZOpsCompressed | float = c
+        for name, scalar in normalized:
+            if name in CHAIN_REDUCTIONS:
+                result = CHAIN_REDUCTIONS[name](result)
+            else:
+                result = apply_operation(result, name, scalar)
+        return result
+
+    from repro.runtime.lazy import LazyStream
+
+    chain = LazyStream(c)
+    for name, scalar in normalized:
+        if name in CHAIN_REDUCTIONS:
+            if name in ("minimum", "maximum"):
+                return getattr(chain, name)()
+            kwargs = {"executor": executor} if executor is not None else {}
+            return getattr(chain, name)(**kwargs)
+        chain = chain.apply(name, scalar)
+    return chain.materialize()

@@ -23,29 +23,12 @@ paper's scheme.
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.bitstream import exclusive_cumsum
-from repro.core.encode import block_widths, encode_block_sections
 from repro.core.errors import OperationError
 from repro.core.format import SZOpsCompressed
-from repro.core.ops._partial import stored_quantized
+from repro.core.ops._partial import rebuild_stored, requantize, stored_quantized
 from repro.core.ops.scalar_add import quantized_scalar_shift
 
 __all__ = ["scalar_multiply"]
-
-_Q_LIMIT = np.int64(1) << 62
-
-
-def _requantize(q: np.ndarray, factor: float) -> np.ndarray:
-    """``round(q * factor)`` with an overflow guard on the int64 result."""
-    scaled = np.rint(q.astype(np.float64) * factor)
-    if scaled.size and np.abs(scaled).max() >= float(_Q_LIMIT):
-        raise OperationError(
-            "scalar multiplication overflows the quantized integer range; "
-            "use a larger error bound or a smaller scalar"
-        )
-    return scaled.astype(np.int64)
 
 
 def scalar_multiply(c: SZOpsCompressed, s: float) -> SZOpsCompressed:
@@ -54,46 +37,23 @@ def scalar_multiply(c: SZOpsCompressed, s: float) -> SZOpsCompressed:
     The non-constant blocks are decoded to quantized integers (BF^-1 and
     Lorenzo^-1 only — never inverse quantization), scaled, and re-encoded;
     constant blocks are transformed through their outlier alone.
+
+    Overflow contract: any factor that would push a quantized value to or
+    beyond ±2^62 raises :class:`OperationError` — including factors whose
+    float64 product overflows to infinity, and scalars so large that their
+    own quantization (``floor((s + eps) / 2eps)``) leaves the int64-safe
+    range.  ``s = 0`` is well-defined and yields an all-constant zero
+    stream.
     """
-    rho, s_rep = quantized_scalar_shift(s, c.eps)
+    try:
+        _, s_rep = quantized_scalar_shift(s, c.eps)
+    except (OverflowError, ValueError) as exc:
+        raise OperationError(
+            f"scalar {s!r} cannot be quantized at eps {c.eps!r}: {exc}"
+        ) from None
     blocks = stored_quantized(c)
-    layout = c.layout
-    lens = layout.lengths()
-    stored = blocks.stored_mask
-
-    new_outliers = np.empty(layout.n_blocks, dtype=np.int64)
-    new_widths = np.zeros(layout.n_blocks, dtype=np.uint8)
-
-    # Constant blocks: O(1) per block, no payload involved.
-    new_outliers[~stored] = _requantize(blocks.const_outliers, s_rep)
-
-    if blocks.q.size:
-        q_new = _requantize(blocks.q, s_rep)
-        # Re-apply the Lorenzo operator within each stored block.
-        starts = exclusive_cumsum(blocks.lens)
-        deltas = np.empty_like(q_new)
-        deltas[0] = 0
-        np.subtract(q_new[1:], q_new[:-1], out=deltas[1:])
-        deltas[starts] = 0
-        new_outliers[stored] = q_new[starts]
-        signs = (deltas < 0).view(np.uint8)
-        mags = np.abs(deltas).astype(np.uint64)
-        stored_widths = block_widths(mags, blocks.lens)
-        new_widths[stored] = stored_widths
-        sign_bytes, payload_bytes = encode_block_sections(
-            mags, signs, stored_widths, blocks.lens
-        )
-    else:
-        sign_bytes = np.zeros(0, dtype=np.uint8)
-        payload_bytes = np.zeros(0, dtype=np.uint8)
-
-    return SZOpsCompressed(
-        shape=c.shape,
-        dtype=c.dtype,
-        eps=c.eps,
-        block_size=c.block_size,
-        widths=new_widths,
-        outliers=new_outliers,
-        sign_bytes=sign_bytes,
-        payload_bytes=payload_bytes,
-    )
+    # Constant blocks: O(1) per block, no payload involved; stored blocks
+    # are decoded, scaled in the quantized integer domain, and re-encoded.
+    const_outliers = requantize(blocks.const_outliers, s_rep)
+    q_new = requantize(blocks.q, s_rep)
+    return rebuild_stored(c, blocks, q_new, const_outliers)

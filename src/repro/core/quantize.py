@@ -70,7 +70,16 @@ def quantize_scalar(value: float, eps: float) -> int:
         raise ConfigError(f"error bound must be positive, got {eps}")
     if not np.isfinite(value):
         raise ValueError(f"scalar operand must be finite, got {value}")
-    return int(np.floor((float(value) + eps) / (2.0 * eps)))
+    ratio = np.floor((float(value) + eps) / (2.0 * eps))
+    # For extreme scalar/eps combinations the bin ratio overflows float64;
+    # int(inf) would raise a bare OverflowError deep in the op, so reject
+    # here with a diagnosable message instead.
+    if not np.isfinite(ratio):
+        raise ValueError(
+            f"scalar {value!r} at eps {eps!r} overflows the quantized "
+            "integer range"
+        )
+    return int(ratio)
 
 
 def dequantize_scalar(bin_index: int, eps: float) -> float:

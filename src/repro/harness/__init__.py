@@ -1,17 +1,19 @@
 """Experiment harness: drivers, rendering, and result persistence."""
 
 from repro.harness.config import BenchConfig, config_from_env
-from repro.harness.records import render_result, save_result
+from repro.harness.records import render_result, save_bench_json, save_result
 from repro.harness.runner import (
     DEFAULT_SCALAR,
     ExperimentResult,
     OpMeasurement,
+    largest_dataset,
     measure_ops_matrix,
     prepare_fields,
     run_ablation_constant_blocks,
     run_ablation_format,
     run_figure5,
     run_figure6,
+    run_runtime_fusion,
     run_table4,
     run_table6,
     run_table7,
@@ -23,6 +25,7 @@ __all__ = [
     "config_from_env",
     "render_result",
     "save_result",
+    "save_bench_json",
     "render_table",
     "DEFAULT_SCALAR",
     "ExperimentResult",
@@ -36,4 +39,6 @@ __all__ = [
     "run_table7",
     "run_ablation_format",
     "run_ablation_constant_blocks",
+    "run_runtime_fusion",
+    "largest_dataset",
 ]

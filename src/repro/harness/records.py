@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 from repro.harness.runner import ExperimentResult
 from repro.harness.tables import render_table
 
-__all__ = ["render_result", "save_result"]
+__all__ = ["render_result", "save_result", "save_bench_json"]
 
 
 def render_result(result: ExperimentResult) -> str:
@@ -26,3 +27,11 @@ def save_result(result: ExperimentResult, results_dir: str | Path = "results") -
     path = out_dir / f"{result.exp_id}.md"
     path.write_text(render_result(result), encoding="utf-8")
     return path
+
+
+def save_bench_json(payload: dict, path: str | Path) -> Path:
+    """Write a machine-readable benchmark record (e.g. BENCH_runtime.json)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return out

@@ -37,6 +37,8 @@ __all__ = [
     "run_table7",
     "run_ablation_format",
     "run_ablation_constant_blocks",
+    "run_runtime_fusion",
+    "largest_dataset",
     "DEFAULT_SCALAR",
 ]
 
@@ -392,6 +394,123 @@ def run_ablation_format(cfg: BenchConfig) -> ExperimentResult:
             "Backs Section VI-B3: removing the per-block byte-length limits "
             "and related overheads recovers the SZOps ratio."
         ],
+    )
+
+
+# --------------------------------------------------------------------------
+# Runtime fusion — fused op chain vs eager ops (repro.runtime)
+# --------------------------------------------------------------------------
+
+
+def largest_dataset(cfg: BenchConfig) -> str:
+    """The configured dataset with the most elements per field."""
+    return max(
+        cfg.datasets,
+        key=lambda name: int(np.prod(get_dataset(name).shape_at(cfg.scale))),
+    )
+
+
+def run_runtime_fusion(
+    cfg: BenchConfig, scalar: float = 0.1, min_repeats: int = 3
+) -> ExperimentResult:
+    """Benchmark the fused 3-op chain (negate → ×scalar → mean) vs eager ops.
+
+    Three variants on the largest synthetic dataset's first field:
+
+    * **eager** — three ``apply_operation`` calls with the decoded-block
+      cache disabled (the pre-runtime behavior: every partial op decodes);
+    * **eager+cache** — the same three calls with the cache on (the decode
+      inside ``scalar_multiply`` and ``mean`` hit when streams repeat);
+    * **fused** — one ``apply_chain`` through :class:`LazyStream`: a single
+      cold decode, pending transform folded into the reduction, no encode.
+
+    The fused and eager results must be identical (asserted into the
+    ``identical`` extra).  ``extras["bench"]`` carries the JSON payload that
+    ``BENCH_runtime.json`` persists.
+    """
+    from repro.core.ops.dispatch import apply_chain
+    from repro.runtime import cache_disabled, clear_cache
+
+    dataset = largest_dataset(cfg)
+    spec = get_dataset(dataset)
+    fname = spec.fields[0].name
+    arr = generate_fields(dataset, scale=cfg.scale, seed=cfg.seed, fields=[fname])[fname]
+    szops = SZOps(block_size=BLOCK_SIZE)
+    c = szops.compress(arr, cfg.eps)
+    chain = [("negation", None), ("scalar_multiply", scalar), ("mean", None)]
+    reps = max(cfg.repeats, min_repeats)
+
+    def best(fn, prepare=None) -> tuple[float, float]:
+        best_s, value = float("inf"), None
+        for _ in range(reps):
+            if prepare is not None:
+                prepare()
+            with Timer() as t:
+                value = fn()
+            best_s = min(best_s, t.seconds)
+        return best_s, value
+
+    with cache_disabled():
+        eager_s, eager_value = best(lambda: apply_chain(c, chain, fused=False))
+        # Per-op breakdown of the eager chain (Figure 5 style).
+        breakdown = {}
+        stream = c
+        for name, s in chain:
+            with Timer() as t:
+                out = apply_chain(stream, [(name, s)], fused=False)
+            breakdown[name] = t.seconds
+            stream = out if not isinstance(out, float) else stream
+    cached_s, cached_value = best(
+        lambda: apply_chain(c, chain, fused=False), prepare=clear_cache
+    )
+    fused_s, fused_value = best(
+        lambda: apply_chain(c, chain, fused=True), prepare=clear_cache
+    )
+    warm_s, warm_value = best(lambda: apply_chain(c, chain, fused=True))
+
+    identical = eager_value == fused_value == cached_value == warm_value
+    speedup = eager_s / fused_s if fused_s > 0 else float("inf")
+    rows = [
+        ["eager (no cache)", 1e3 * eager_s, 1.0, repr(eager_value)],
+        ["eager + decoded-block cache", 1e3 * cached_s, eager_s / cached_s, repr(cached_value)],
+        ["fused (cold cache)", 1e3 * fused_s, speedup, repr(fused_value)],
+        ["fused (warm cache)", 1e3 * warm_s, eager_s / warm_s, repr(warm_value)],
+    ]
+    bench = {
+        "experiment": "runtime_fusion",
+        "chain": [name if s is None else f"{name}={s}" for name, s in chain],
+        "dataset": dataset,
+        "field": fname,
+        "shape": list(arr.shape),
+        "n_elements": int(arr.size),
+        "eps": cfg.eps,
+        "block_size": BLOCK_SIZE,
+        "repeats": reps,
+        "eager_seconds": eager_s,
+        "eager_breakdown_seconds": breakdown,
+        "eager_cached_seconds": cached_s,
+        "fused_seconds": fused_s,
+        "fused_warm_seconds": warm_s,
+        "speedup_fused_vs_eager": speedup,
+        "speedup_warm_vs_eager": eager_s / warm_s if warm_s > 0 else float("inf"),
+        "result_mean": eager_value,
+        "identical_results": bool(identical),
+    }
+    return ExperimentResult(
+        exp_id="runtime_fusion",
+        title=(
+            f"Runtime fusion: negate → ×{scalar:g} → mean on {dataset}/{fname} "
+            f"({arr.size} elements, eps={cfg.eps:g})"
+        ),
+        headers=["variant", "best of reps (ms)", "speedup vs eager", "mean"],
+        rows=rows,
+        notes=[
+            "eager = three apply_operation calls, decoded-block cache off;",
+            "fused = one LazyStream chain: one decode, no encode, transform "
+            "folded into the reduction;",
+            f"identical results across all variants: {identical}.",
+        ],
+        extras={"bench": bench},
     )
 
 

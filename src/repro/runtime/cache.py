@@ -1,0 +1,238 @@
+"""Decoded-block cache: memoize the BF⁻¹ + Lorenzo⁻¹ partial decode.
+
+Figure 5 of the paper breaks the cost of every partially-decompressed
+operation into decode + kernel + (re)encode, and the decode dominates.  A
+chain of operations on the *same* stream therefore pays the decode once per
+operation — ``std`` alone decodes twice (it calls ``variance`` which calls
+``mean``'s machinery).  This module keeps a process-wide LRU of
+:class:`~repro.core.ops._partial.StoredBlocks`, keyed by the stream's
+content fingerprint (:meth:`SZOpsCompressed.content_fingerprint`), so every
+operation after the first reuses the decoded quantized view.
+
+Correctness model
+-----------------
+* The key hashes the *content* of all four planes plus the header, so two
+  containers with equal bytes share an entry, and mutating a container in
+  place changes its key — stale entries are never returned, they merely age
+  out of the LRU.
+* Cached arrays are marked read-only before insertion.  All in-tree
+  consumers (reductions, scalar multiply, multivariate ops, collectives)
+  treat :class:`StoredBlocks` as immutable; external writers get a loud
+  ``ValueError`` from NumPy instead of silently poisoning the cache.
+* The cache is bounded both by entry count and by total bytes; eviction is
+  least-recently-used.
+
+The cache is **enabled by default** (the ROADMAP's caching item).  Disable
+it globally with :func:`configure` or locally with :func:`cache_disabled`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.core.format import SZOpsCompressed
+from repro.core.ops._partial import StoredBlocks, decode_stored_blocks
+
+__all__ = [
+    "DecodedBlockCache",
+    "CacheStats",
+    "active_cache",
+    "configure",
+    "cache_disabled",
+    "use_cache",
+    "clear_cache",
+    "cache_stats",
+]
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed for tests, the CLI, and the benchmark harness."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+def _blocks_nbytes(blocks: StoredBlocks) -> int:
+    return int(
+        blocks.q.nbytes
+        + blocks.lens.nbytes
+        + blocks.stored_mask.nbytes
+        + blocks.const_outliers.nbytes
+        + blocks.const_lens.nbytes
+    )
+
+
+def _freeze(blocks: StoredBlocks) -> StoredBlocks:
+    for arr in (
+        blocks.q,
+        blocks.lens,
+        blocks.stored_mask,
+        blocks.const_outliers,
+        blocks.const_lens,
+    ):
+        arr.setflags(write=False)
+    return blocks
+
+
+class DecodedBlockCache:
+    """Thread-safe LRU over decoded :class:`StoredBlocks`.
+
+    Parameters
+    ----------
+    max_entries : maximum number of cached streams (LRU beyond that).
+    max_bytes : total decoded-array budget; entries larger than the whole
+        budget are returned uncached rather than thrashing the LRU.
+    """
+
+    def __init__(self, max_entries: int = 32, max_bytes: int = 256 << 20) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, tuple[StoredBlocks, int]] = OrderedDict()
+        self._nbytes = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ core
+
+    def get_blocks(self, c: SZOpsCompressed) -> StoredBlocks:
+        """Return the decoded quantized view of ``c``, decoding at most once."""
+        key = c.content_fingerprint()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry[0]
+            self.stats.misses += 1
+        blocks = _freeze(decode_stored_blocks(c))
+        size = _blocks_nbytes(blocks)
+        if size > self.max_bytes:
+            return blocks
+        with self._lock:
+            if key not in self._entries:
+                self._entries[key] = (blocks, size)
+                self._nbytes += size
+                self._evict_locked()
+        return blocks
+
+    def _evict_locked(self) -> None:
+        while self._entries and (
+            len(self._entries) > self.max_entries or self._nbytes > self.max_bytes
+        ):
+            _, (_, size) = self._entries.popitem(last=False)
+            self._nbytes -= size
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------ admin
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, c: SZOpsCompressed) -> bool:
+        return c.content_fingerprint() in self._entries
+
+    @property
+    def nbytes(self) -> int:
+        return self._nbytes
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._nbytes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DecodedBlockCache(entries={len(self._entries)}/{self.max_entries}, "
+            f"bytes={self._nbytes}/{self.max_bytes}, hits={self.stats.hits}, "
+            f"misses={self.stats.misses})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# process-wide active cache
+# ---------------------------------------------------------------------------
+
+_default_cache = DecodedBlockCache()
+_local = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def active_cache() -> DecodedBlockCache | None:
+    """The cache ``stored_quantized`` consults, or ``None`` when disabled."""
+    stack = _stack()
+    if stack:
+        return stack[-1]
+    return _default_cache
+
+
+def configure(
+    enabled: bool = True,
+    max_entries: int | None = None,
+    max_bytes: int | None = None,
+) -> DecodedBlockCache | None:
+    """Replace the process-default cache (or disable it with ``enabled=False``)."""
+    global _default_cache
+    if not enabled:
+        _default_cache = None
+        return None
+    kwargs = {}
+    if max_entries is not None:
+        kwargs["max_entries"] = max_entries
+    if max_bytes is not None:
+        kwargs["max_bytes"] = max_bytes
+    _default_cache = DecodedBlockCache(**kwargs)
+    return _default_cache
+
+
+@contextmanager
+def use_cache(cache: DecodedBlockCache | None):
+    """Scope a specific cache (or ``None``) to the current thread."""
+    stack = _stack()
+    stack.append(cache)
+    try:
+        yield cache
+    finally:
+        stack.pop()
+
+
+@contextmanager
+def cache_disabled():
+    """Run a block with decoded-block caching off (current thread only)."""
+    with use_cache(None):
+        yield
+
+
+def clear_cache() -> None:
+    """Drop every entry of the active cache (no-op when disabled)."""
+    cache = active_cache()
+    if cache is not None:
+        cache.clear()
+
+
+def cache_stats() -> CacheStats | None:
+    """Counters of the active cache, or ``None`` when disabled."""
+    cache = active_cache()
+    return cache.stats if cache is not None else None

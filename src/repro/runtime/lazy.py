@@ -1,0 +1,351 @@
+"""Lazy affine op fusion: compose scalar ops, materialize once.
+
+The paper's motivating workflows are operation *chains* — the climate
+anomaly of §VI is literally negate/shift/scale/reduce — yet each eager
+partially-decompressed operation pays its own BF⁻¹ + Lorenzo⁻¹ decode and
+(for multiplication) a full re-encode.  :class:`LazyStream` instead records
+the pending transform symbolically and spends the decode/encode budget
+exactly once, when a reduction, serialization, or explicit
+:meth:`~LazyStream.materialize` forces it.
+
+Pending transforms are sequences of two primitive quantized-domain steps:
+
+* ``IntAffine(sigma, shift)`` — ``q -> sigma*q + shift`` with ``sigma`` in
+  {+1, -1} and an integer ``shift``.  Negation and quantized scalar
+  add/subtract are exactly these, and consecutive ones fold: a whole
+  negate/add/sub run collapses to a single step.
+* ``Requantize(s_rep)`` — ``q -> round(q * s_rep)``, the scalar-multiply
+  kernel.  Requantization rounds, so it never folds across another step —
+  keeping it as a barrier is what makes fused chains *bit-identical* to
+  applying the ops eagerly one at a time (the eager chain performs the same
+  integer ops exactly and rounds at the same points).
+
+Materialization strategy:
+
+* a pending transform that is purely ``IntAffine`` materializes in **fully
+  compressed space** (sign-bitmap flip + outlier shift) — no decode at all;
+* any transform containing a ``Requantize`` decodes the stored blocks once
+  (through the decoded-block cache), applies every step vectorized, and
+  re-encodes once via the same :func:`~repro.core.ops._partial.rebuild_stored`
+  path eager multiplication uses;
+* reductions (:meth:`mean`, :meth:`variance`, :meth:`std`, :meth:`minimum`,
+  :meth:`maximum`) skip the re-encode entirely: they fold the pending
+  transform into the block partial sums, so ``k`` scalar ops + reduction
+  cost one decode and zero encodes.
+
+Exactness notes: ``mean``/``minimum``/``maximum`` of a fused chain equal
+the eager results bit for bit as long as quantized magnitudes stay below
+2^53 (integer sums are exact in float64 and the closed-form constant-block
+split cannot change them).  ``variance``/``std`` accumulate squared
+*float* deviations, so when a multiplication turns a stored block constant
+the eager path's closed form groups terms differently — agreement there is
+to float64 rounding (~1e-12 relative), not bitwise.  Overflow checking for
+multiplications happens at materialization/reduction time rather than at
+call time; the error raised is the same :class:`OperationError`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import OperationError
+from repro.core.format import SZOpsCompressed
+from repro.core.ops._partial import (
+    StoredBlocks,
+    rebuild_stored,
+    requantize,
+    stored_quantized,
+)
+from repro.core.ops.negate import negate as eager_negate
+from repro.core.ops.reductions import _quantized_sq_dev, _quantized_sum
+from repro.core.ops.scalar_add import quantized_scalar_shift
+from repro.core.quantize import dequantize, quantize_scalar
+
+__all__ = ["LazyStream", "IntAffine", "Requantize", "lazy"]
+
+
+@dataclass(frozen=True)
+class IntAffine:
+    """Exact integer step ``q -> sigma * q + shift`` (sigma in {+1, -1})."""
+
+    sigma: int
+    shift: int
+
+    def apply(self, q: np.ndarray) -> np.ndarray:
+        out = -q if self.sigma < 0 else q.copy()
+        if self.shift:
+            out += self.shift
+        return out
+
+    @property
+    def is_identity(self) -> bool:
+        return self.sigma == 1 and self.shift == 0
+
+
+@dataclass(frozen=True)
+class Requantize:
+    """Rounding step ``q -> round(q * s_rep)`` (scalar multiplication)."""
+
+    s_rep: float
+
+    def apply(self, q: np.ndarray) -> np.ndarray:
+        return requantize(q, self.s_rep)
+
+
+Step = IntAffine | Requantize
+
+
+class LazyStream:
+    """A compressed stream plus a pending fused ``(a·x + b)``-style transform.
+
+    Immutable: every operation returns a new ``LazyStream`` sharing the base
+    container, so a partially built chain can be forked freely.  The base
+    container itself is never mutated.
+
+    >>> import numpy as np
+    >>> from repro import SZOps
+    >>> from repro.runtime import lazy
+    >>> codec = SZOps()
+    >>> data = np.cumsum(np.random.default_rng(0).normal(size=4096)) * 1e-2
+    >>> c = codec.compress(data, 1e-3)
+    >>> chain = lazy(c).negate().scalar_multiply(0.1)
+    >>> chain.pending_ops
+    2
+    >>> mu = chain.mean()          # one decode, no encode
+    >>> out = chain.materialize()  # same decode (cached), one encode
+    """
+
+    __slots__ = ("base", "steps")
+
+    def __init__(self, base: SZOpsCompressed, steps: tuple[Step, ...] = ()) -> None:
+        if isinstance(base, LazyStream):  # idempotent wrapping
+            steps = base.steps + tuple(steps)
+            base = base.base
+        self.base = base
+        self.steps = tuple(steps)
+
+    # ------------------------------------------------------------------ meta
+
+    @property
+    def eps(self) -> float:
+        return self.base.eps
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.base.shape
+
+    @property
+    def n_elements(self) -> int:
+        return self.base.n_elements
+
+    @property
+    def pending_ops(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LazyStream(shape={self.base.shape}, eps={self.base.eps:g}, "
+            f"steps={list(self.steps)!r})"
+        )
+
+    # ------------------------------------------------------------------ fusable ops
+
+    def _push_affine(self, sigma: int, shift: int) -> "LazyStream":
+        steps = list(self.steps)
+        if steps and isinstance(steps[-1], IntAffine):
+            last = steps[-1]
+            folded = IntAffine(last.sigma * sigma, sigma * last.shift + shift)
+            if folded.is_identity:
+                steps.pop()
+            else:
+                steps[-1] = folded
+        else:
+            step = IntAffine(sigma, shift)
+            if not step.is_identity:
+                steps.append(step)
+        return LazyStream(self.base, tuple(steps))
+
+    def negate(self) -> "LazyStream":
+        """Fuse an elementwise negation (exact, folds with adds/subs)."""
+        return self._push_affine(-1, 0)
+
+    def scalar_add(self, s: float) -> "LazyStream":
+        """Fuse ``+ s``; the scalar is quantized now, at the stream's eps."""
+        return self._push_affine(1, quantize_scalar(s, self.base.eps))
+
+    def scalar_subtract(self, s: float) -> "LazyStream":
+        """Fuse ``- s`` (quantized-scalar deduction, like the eager op)."""
+        return self._push_affine(1, -quantize_scalar(s, self.base.eps))
+
+    def scalar_multiply(self, s: float) -> "LazyStream":
+        """Fuse ``* s``.  Overflow is checked when the chain is forced."""
+        try:
+            _, s_rep = quantized_scalar_shift(s, self.base.eps)
+        except (OverflowError, ValueError) as exc:
+            raise OperationError(
+                f"scalar {s!r} cannot be quantized at eps {self.base.eps!r}: {exc}"
+            ) from None
+        return LazyStream(self.base, self.steps + (Requantize(s_rep),))
+
+    def apply(self, name: str, scalar: float | None = None) -> "LazyStream":
+        """Fuse a named Table II pointwise operation (dispatch helper)."""
+        if name == "negation":
+            return self.negate()
+        if name == "scalar_add":
+            return self.scalar_add(scalar)
+        if name == "scalar_subtract":
+            return self.scalar_subtract(scalar)
+        if name == "scalar_multiply":
+            return self.scalar_multiply(scalar)
+        raise OperationError(f"operation {name!r} is not fusable")
+
+    # ------------------------------------------------------------------ forcing
+
+    def _transformed_blocks(self) -> StoredBlocks:
+        """Decode once (cached) and apply every pending step vectorized."""
+        blocks = stored_quantized(self.base)
+        q = blocks.q
+        const = blocks.const_outliers
+        for step in self.steps:
+            q = step.apply(q)
+            const = step.apply(const)
+        if q is blocks.q:
+            return blocks
+        return StoredBlocks(
+            q=q,
+            lens=blocks.lens,
+            stored_mask=blocks.stored_mask,
+            const_outliers=const,
+            const_lens=blocks.const_lens,
+        )
+
+    def materialize(self) -> SZOpsCompressed:
+        """Force the pending transform into a new compressed container.
+
+        A purely integer-affine transform is applied in fully compressed
+        space (bitmap flip + outlier shift, exactly the eager negation /
+        scalar-add kernels); a transform containing a requantization decodes
+        the stored blocks once and re-encodes once.
+        """
+        if not self.steps:
+            return self.base.copy()
+        if all(isinstance(s, IntAffine) for s in self.steps):
+            # Folding leaves at most one IntAffine between barriers, and no
+            # barriers exist here — a single compressed-space application.
+            (step,) = self.steps
+            out = eager_negate(self.base) if step.sigma < 0 else self.base.copy()
+            if step.shift:
+                out.outliers += step.shift
+            return out
+        blocks = self._transformed_blocks()
+        return rebuild_stored(self.base, blocks, blocks.q, blocks.const_outliers)
+
+    collapse = materialize
+
+    # ------------------------------------------------------------------ reductions
+
+    def mean(self, executor=None) -> float:
+        """Mean of the transformed stream — one decode, no encode.
+
+        Bit-identical to ``ops.mean(chain materialized eagerly)`` while the
+        quantized sums stay inside float64's exact-integer range (< 2^53).
+        """
+        blocks = self._transformed_blocks()
+        total = _reduce_sum(blocks, executor)
+        return 2.0 * self.base.eps * (total / self.base.n_elements)
+
+    def variance(self, ddof: int = 0, executor=None) -> float:
+        """Variance of the transformed stream (two-pass, quantized domain)."""
+        n = self.base.n_elements
+        if n - ddof <= 0:
+            raise ValueError(f"variance needs n - ddof > 0, got n={n}, ddof={ddof}")
+        blocks = self._transformed_blocks()
+        mu_q = _reduce_sum(blocks, executor) / n
+        ssd = _reduce_sq_dev(blocks, mu_q, executor)
+        return (2.0 * self.base.eps) ** 2 * (ssd / (n - ddof))
+
+    def std(self, ddof: int = 0, executor=None) -> float:
+        """Standard deviation of the transformed stream."""
+        return math.sqrt(self.variance(ddof=ddof, executor=executor))
+
+    def minimum(self) -> float:
+        blocks = self._transformed_blocks()
+        lo = [int(blocks.q.min())] if blocks.q.size else []
+        if blocks.const_outliers.size:
+            lo.append(int(blocks.const_outliers.min()))
+        if not lo:
+            raise ValueError("cannot take the minimum of an empty container")
+        return 2.0 * self.base.eps * min(lo)
+
+    def maximum(self) -> float:
+        blocks = self._transformed_blocks()
+        hi = [int(blocks.q.max())] if blocks.q.size else []
+        if blocks.const_outliers.size:
+            hi.append(int(blocks.const_outliers.max()))
+        if not hi:
+            raise ValueError("cannot take the maximum of an empty container")
+        return 2.0 * self.base.eps * max(hi)
+
+    def summary_statistics(self, ddof: int = 0, executor=None) -> dict[str, float]:
+        """Mean, variance and std of the transformed stream in one decode."""
+        n = self.base.n_elements
+        blocks = self._transformed_blocks()
+        mu_q = _reduce_sum(blocks, executor) / n
+        ssd = _reduce_sq_dev(blocks, mu_q, executor)
+        var = (2.0 * self.base.eps) ** 2 * (ssd / (n - ddof))
+        return {
+            "mean": 2.0 * self.base.eps * mu_q,
+            "variance": var,
+            "std": math.sqrt(var),
+        }
+
+    # ------------------------------------------------------------------ decode
+
+    def quantized(self) -> np.ndarray:
+        """Transformed quantized integers in element order (no encode)."""
+        blocks = self._transformed_blocks()
+        lens = self.base.layout.lengths()
+        n = int(lens.sum())
+        q = np.empty(n, dtype=np.int64)
+        stored_elems = np.repeat(blocks.stored_mask, lens)
+        if blocks.q.size:
+            q[stored_elems] = blocks.q
+        if blocks.const_outliers.size:
+            q[~stored_elems] = np.repeat(blocks.const_outliers, blocks.const_lens)
+        return q
+
+    def decompress(self) -> np.ndarray:
+        """Float reconstruction of the transformed stream (no encode)."""
+        return dequantize(self.quantized(), self.base.eps, self.base.dtype).reshape(
+            self.base.shape
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialize — a forcing point: materializes, then ``to_bytes``."""
+        return self.materialize().to_bytes()
+
+
+def _reduce_sum(blocks: StoredBlocks, executor) -> float:
+    if executor is None:
+        return _quantized_sum(blocks)
+    from repro.runtime.reduce import chunked_quantized_sum
+
+    return chunked_quantized_sum(blocks, executor)
+
+
+def _reduce_sq_dev(blocks: StoredBlocks, mu_q: float, executor) -> float:
+    if executor is None:
+        return _quantized_sq_dev(blocks, mu_q)
+    from repro.runtime.reduce import chunked_quantized_sq_dev
+
+    return chunked_quantized_sq_dev(blocks, mu_q, executor)
+
+
+def lazy(c: SZOpsCompressed | LazyStream) -> LazyStream:
+    """Wrap a compressed container for fused chaining (idempotent)."""
+    if isinstance(c, LazyStream):
+        return c
+    return LazyStream(c)

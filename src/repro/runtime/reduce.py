@@ -1,0 +1,172 @@
+"""Chunked parallel reductions over decoded block partial sums.
+
+The reduction kernels of :mod:`repro.core.ops.reductions` are single-pass
+NumPy sums over the stored blocks' quantized values plus closed-form terms
+for constant blocks.  For large streams the stored-block pass dominates and
+parallelizes trivially: this module routes it through
+:class:`repro.parallel.executor.ChunkedExecutor` as chunked partial sums,
+while the constant-block closed forms (the Table V fast path) stay intact —
+they are O(n_blocks) and not worth distributing.
+
+Exactness: quantized partial sums are integers represented exactly in
+float64 (while below 2^53), so the chunked ``sum``/``mean``/``min``/``max``
+equal their serial counterparts bit for bit regardless of chunking.  The
+squared-deviation pass accumulates float products, so chunked variance/std
+agree with serial to float64 rounding (~1e-12 relative) — same caveat as
+any reordered float reduction.
+
+The decoded blocks come through :func:`stored_quantized`, i.e. the decoded
+-block cache: a parallel reduction after any other operation on the same
+stream skips the decode entirely.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.core.format import SZOpsCompressed
+from repro.core.ops._partial import StoredBlocks, stored_quantized
+from repro.parallel.executor import ChunkedExecutor
+
+__all__ = [
+    "chunked_quantized_sum",
+    "chunked_quantized_sq_dev",
+    "parallel_mean",
+    "parallel_variance",
+    "parallel_std",
+    "parallel_summary_statistics",
+    "parallel_minimum",
+    "parallel_maximum",
+]
+
+
+@contextmanager
+def _as_executor(executor: ChunkedExecutor | int):
+    """Accept a ready executor or a thread count (owned for the call)."""
+    if isinstance(executor, ChunkedExecutor):
+        yield executor
+    elif isinstance(executor, int):
+        with ChunkedExecutor(executor) as ex:
+            yield ex
+    else:
+        raise TypeError(
+            f"executor must be a ChunkedExecutor or a thread count, got "
+            f"{type(executor).__name__}"
+        )
+
+
+def _const_sum(blocks: StoredBlocks) -> float:
+    if not blocks.const_outliers.size:
+        return 0.0
+    return float((blocks.const_outliers.astype(np.float64) * blocks.const_lens).sum())
+
+
+def chunked_quantized_sum(blocks: StoredBlocks, executor: ChunkedExecutor | int) -> float:
+    """Sum of all quantized values via chunked partials (constant closed form)."""
+    total = 0.0
+    if blocks.q.size:
+        q = blocks.q
+        with _as_executor(executor) as ex:
+            partials = ex.map_ranges(
+                lambda lo, hi: float(q[lo:hi].sum(dtype=np.float64)), q.size
+            )
+        total += math.fsum(partials)
+    return total + _const_sum(blocks)
+
+
+def chunked_quantized_sq_dev(
+    blocks: StoredBlocks, mu_q: float, executor: ChunkedExecutor | int
+) -> float:
+    """Sum of squared deviations from ``mu_q`` via chunked partials."""
+    total = 0.0
+    if blocks.q.size:
+        q = blocks.q
+
+        def part(lo: int, hi: int) -> float:
+            dev = q[lo:hi].astype(np.float64) - mu_q
+            return float(np.dot(dev, dev))
+
+        with _as_executor(executor) as ex:
+            total += math.fsum(ex.map_ranges(part, q.size))
+    if blocks.const_outliers.size:
+        dev_c = blocks.const_outliers.astype(np.float64) - mu_q
+        total += float((blocks.const_lens * dev_c * dev_c).sum())
+    return total
+
+
+def parallel_mean(c: SZOpsCompressed, executor: ChunkedExecutor | int) -> float:
+    """Compressed-domain mean with chunked parallel partial sums.
+
+    Equals :func:`repro.core.ops.mean` bit for bit (integer partials are
+    exact in float64).
+    """
+    blocks = stored_quantized(c)
+    return 2.0 * c.eps * (chunked_quantized_sum(blocks, executor) / c.n_elements)
+
+
+def parallel_variance(
+    c: SZOpsCompressed, executor: ChunkedExecutor | int, ddof: int = 0
+) -> float:
+    """Compressed-domain variance with chunked parallel partial sums."""
+    n = c.n_elements
+    if n - ddof <= 0:
+        raise ValueError(f"variance needs n - ddof > 0, got n={n}, ddof={ddof}")
+    blocks = stored_quantized(c)
+    mu_q = chunked_quantized_sum(blocks, executor) / n
+    ssd = chunked_quantized_sq_dev(blocks, mu_q, executor)
+    return (2.0 * c.eps) ** 2 * (ssd / (n - ddof))
+
+
+def parallel_std(
+    c: SZOpsCompressed, executor: ChunkedExecutor | int, ddof: int = 0
+) -> float:
+    """Compressed-domain standard deviation with chunked partial sums."""
+    return math.sqrt(parallel_variance(c, executor, ddof=ddof))
+
+
+def parallel_summary_statistics(
+    c: SZOpsCompressed, executor: ChunkedExecutor | int, ddof: int = 0
+) -> dict[str, float]:
+    """Mean/variance/std in one decode with chunked partial sums."""
+    n = c.n_elements
+    blocks = stored_quantized(c)
+    with _as_executor(executor) as ex:
+        mu_q = chunked_quantized_sum(blocks, ex) / n
+        ssd = chunked_quantized_sq_dev(blocks, mu_q, ex)
+    var = (2.0 * c.eps) ** 2 * (ssd / (n - ddof))
+    return {
+        "mean": 2.0 * c.eps * mu_q,
+        "variance": var,
+        "std": math.sqrt(var),
+    }
+
+
+def _chunked_extreme(
+    c: SZOpsCompressed, executor: ChunkedExecutor | int, kind: str
+) -> float:
+    blocks = stored_quantized(c)
+    ufunc = np.min if kind == "min" else np.max
+    candidates: list[int] = []
+    if blocks.q.size:
+        q = blocks.q
+        with _as_executor(executor) as ex:
+            partials = ex.map_ranges(lambda lo, hi: int(ufunc(q[lo:hi])), q.size)
+        candidates.extend(partials)
+    if blocks.const_outliers.size:
+        candidates.append(int(ufunc(blocks.const_outliers)))
+    if not candidates:
+        raise ValueError(f"cannot take the {kind} of an empty container")
+    return 2.0 * c.eps * (min(candidates) if kind == "min" else max(candidates))
+
+
+def parallel_minimum(c: SZOpsCompressed, executor: ChunkedExecutor | int) -> float:
+    """Compressed-domain minimum via chunked partial extrema."""
+    return _chunked_extreme(c, executor, "min")
+
+
+def parallel_maximum(c: SZOpsCompressed, executor: ChunkedExecutor | int) -> float:
+    """Compressed-domain maximum via chunked partial extrema."""
+    return _chunked_extreme(c, executor, "max")

@@ -2,10 +2,21 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro import SZOps
+
+# Hypothesis budget profiles.  CI runs the bounded "ci" profile (see
+# .github/workflows/ci.yml); "thorough" is for local deep sweeps.
+settings.register_profile("ci", max_examples=25, deadline=None,
+                          suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile("dev", max_examples=60, deadline=None)
+settings.register_profile("thorough", max_examples=400, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

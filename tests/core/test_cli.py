@@ -107,3 +107,69 @@ class TestOp:
         stream, _ = stream_file
         assert main(["op", str(stream), "negation"]) == 2
         assert "-o" in capsys.readouterr().err
+
+
+class TestChain:
+    def test_reduction_chain_prints_value(self, stream_file, capsys):
+        stream, data = stream_file
+        rc = main(["chain", str(stream), "negation", "scalar_multiply=0.5", "mean"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "negation -> scalar_multiply=0.5 -> mean:" in out
+        value = float(out.split()[-1])
+        expected = float((-data.astype(np.float64) * 0.5).mean())
+        assert value == pytest.approx(expected, abs=2e-3)
+
+    def test_fused_and_eager_agree(self, stream_file, capsys):
+        stream, _ = stream_file
+        assert main(["chain", str(stream), "negation", "scalar_multiply=0.5", "mean"]) == 0
+        fused_val = float(capsys.readouterr().out.split()[-1])
+        assert main(
+            ["chain", str(stream), "negation", "scalar_multiply=0.5", "mean", "--no-fuse"]
+        ) == 0
+        assert float(capsys.readouterr().out.split()[-1]) == fused_val
+
+    def test_stream_chain_writes_identical_to_eager_ops(self, stream_file, tmp_path, capsys):
+        stream, _ = stream_file
+        out = tmp_path / "chained.szops"
+        rc = main(["chain", str(stream), "negation", "scalar_add=2", "-o", str(out)])
+        assert rc == 0
+        from repro import ops
+
+        c = SZOpsCompressed.from_bytes(stream.read_bytes())
+        expected = ops.scalar_add(ops.negate(c), 2.0)
+        assert out.read_bytes() == expected.to_bytes()
+
+    def test_threads_flag(self, stream_file, capsys):
+        stream, _ = stream_file
+        assert main(["chain", str(stream), "mean", "--threads", "4"]) == 0
+        serial = main(["chain", str(stream), "mean"])
+        assert serial == 0
+        threaded_val, serial_val = [
+            float(line.split()[-1])
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("mean:")
+        ]
+        assert threaded_val == serial_val
+
+    def test_time_flag_reports_mode(self, stream_file, capsys):
+        stream, _ = stream_file
+        assert main(["chain", str(stream), "mean", "--time"]) == 0
+        assert "[fused chain:" in capsys.readouterr().out
+        assert main(["chain", str(stream), "mean", "--time", "--no-fuse"]) == 0
+        assert "[eager chain:" in capsys.readouterr().out
+
+    def test_bad_step_rejected(self, stream_file, capsys):
+        stream, _ = stream_file
+        assert main(["chain", str(stream), "scalar_add"]) == 2
+        assert "scalar" in capsys.readouterr().err
+
+    def test_stream_chain_requires_output(self, stream_file, capsys):
+        stream, _ = stream_file
+        assert main(["chain", str(stream), "negation"]) == 2
+        assert "-o" in capsys.readouterr().err
+
+    def test_overflow_reported_as_runtime_error(self, stream_file, capsys):
+        stream, _ = stream_file
+        assert main(["chain", str(stream), "scalar_multiply=1e300", "mean"]) == 1
+        assert "error:" in capsys.readouterr().err

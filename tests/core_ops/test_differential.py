@@ -1,0 +1,270 @@
+"""Property-based differential tests: every compressed-domain op vs NumPy.
+
+The ISSUE-1 differential satellite.  For each operation of Table II (plus
+minimum/maximum and the multivariate measures), hypothesis sweeps the error
+bound, block size, dtype and data shape, and the compressed-domain result is
+compared against the decompress → NumPy oracle:
+
+* exact integer maps (negation, scalar add/subtract, multivariate
+  add/subtract) compare **bitwise** in the quantized domain;
+* rounding maps (scalar multiply) and reductions compare against the
+  float64 representative ``2·eps·q`` within the paper's error analysis;
+* every compression-as-output result must additionally survive a
+  serialization round-trip (the recompress leg of the oracle).
+
+Pathological shapes — all-constant fields, single elements, denormal
+values — are covered both inside the strategies and as explicit cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SZOps, ops
+from repro.core.errors import OperationError
+from repro.core.format import SZOpsCompressed
+
+EPS_SWEEP = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5]
+BLOCK_SIZES = [8, 16, 64]
+DTYPES = ["float32", "float64"]
+DATA_KINDS = ["walk", "spiky", "flat", "constant"]
+
+
+def make_data(seed: int, n: int, kind: str, dtype: str) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    if kind == "walk":
+        data = np.cumsum(rng.normal(size=n)) * 0.05
+    elif kind == "spiky":
+        d = rng.normal(size=n) * 0.01
+        d[rng.random(n) < 0.02] *= 1000
+        data = np.cumsum(d)
+    elif kind == "flat":
+        data = np.zeros(n)
+        data[: n // 2] = rng.normal(size=n // 2) * 0.1
+    elif kind == "constant":
+        data = np.full(n, rng.normal() * 10)
+    else:
+        raise ValueError(kind)
+    return data.astype(dtype)
+
+
+CASE = dict(
+    seed=st.integers(0, 2000),
+    n=st.integers(1, 500),
+    kind=st.sampled_from(DATA_KINDS),
+    eps=st.sampled_from(EPS_SWEEP),
+    block_size=st.sampled_from(BLOCK_SIZES),
+    dtype=st.sampled_from(DTYPES),
+)
+SCALARS = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+def compress_case(seed, n, kind, eps, block_size, dtype):
+    """Compress one generated array; returns (codec, c, float64 representative)."""
+    data = make_data(seed, n, kind, dtype)
+    codec = SZOps(block_size=block_size)
+    c = codec.compress(data, eps)
+    xhat = 2.0 * eps * codec.decompress_quantized(c)
+    return codec, c, xhat
+
+
+def roundtrips(c: SZOpsCompressed) -> bool:
+    """The recompress leg: the container survives serialization bitwise."""
+    blob = c.to_bytes()
+    return SZOpsCompressed.from_bytes(blob).to_bytes() == blob
+
+
+class TestPointwiseOps:
+    @given(**CASE)
+    @settings(deadline=None)
+    def test_negation_exact(self, seed, n, kind, eps, block_size, dtype):
+        codec, c, xhat = compress_case(seed, n, kind, eps, block_size, dtype)
+        out = ops.negate(c)
+        np.testing.assert_array_equal(
+            codec.decompress_quantized(out), -codec.decompress_quantized(c)
+        )
+        assert roundtrips(out)
+
+    @given(s=SCALARS, **CASE)
+    @settings(deadline=None)
+    def test_scalar_add_bounded(self, s, seed, n, kind, eps, block_size, dtype):
+        codec, c, xhat = compress_case(seed, n, kind, eps, block_size, dtype)
+        out = ops.scalar_add(c, s)
+        # exact in the quantized domain: a uniform shift by the quantized scalar
+        rho = int(np.floor((s + eps) / (2 * eps)))
+        np.testing.assert_array_equal(
+            codec.decompress_quantized(out), codec.decompress_quantized(c) + rho
+        )
+        # and within the paper's bound of the true shifted reconstruction
+        got = 2.0 * eps * codec.decompress_quantized(out)
+        # slack: a few ulps at the largest magnitude in the comparison — the
+        # true error can land exactly on eps when s+eps is a multiple of 2eps
+        slack = 4.0 * float(np.spacing(eps + abs(s) + np.abs(got).max(initial=0.0)))
+        assert np.max(np.abs(got - (xhat + s))) <= eps + slack
+        assert roundtrips(out)
+
+    @given(s=SCALARS, **CASE)
+    @settings(deadline=None)
+    def test_scalar_subtract_bounded(self, s, seed, n, kind, eps, block_size, dtype):
+        codec, c, xhat = compress_case(seed, n, kind, eps, block_size, dtype)
+        out = ops.scalar_subtract(c, s)
+        rho = int(np.floor((s + eps) / (2 * eps)))
+        np.testing.assert_array_equal(
+            codec.decompress_quantized(out), codec.decompress_quantized(c) - rho
+        )
+        got = 2.0 * eps * codec.decompress_quantized(out)
+        slack = 4.0 * float(np.spacing(eps + abs(s) + np.abs(got).max(initial=0.0)))
+        assert np.max(np.abs(got - (xhat - s))) <= eps + slack
+        assert roundtrips(out)
+
+    @given(s=SCALARS, **CASE)
+    @settings(deadline=None)
+    def test_scalar_multiply_bounded(self, s, seed, n, kind, eps, block_size, dtype):
+        codec, c, xhat = compress_case(seed, n, kind, eps, block_size, dtype)
+        out = ops.scalar_multiply(c, s)
+        got = 2.0 * eps * codec.decompress_quantized(out)
+        # |result - xhat*s| <= eps (requantization rounding) + eps*|xhat|
+        # (scalar quantization); the extra 0.5*eps absorbs float64 rounding
+        # of the products around round-half ties.
+        bound = eps * (1.5 + np.max(np.abs(xhat), initial=0.0))
+        assert np.max(np.abs(got - xhat * s)) <= bound * (1 + 1e-9)
+        assert out.eps == c.eps and out.shape == c.shape
+        assert roundtrips(out)
+
+
+class TestReductions:
+    @given(**CASE)
+    @settings(deadline=None)
+    def test_mean_vs_numpy(self, seed, n, kind, eps, block_size, dtype):
+        _, c, xhat = compress_case(seed, n, kind, eps, block_size, dtype)
+        assert ops.mean(c) == pytest.approx(xhat.mean(), rel=1e-9, abs=1e-12)
+
+    @given(**CASE)
+    @settings(deadline=None)
+    def test_variance_std_vs_numpy(self, seed, n, kind, eps, block_size, dtype):
+        _, c, xhat = compress_case(seed, n, kind, eps, block_size, dtype)
+        assert ops.variance(c) == pytest.approx(xhat.var(), rel=1e-7, abs=1e-12)
+        assert ops.std(c) == pytest.approx(xhat.std(), rel=1e-7, abs=1e-9)
+
+    @given(**CASE)
+    @settings(deadline=None)
+    def test_min_max_vs_numpy(self, seed, n, kind, eps, block_size, dtype):
+        _, c, xhat = compress_case(seed, n, kind, eps, block_size, dtype)
+        assert ops.minimum(c) == xhat.min()
+        assert ops.maximum(c) == xhat.max()
+
+
+class TestMultivariate:
+    @given(sign=st.sampled_from([+1, -1]), **CASE)
+    @settings(deadline=None)
+    def test_add_subtract_exact_in_quantized_domain(
+        self, sign, seed, n, kind, eps, block_size, dtype
+    ):
+        codec, ca, _ = compress_case(seed, n, kind, eps, block_size, dtype)
+        cb = codec.compress(make_data(seed + 1, n, kind, dtype), ca.eps)
+        out = ops.add(ca, cb) if sign > 0 else ops.subtract(ca, cb)
+        qa = codec.decompress_quantized(ca)
+        qb = codec.decompress_quantized(cb)
+        np.testing.assert_array_equal(codec.decompress_quantized(out), qa + sign * qb)
+        assert roundtrips(out)
+
+    @given(**CASE)
+    @settings(deadline=None)
+    def test_dot_l2_vs_numpy(self, seed, n, kind, eps, block_size, dtype):
+        codec, ca, xa = compress_case(seed, n, kind, eps, block_size, dtype)
+        cb = codec.compress(make_data(seed + 1, n, kind, dtype), ca.eps)
+        xb = 2.0 * ca.eps * codec.decompress_quantized(cb)
+        # abs tolerance scales with the term magnitudes: catastrophic
+        # cancellation in the dot product amplifies summation-order rounding.
+        tol = 1e-12 + 1e-12 * float(np.abs(xa) @ np.abs(xb))
+        assert ops.dot(ca, cb) == pytest.approx(
+            float(np.dot(xa, xb)), rel=1e-9, abs=tol
+        )
+        assert ops.l2_distance(ca, cb) == pytest.approx(
+            float(np.linalg.norm(xa - xb)), rel=1e-7, abs=1e-9
+        )
+
+    @given(**CASE)
+    @settings(deadline=None)
+    def test_cosine_vs_numpy(self, seed, n, kind, eps, block_size, dtype):
+        codec, ca, xa = compress_case(seed, n, kind, eps, block_size, dtype)
+        cb = codec.compress(make_data(seed + 1, n, kind, dtype), ca.eps)
+        xb = 2.0 * ca.eps * codec.decompress_quantized(cb)
+        denom = float(np.linalg.norm(xa) * np.linalg.norm(xb))
+        if denom == 0.0:
+            with pytest.raises(OperationError, match="cosine"):
+                ops.cosine_similarity(ca, cb)
+        else:
+            assert ops.cosine_similarity(ca, cb) == pytest.approx(
+                float(np.dot(xa, xb)) / denom, rel=1e-9, abs=1e-9
+            )
+
+
+class TestFusedChainDifferential:
+    """The fused runtime obeys the same oracle as the eager ops."""
+
+    @given(s=SCALARS, **CASE)
+    @settings(deadline=None)
+    def test_fused_chain_vs_eager_and_numpy(
+        self, s, seed, n, kind, eps, block_size, dtype
+    ):
+        from repro.runtime import lazy
+
+        codec, c, xhat = compress_case(seed, n, kind, eps, block_size, dtype)
+        chain = lazy(c).negate().scalar_multiply(s).scalar_add(1.0)
+        eager = ops.scalar_add(ops.scalar_multiply(ops.negate(c), s), 1.0)
+        assert chain.to_bytes() == eager.to_bytes()
+        got = 2.0 * eps * codec.decompress_quantized(chain.materialize())
+        bound = eps * (2.5 + np.max(np.abs(xhat), initial=0.0))
+        assert np.max(np.abs(got - (-xhat * s + 1.0))) <= bound * (1 + 1e-9)
+
+
+class TestPathologicalInputs:
+    def test_empty_array_rejected(self, codec):
+        with pytest.raises(ValueError, match="empty"):
+            codec.compress(np.array([], dtype=np.float64), 1e-3)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_single_element_all_ops(self, dtype):
+        codec = SZOps(block_size=8)
+        c = codec.compress(np.array([0.7], dtype=dtype), 1e-3)
+        xhat = 2.0 * 1e-3 * codec.decompress_quantized(c)
+        assert ops.mean(c) == pytest.approx(xhat[0], rel=1e-12)
+        assert ops.variance(c) == 0.0
+        assert ops.minimum(c) == ops.maximum(c)
+        assert abs(
+            2.0 * 1e-3 * codec.decompress_quantized(ops.scalar_multiply(c, 3.0))[0]
+            - xhat[0] * 3.0
+        ) <= 1e-3 * (1 + abs(xhat[0])) * (1 + 1e-9)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_all_constant_field(self, dtype):
+        codec = SZOps(block_size=16)
+        c = codec.compress(np.full(256, -2.5, dtype=dtype), 1e-4)
+        # every block is constant: zero payload, closed-form reductions
+        assert c.payload_bytes.size == 0
+        assert ops.variance(c) == 0.0
+        assert ops.minimum(c) == ops.maximum(c) == ops.mean(c)
+        out = ops.scalar_multiply(c, 0.5)
+        assert out.payload_bytes.size == 0  # constant blocks stay constant
+
+    @pytest.mark.parametrize(
+        "dtype,scale", [("float32", 1e-42), ("float64", 1e-310)]
+    )
+    def test_denormal_values_quantize_to_zero(self, dtype, scale):
+        rng = np.random.default_rng(7)
+        data = (rng.normal(size=128) * scale).astype(dtype)
+        codec = SZOps(block_size=8)
+        c = codec.compress(data, 1e-5)
+        assert not np.any(codec.decompress_quantized(c))
+        assert ops.mean(c) == 0.0
+        assert ops.std(c) == 0.0
+        out = ops.scalar_multiply(c, 123.0)
+        assert not np.any(codec.decompress_quantized(out))
+
+    def test_non_finite_input_rejected(self, codec):
+        with pytest.raises(ValueError):
+            codec.compress(np.array([1.0, np.inf]), 1e-3)

@@ -1,0 +1,91 @@
+"""Error-propagation invariants on the synthetic SDRBench stand-ins.
+
+The ISSUE-1 error-propagation satellite.  Quantization perturbs every
+element by at most ``eps``, so compressed-domain statistics are provably
+close to the raw-data statistics:
+
+* ``|mean_c - mean_raw| <= eps`` — the mean of a perturbation bounded by
+  eps is bounded by eps;
+* ``|std_c - std_raw| <= 2*eps`` — centering is an orthogonal projection
+  (operator norm 1), so the std moves by at most the RMS perturbation
+  (<= eps); the factor 2 is the issue's stated envelope.
+
+Checked on all four synthetic datasets of Table III at several bounds,
+with a float32-cast half-ulp slack on top (the fields are float32).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SZOps, ops
+from repro.datasets import dataset_names, generate_fields, get_dataset
+
+EPS_SWEEP = [1e-2, 1e-3, 1e-4]
+
+
+def first_field(name: str) -> np.ndarray:
+    spec = get_dataset(name)
+    field_name = spec.fields[0].name
+    return generate_fields(name, scale=0.25, fields=[field_name])[field_name]
+
+
+@pytest.fixture(scope="module", params=dataset_names())
+def dataset_case(request):
+    arr = first_field(request.param)
+    return request.param, arr
+
+
+@pytest.mark.parametrize("eps", EPS_SWEEP)
+class TestStatisticsStayBounded:
+    def test_mean_within_eps(self, dataset_case, eps):
+        name, arr = dataset_case
+        c = SZOps().compress(arr, eps)
+        raw_mean = float(np.asarray(arr, dtype=np.float64).mean())
+        slack = float(np.spacing(np.abs(arr).max() + eps))
+        err = abs(ops.mean(c) - raw_mean)
+        assert err <= eps + slack, f"{name}: |mean_c - mean_raw| = {err} > eps {eps}"
+
+    def test_std_within_two_eps(self, dataset_case, eps):
+        name, arr = dataset_case
+        c = SZOps().compress(arr, eps)
+        raw_std = float(np.asarray(arr, dtype=np.float64).std())
+        slack = float(np.spacing(np.abs(arr).max() + eps))
+        err = abs(ops.std(c) - raw_std)
+        assert err <= 2 * eps + slack, f"{name}: |std_c - std_raw| = {err} > 2*eps"
+
+    def test_variance_consistent_with_std(self, dataset_case, eps):
+        name, arr = dataset_case
+        c = SZOps().compress(arr, eps)
+        assert ops.variance(c) == pytest.approx(ops.std(c) ** 2, rel=1e-12)
+
+
+class TestExtremaStayBounded:
+    """min/max of the reconstruction are within eps of the raw extrema."""
+
+    @pytest.mark.parametrize("eps", EPS_SWEEP)
+    def test_min_max_within_eps(self, dataset_case, eps):
+        name, arr = dataset_case
+        c = SZOps().compress(arr, eps)
+        arr64 = np.asarray(arr, dtype=np.float64)
+        slack = float(np.spacing(np.abs(arr).max() + eps))
+        assert abs(ops.minimum(c) - arr64.min()) <= eps + slack, name
+        assert abs(ops.maximum(c) - arr64.max()) <= eps + slack, name
+
+
+class TestFusedChainPropagation:
+    """The fused runtime preserves the same envelopes after a chain."""
+
+    def test_anomaly_chain_mean_bounded(self, dataset_case):
+        from repro.runtime import lazy
+
+        name, arr = dataset_case
+        eps = 1e-3
+        c = SZOps().compress(arr, eps)
+        arr64 = np.asarray(arr, dtype=np.float64)
+        raw = float((-(arr64 - arr64.mean()) * 0.5).mean())  # ~0 by construction
+        got = lazy(c).scalar_subtract(float(arr64.mean())).negate().scalar_multiply(0.5).mean()
+        # subtract adds <= eps scalar-quantization error, the mean itself is
+        # within eps, and the 0.5 multiply halves both; keep a 2*eps envelope.
+        assert abs(got - raw) <= 2 * eps

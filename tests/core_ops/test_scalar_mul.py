@@ -85,3 +85,67 @@ class TestScalarMultiply:
         x = codec.decompress(c)
         out = codec.decompress(ops.scalar_multiply(c, s))
         assert np.max(np.abs(out - s * x)) <= mul_error_limit(x, s, eps)
+
+
+class TestOverflowEdges:
+    """The overflow guard must raise the documented error, never wrap.
+
+    The guard rejects requantized magnitudes at or beyond 2^62 (headroom
+    below int64 max so later compressed-space adds cannot wrap either).
+    These cases pin the threshold from both sides with exact powers of two:
+    eps = 0.5 makes every representative value ``2*eps*q = q``.
+    """
+
+    @pytest.fixture
+    def pow2_stream(self, codec):
+        # single element 2^31 at eps 0.5 -> quantized exactly to q = 2^31
+        c = codec.compress(np.array([float(2**31)]), 0.5)
+        assert codec.decompress_quantized(c)[0] == 2**31
+        return c
+
+    def test_just_under_threshold_is_exact(self, codec, pow2_stream):
+        # 2^31 * 2^30 = 2^61 < 2^62: must pass through without wrapping
+        out = ops.scalar_multiply(pow2_stream, float(2**30))
+        assert codec.decompress_quantized(out)[0] == 2**61
+
+    @pytest.mark.parametrize("s", [float(2**31), -float(2**31)])
+    def test_at_threshold_raises_documented_error(self, pow2_stream, s):
+        # |2^31 * 2^31| = 2^62: exactly at the limit -> documented error
+        with pytest.raises(
+            OperationError, match="overflows the quantized integer range"
+        ):
+            ops.scalar_multiply(pow2_stream, s)
+
+    def test_negative_factor_just_under_threshold(self, codec, pow2_stream):
+        out = ops.scalar_multiply(pow2_stream, -float(2**30))
+        assert codec.decompress_quantized(out)[0] == -(2**61)
+
+    def test_zero_factor_never_overflows(self, codec, pow2_stream):
+        out = ops.scalar_multiply(pow2_stream, 0.0)
+        assert codec.decompress_quantized(out)[0] == 0
+
+    def test_nonfinite_product_raises_not_wraps(self, codec):
+        # q * s_rep overflows float64 to inf; the guard must catch the
+        # non-finite value instead of wrapping it through astype(int64)
+        c = codec.compress(np.array([1e15]), 1.0)
+        with pytest.raises(
+            OperationError, match="overflows the quantized integer range"
+        ):
+            ops.scalar_multiply(c, 1e300)
+
+    def test_unquantizable_scalar_raises(self, codec, smooth_1d):
+        # the scalar itself overflows the bin ratio at this eps
+        c = codec.compress(smooth_1d, 1e-10)
+        with pytest.raises(OperationError, match="cannot be quantized"):
+            ops.scalar_multiply(c, 1e300)
+
+    def test_inf_scalar_rejected(self, codec, smooth_1d):
+        c = codec.compress(smooth_1d, 1e-3)
+        with pytest.raises(OperationError, match="cannot be quantized"):
+            ops.scalar_multiply(c, float("inf"))
+
+    def test_guard_leaves_input_untouched(self, pow2_stream):
+        before = pow2_stream.to_bytes()
+        with pytest.raises(OperationError):
+            ops.scalar_multiply(pow2_stream, float(2**31))
+        assert pow2_stream.to_bytes() == before
