@@ -1,0 +1,53 @@
+"""Static analysis for the SZOps reproduction: lint, lock, and stream checks.
+
+SZOps' correctness story is an error bound that survives compressed-domain
+arithmetic, which makes silent numeric hazards — int64 overflow in the
+quantized domain, float64->float32 narrowing, NaN-unsafe comparisons —
+exactly the bugs the differential tests only catch probabilistically.  This
+package enforces the repository's format, numeric-safety, and concurrency
+invariants *statically*, as three passes:
+
+* :mod:`repro.analysis.linter` — ``szops-lint``, an AST linter with a
+  pluggable rule registry (:mod:`repro.analysis.rules`) encoding the repo
+  invariants as named rules SZL001–SZL006;
+* :mod:`repro.analysis.lockcheck` — a lock-discipline pass verifying that
+  every mutation of declared guarded attributes happens lexically inside
+  the matching ``with self._lock:`` block;
+* :mod:`repro.analysis.verify_stream` — a static container verifier that
+  checks serialized SZOps / SZp streams without decompressing them.
+
+All passes emit structured :class:`~repro.analysis.findings.Finding`
+records with JSON and human renderings, and are wired into
+``python -m repro.cli lint`` / ``verify-stream`` and the CI lint gate.
+See ``docs/ANALYSIS.md`` for rule rationales and the suppression syntax
+(``# szops: ignore[SZL001]``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding, Severity, render_json, render_text
+from repro.analysis.linter import lint_paths, lint_source
+from repro.analysis.lockcheck import lockcheck_paths, lockcheck_source
+from repro.analysis.verify_stream import (
+    STREAM_VERIFIERS,
+    assert_stream_ok,
+    verify_file,
+    verify_szops_bytes,
+    verify_szp_payload,
+)
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "render_json",
+    "render_text",
+    "lint_paths",
+    "lint_source",
+    "lockcheck_paths",
+    "lockcheck_source",
+    "STREAM_VERIFIERS",
+    "assert_stream_ok",
+    "verify_file",
+    "verify_szops_bytes",
+    "verify_szp_payload",
+]

@@ -1,0 +1,124 @@
+"""Structured findings shared by all three analysis passes.
+
+Every pass — the AST linter, the lock-discipline checker, and the stream
+verifier — reports the same record shape: a rule id, a location, a
+severity, a one-line message, and a fix hint.  Keeping the shape uniform
+lets the CLI merge passes into one report and lets CI gate on a single
+JSON document.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass, field
+
+
+class Severity(str, enum.Enum):
+    """Finding severity; only ``ERROR`` findings fail the lint gate."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analysis finding.
+
+    Attributes
+    ----------
+    rule : rule id (``SZL001``–``SZL006`` lint, ``LCK001`` lockcheck,
+        ``VS0xx`` stream verification).
+    path : file the finding is anchored to (source file or stream file).
+    line : 1-based line number; 0 when the finding has no line anchor
+        (stream verification findings are byte-offset anchored instead).
+    message : one-line statement of the defect.
+    hint : suggested fix.
+    severity : :class:`Severity`; errors gate, warnings inform.
+    offset : byte offset into a verified stream, or ``None`` for source
+        findings.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    hint: str = ""
+    severity: Severity = Severity.ERROR
+    offset: int | None = None
+
+    def location(self) -> str:
+        if self.offset is not None:
+            return f"{self.path}@byte {self.offset}"
+        return f"{self.path}:{self.line}"
+
+    def render(self) -> str:
+        text = f"{self.location()}: {self.rule} {self.severity.value}: {self.message}"
+        if self.hint:
+            text += f"  [hint: {self.hint}]"
+        return text
+
+    def to_dict(self) -> dict[str, object]:
+        data = asdict(self)
+        data["severity"] = self.severity.value
+        return data
+
+
+@dataclass
+class Report:
+    """A collection of findings from one or more passes."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    def extend(self, more: list[Finding]) -> None:
+        self.findings.extend(more)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Stable report order: path, then line/offset, then rule id."""
+    return sorted(
+        findings,
+        key=lambda f: (f.path, f.line, -1 if f.offset is None else f.offset, f.rule),
+    )
+
+
+def render_text(findings: list[Finding]) -> str:
+    """Human-readable report, one finding per line plus a summary."""
+    lines = [f.render() for f in sort_findings(findings)]
+    n_err = sum(1 for f in findings if f.severity is Severity.ERROR)
+    n_warn = len(findings) - n_err
+    lines.append(
+        "clean: no findings"
+        if not findings
+        else f"{n_err} error(s), {n_warn} warning(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    """Machine-readable report (the format CI gates on)."""
+    ordered = sort_findings(findings)
+    doc = {
+        "findings": [f.to_dict() for f in ordered],
+        "counts": Report(ordered).counts(),
+        "errors": sum(1 for f in ordered if f.severity is Severity.ERROR),
+        "warnings": sum(1 for f in ordered if f.severity is Severity.WARNING),
+    }
+    return json.dumps(doc, indent=2)

@@ -1,0 +1,219 @@
+"""``szops-lint``: the AST linter driving the SZL rule registry.
+
+The driver owns everything rule-independent: file discovery, scope-tag
+computation, the suppression syntax, and report assembly.  Rules live in
+:mod:`repro.analysis.rules` and see parsed modules only.
+
+Suppressions
+------------
+A finding is suppressed by a trailing comment on its line::
+
+    out.outliers += rho  # szops: ignore[SZL001] -- shift guarded above
+
+``# szops: ignore`` without a bracket suppresses every rule on that line.
+Suppressions are deliberately line-granular: a blanket file-level opt-out
+would defeat the point of encoding invariants as rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.rules import ProjectContext, RuleContext, RuleSpec, all_rules
+
+__all__ = ["lint_paths", "lint_source", "discover_files", "default_target"]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*szops:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
+)
+_SCOPE_MARKER_RE = re.compile(r"#\s*szops-lint-scope:[ \t]*(?P<tags>[\w, \t-]+)")
+
+#: Default tags for files linted outside the repro package (fixtures,
+#: ad-hoc targets): all expression-level scopes, but not the module
+#: convention scope — a loose file must opt into ``ops-module`` with a
+#: ``# szops-lint-scope: ops-module`` marker.
+_LOOSE_FILE_TAGS = frozenset({"ops", "codec", "runtime"})
+
+_CODEC_DIRS = {"core", "bitstream", "encoding", "baselines", "transforms"}
+_RUNTIME_DIRS = {"runtime", "parallel"}
+
+
+def default_target() -> Path:
+    """The installed ``repro`` package directory (cwd-independent)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _package_relative(path: Path) -> tuple[str, ...] | None:
+    """Path parts below the ``repro`` package, or ``None`` for loose files."""
+    parts = path.resolve().parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return parts[i + 1 :]
+    return None
+
+
+def scope_tags(path: Path, source: str) -> frozenset[str]:
+    """Scope tags of one file (see :mod:`repro.analysis.rules`)."""
+    # Search the first five physical lines only: the marker is a header.
+    head = "\n".join(source.splitlines()[:5])
+    marker = _SCOPE_MARKER_RE.search(head)
+    if marker:
+        tags = {t.strip() for t in re.split(r"[,\s]+", marker.group("tags")) if t.strip()}
+        return frozenset(tags)
+    rel = _package_relative(path)
+    if rel is None:
+        return _LOOSE_FILE_TAGS
+    tags = set()
+    if len(rel) >= 2 and rel[0] == "core" and rel[1] == "ops":
+        tags |= {"ops", "codec"}
+        name = rel[-1]
+        if (
+            name.endswith(".py")
+            and not name.startswith("_")
+            and name not in {"dispatch.py", "__init__.py"}
+        ):
+            tags.add("ops-module")
+    elif rel and rel[0] in _CODEC_DIRS:
+        tags.add("codec")
+    elif rel and rel[0] in _RUNTIME_DIRS:
+        tags.add("runtime")
+    return frozenset(tags)
+
+
+def _suppressions(source: str) -> dict[int, set[str] | None]:
+    """Per-line suppressions; ``None`` means every rule is suppressed."""
+    out: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        rules = m.group("rules")
+        if rules is None:
+            out[lineno] = None
+        else:
+            ids = {r.strip() for r in rules.split(",") if r.strip()}
+            prev = out.get(lineno, set())
+            # An earlier blanket suppression on this line wins outright.
+            out[lineno] = None if prev is None else prev | ids
+    return out
+
+
+def _apply_suppressions(
+    findings: list[Finding], suppressions: dict[int, set[str] | None]
+) -> list[Finding]:
+    kept = []
+    for f in findings:
+        rule_set = suppressions.get(f.line, set())
+        if rule_set is None or (rule_set and f.rule in rule_set):
+            continue
+        kept.append(f)
+    return kept
+
+
+def _selected(rules: Iterable[RuleSpec], select: Sequence[str] | None) -> list[RuleSpec]:
+    if select is None:
+        return list(rules)
+    wanted = {s.strip() for s in select}
+    return [r for r in rules if r.rule_id in wanted]
+
+
+def lint_source(
+    source: str,
+    path: Path | str = "<memory>",
+    select: Sequence[str] | None = None,
+    tags: frozenset[str] | None = None,
+) -> list[Finding]:
+    """Lint one module's source text with the file-level rules."""
+    path = Path(path)
+    if tags is None:
+        tags = scope_tags(path, source)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="SZL000",
+                path=str(path),
+                line=exc.lineno or 0,
+                message=f"file does not parse: {exc.msg}",
+                hint="fix the syntax error; unparseable files cannot be "
+                "checked against any invariant",
+            )
+        ]
+    ctx = RuleContext(path=path, source=source, tree=tree, tags=tags)
+    findings: list[Finding] = []
+    for rule in _selected(all_rules(), select):
+        if rule.checker is None:
+            continue
+        if not (rule.tags & tags):
+            continue
+        findings.extend(rule.checker(ctx))
+    return _apply_suppressions(findings, _suppressions(source))
+
+
+def discover_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into the sorted set of ``.py`` targets."""
+    out: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            out.update(
+                p
+                for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        else:
+            out.add(path)
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Sequence[Path | str] | None = None,
+    select: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Lint files/directories; defaults to the whole ``repro`` package.
+
+    Runs all file rules plus the project rules (SZL004 needs to see the
+    op modules and ``dispatch.py`` together).
+    """
+    targets = discover_files(
+        [Path(p) for p in paths] if paths else [default_target()]
+    )
+    findings: list[Finding] = []
+    sources: dict[Path, str] = {}
+    for path in targets:
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            findings.append(
+                Finding(
+                    rule="SZL000",
+                    path=str(path),
+                    line=0,
+                    message=f"unreadable file: {exc}",
+                )
+            )
+            continue
+        sources[path] = source
+        findings.extend(lint_source(source, path, select=select))
+    project_ctx = ProjectContext(paths=targets, sources=sources)
+    for rule in _selected(all_rules(), select):
+        if rule.project_checker is not None:
+            project_findings = rule.project_checker(project_ctx)
+            # Project findings honour the suppression comments of the file
+            # they anchor to (line-granular, same as file rules).
+            by_path: dict[str, list[Finding]] = {}
+            for f in project_findings:
+                by_path.setdefault(f.path, []).append(f)
+            for fpath, fs in by_path.items():
+                src = sources.get(Path(fpath))
+                findings.extend(
+                    _apply_suppressions(fs, _suppressions(src)) if src else fs
+                )
+    return sort_findings(findings)

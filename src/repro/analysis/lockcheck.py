@@ -1,0 +1,304 @@
+"""``lockcheck``: lexical lock-discipline verification (rule ``LCK001``).
+
+The runtime layer shares mutable state between the chunked executor's
+worker threads: the decoded-block cache's LRU dict and byte counter, the
+executor's pool handle.  A mutation of that state outside the owning lock
+is a data race that no unit test reliably catches — the cache keeps
+"working" with a corrupted byte count until eviction stops firing.
+
+Classes opt in by declaring the attributes their lock guards::
+
+    class DecodedBlockCache:
+        _GUARDED_ATTRS = ("_entries", "_nbytes", "stats")
+
+``lockcheck`` then verifies, purely lexically, that every mutation of a
+declared attribute on ``self`` happens inside a ``with self._lock:``
+block (or inside a method exempt by convention):
+
+* ``__init__`` is exempt — no other thread holds a reference yet.
+* Methods named ``*_locked`` are exempt — the naming convention promises
+  the caller already holds the lock, and the checker verifies that every
+  *call* to a ``*_locked`` method from a non-exempt method is itself
+  inside a ``with self._lock:`` block.
+
+Mutations counted: assignment / augmented assignment / deletion of
+``self.<attr>`` or any subscript of it, and calls to mutator methods
+(``append``, ``pop``, ``update``, ``clear``, ...) on ``self.<attr>``
+or an attribute of it (``self.stats.record()`` mutates ``stats``).
+
+The pass is lexical on purpose: it cannot prove the *right* lock is
+held across helper-function boundaries, but it catches the failure mode
+that actually occurs — a mutation written without thinking about the
+lock at all — and it runs with zero imports of the checked module.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.findings import Finding, sort_findings
+
+__all__ = ["lockcheck_paths", "lockcheck_source", "DEFAULT_LOCK_ATTR"]
+
+#: The attribute name the ``with self.<lock>:`` block must use.
+DEFAULT_LOCK_ATTR = "_lock"
+
+#: Method names on a guarded attribute that mutate it in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+        "move_to_end",
+        "record",
+        "increment",
+        "sort",
+        "reverse",
+    }
+)
+
+
+def _guarded_attrs(cls: ast.ClassDef) -> tuple[int, tuple[str, ...]] | None:
+    """The class's ``_GUARDED_ATTRS`` declaration, if present."""
+    for node in cls.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "_GUARDED_ATTRS" for t in node.targets
+        ):
+            value = node.value
+            if isinstance(value, (ast.Tuple, ast.List)) and all(
+                isinstance(e, ast.Constant) and isinstance(e.value, str)
+                for e in value.elts
+            ):
+                return node.lineno, tuple(e.value for e in value.elts)
+            return node.lineno, ()
+    return None
+
+
+def _is_self_lock(node: ast.AST, lock_attr: str) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == lock_attr
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _self_attr_name(node: ast.AST) -> str | None:
+    """``self.<attr>``, ``self.<attr>[...]``, ``self.<attr>.<sub>`` -> attr."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    if isinstance(node, ast.Attribute):
+        return _self_attr_name(node.value)
+    return None
+
+
+class _MethodWalker(ast.NodeVisitor):
+    """Walk one method body tracking ``with self._lock:`` nesting."""
+
+    def __init__(
+        self,
+        path: Path,
+        cls: ast.ClassDef,
+        method: ast.FunctionDef,
+        guarded: tuple[str, ...],
+        lock_attr: str,
+    ) -> None:
+        self.path = path
+        self.cls = cls
+        self.method = method
+        self.guarded = frozenset(guarded)
+        self.lock_attr = lock_attr
+        self.depth = 0
+        self.findings: list[Finding] = []
+
+    # -- lock nesting -------------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        holds = any(
+            _is_self_lock(item.context_expr, self.lock_attr) for item in node.items
+        )
+        if holds:
+            self.depth += 1
+        self.generic_visit(node)
+        if holds:
+            self.depth -= 1
+
+    # Nested function defs get their own lexical scope; a closure mutating
+    # guarded state is reported unguarded unless the def itself sits inside
+    # the lock (conservative: closures usually escape to other threads).
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node is self.method:
+            self.generic_visit(node)
+        else:
+            saved, self.depth = self.depth, 0
+            self.generic_visit(node)
+            self.depth = saved
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    # -- mutations ----------------------------------------------------------
+
+    def _report(self, node: ast.AST, attr: str, what: str) -> None:
+        self.findings.append(
+            Finding(
+                rule="LCK001",
+                path=str(self.path),
+                line=getattr(node, "lineno", 0),
+                message=(
+                    f"{what} of guarded attribute {attr!r} in "
+                    f"{self.cls.name}.{self.method.name} outside "
+                    f"'with self.{self.lock_attr}:'"
+                ),
+                hint=f"wrap the mutation in 'with self.{self.lock_attr}:', or "
+                "move it into a *_locked helper called under the lock",
+            )
+        )
+
+    def _check_target(self, target: ast.AST, node: ast.AST, what: str) -> None:
+        attr = _self_attr_name(target)
+        if attr in self.guarded and self.depth == 0:
+            self._report(node, attr, what)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target, node, "assignment")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target, node, "augmented assignment")
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_target(node.target, node, "assignment")
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_target(target, node, "deletion")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            # self.<attr>...<mutator>(...) mutates a guarded attribute.
+            if func.attr in _MUTATOR_METHODS:
+                attr = _self_attr_name(func.value)
+                if attr in self.guarded and self.depth == 0:
+                    self._report(node, attr, f"mutating call .{func.attr}()")
+            # self.<helper>_locked(...) promises the caller holds the lock.
+            elif (
+                func.attr.endswith("_locked")
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and self.depth == 0
+            ):
+                self.findings.append(
+                    Finding(
+                        rule="LCK001",
+                        path=str(self.path),
+                        line=node.lineno,
+                        message=(
+                            f"call to {self.cls.name}.{func.attr}() outside "
+                            f"'with self.{self.lock_attr}:'; the _locked "
+                            "suffix promises the caller holds the lock"
+                        ),
+                        hint="take the lock around the call, or rename the "
+                        "helper if it does not touch guarded state",
+                    )
+                )
+        self.generic_visit(node)
+
+
+def _is_exempt(method: ast.FunctionDef) -> bool:
+    return method.name == "__init__" or method.name.endswith("_locked")
+
+
+def lockcheck_source(
+    source: str, path: Path | str = "<memory>", lock_attr: str = DEFAULT_LOCK_ATTR
+) -> list[Finding]:
+    """Check one module's source for lock-discipline violations."""
+    path = Path(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="LCK001",
+                path=str(path),
+                line=exc.lineno or 0,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    findings: list[Finding] = []
+    for cls in [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]:
+        declared = _guarded_attrs(cls)
+        if declared is None:
+            continue
+        decl_line, attrs = declared
+        if not attrs:
+            findings.append(
+                Finding(
+                    rule="LCK001",
+                    path=str(path),
+                    line=decl_line,
+                    message=f"{cls.name}._GUARDED_ATTRS must be a non-empty "
+                    "tuple of literal attribute-name strings",
+                    hint="declare the attributes self._lock guards, e.g. "
+                    '_GUARDED_ATTRS = ("_entries", "_nbytes")',
+                )
+            )
+            continue
+        for method in [n for n in cls.body if isinstance(n, ast.FunctionDef)]:
+            if _is_exempt(method):
+                continue
+            walker = _MethodWalker(path, cls, method, attrs, lock_attr)
+            walker.visit(method)
+            findings.extend(walker.findings)
+    return findings
+
+
+def lockcheck_paths(
+    paths: Sequence[Path | str] | None = None,
+    lock_attr: str = DEFAULT_LOCK_ATTR,
+) -> list[Finding]:
+    """Check files/directories; defaults to the runtime + parallel layers."""
+    if paths is None:
+        import repro
+
+        pkg = Path(repro.__file__).resolve().parent
+        paths = [pkg / "runtime", pkg / "parallel"]
+    from repro.analysis.linter import discover_files
+
+    findings: list[Finding] = []
+    for path in discover_files([Path(p) for p in paths]):
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            findings.append(
+                Finding(
+                    rule="LCK001",
+                    path=str(path),
+                    line=0,
+                    message=f"unreadable file: {exc}",
+                )
+            )
+            continue
+        findings.extend(lockcheck_source(source, path, lock_attr=lock_attr))
+    return sort_findings(findings)

@@ -1,0 +1,218 @@
+"""Structural contract rules: SZL004 (registration), SZL005 (error-bound
+declarations), SZL006 (silent exception swallowing).
+
+SZ3's design argument — modular codec stages with machine-checkable
+contracts — is enforced here for the op layer: every op module must be
+reachable from the dispatch registry (SZL004) and must declare how each of
+its kernels propagates the error bound (SZL005), so a new op cannot land
+without stating its contract.  SZL006 keeps codec paths from converting
+corrupt-stream signals into silent garbage.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import (
+    ProjectContext,
+    RuleContext,
+    RuleSpec,
+    register_rule,
+)
+
+#: The error-propagation vocabulary op modules may declare (SZL005).
+PROPAGATION_VOCAB = frozenset(
+    {"exact", "preserved", "scaled", "bounded-additive", "computation"}
+)
+
+_PRIVATE_PREFIX = "_"
+_NON_OP_MODULES = {"dispatch.py", "__init__.py"}
+
+
+def _op_modules_beside(dispatch_path: Path) -> list[Path]:
+    return sorted(
+        p
+        for p in dispatch_path.parent.glob("*.py")
+        if p.name not in _NON_OP_MODULES and not p.name.startswith(_PRIVATE_PREFIX)
+    )
+
+
+def _modules_imported_by(dispatch_source: str, dispatch_path: Path) -> set[str]:
+    """Module basenames the dispatch module imports, by any spelling."""
+    try:
+        tree = ast.parse(dispatch_source, filename=str(dispatch_path))
+    except SyntaxError:
+        return set()
+    imported: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            # from repro.core.ops.negate import negate  -> "negate"
+            imported.add(node.module.rsplit(".", 1)[-1])
+            # from repro.core.ops import negate, reductions -> alias names
+            for alias in node.names:
+                imported.add(alias.name.split(".")[0])
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                imported.add(alias.name.rsplit(".", 1)[-1])
+    return imported
+
+
+def _check_szl004(ctx: ProjectContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for dispatch_path in [p for p in ctx.paths if p.name == "dispatch.py"]:
+        source = ctx.sources.get(dispatch_path)
+        if source is None:
+            try:
+                source = dispatch_path.read_text()
+            except OSError:
+                continue
+        imported = _modules_imported_by(source, dispatch_path)
+        for module in _op_modules_beside(dispatch_path):
+            if module.stem not in imported:
+                findings.append(
+                    Finding(
+                        rule="SZL004",
+                        path=str(module),
+                        line=1,
+                        message=(
+                            f"op module {module.stem!r} sits beside "
+                            f"{dispatch_path.name} but is never imported by "
+                            "it; its operations are unreachable from the "
+                            "registry"
+                        ),
+                        hint="register the module's kernels in dispatch "
+                        "(OPERATIONS or BIVARIATE_OPERATIONS), or prefix the "
+                        "module with '_' if it is internal machinery",
+                    )
+                )
+    return findings
+
+
+register_rule(
+    RuleSpec(
+        rule_id="SZL004",
+        summary="op module present under core/ops/ but not registered in "
+        "dispatch",
+        hint="import and register the module in dispatch.py",
+        tags=frozenset({"ops-module"}),
+        project_checker=_check_szl004,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# SZL005 — op module must declare error-bound propagation
+# ---------------------------------------------------------------------------
+
+
+def _check_szl005(ctx: RuleContext) -> list[Finding]:
+    declaration: ast.Assign | None = None
+    for node in ctx.tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "ERROR_PROPAGATION"
+            for t in node.targets
+        ):
+            declaration = node
+            break
+    if declaration is None:
+        return [
+            ctx.finding(
+                "SZL005",
+                1,
+                "op module declares no ERROR_PROPAGATION mapping; every "
+                "registered operation must state how it propagates the "
+                "error bound",
+                hint="add ERROR_PROPAGATION = {<op name>: <mode>} with modes "
+                f"from {sorted(PROPAGATION_VOCAB)}",
+            )
+        ]
+    findings: list[Finding] = []
+    value = declaration.value
+    if not isinstance(value, ast.Dict) or not value.keys:
+        return [
+            ctx.finding(
+                "SZL005",
+                declaration,
+                "ERROR_PROPAGATION must be a non-empty literal dict of "
+                "op name -> propagation mode",
+                hint="declare one entry per exported operation",
+            )
+        ]
+    for key, val in zip(value.keys, value.values):
+        key_ok = isinstance(key, ast.Constant) and isinstance(key.value, str)
+        val_ok = (
+            isinstance(val, ast.Constant)
+            and isinstance(val.value, str)
+            and val.value in PROPAGATION_VOCAB
+        )
+        if not key_ok or not val_ok:
+            findings.append(
+                ctx.finding(
+                    "SZL005",
+                    val if isinstance(val, ast.AST) else declaration,
+                    "ERROR_PROPAGATION entries must map a literal op-name "
+                    f"string to one of {sorted(PROPAGATION_VOCAB)}",
+                    hint="use literal strings so the contract is statically "
+                    "checkable",
+                )
+            )
+    return findings
+
+
+register_rule(
+    RuleSpec(
+        rule_id="SZL005",
+        summary="op module missing an error-bound-propagation declaration",
+        hint="declare ERROR_PROPAGATION = {op: mode}",
+        tags=frozenset({"ops-module"}),
+        checker=_check_szl005,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# SZL006 — bare except / silent pass in codec paths
+# ---------------------------------------------------------------------------
+
+
+def _check_szl006(ctx: RuleContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            findings.append(
+                ctx.finding(
+                    "SZL006",
+                    node,
+                    "bare 'except:' in a codec path catches SystemExit/"
+                    "KeyboardInterrupt and hides corrupt-stream signals",
+                    hint="catch the specific error (FormatError, "
+                    "StreamFormatError, ValueError) and re-raise or report",
+                )
+            )
+        elif len(node.body) == 1 and isinstance(node.body[0], ast.Pass):
+            findings.append(
+                ctx.finding(
+                    "SZL006",
+                    node,
+                    "exception silently swallowed in a codec path; a corrupt "
+                    "stream would decode to garbage with no diagnostic",
+                    hint="convert the condition to a FormatError (or log it) "
+                    "instead of passing",
+                )
+            )
+    return findings
+
+
+register_rule(
+    RuleSpec(
+        rule_id="SZL006",
+        summary="bare except / silent pass in a codec path",
+        hint="surface the error as FormatError instead of swallowing it",
+        tags=frozenset({"codec", "ops", "runtime"}),
+        checker=_check_szl006,
+    )
+)

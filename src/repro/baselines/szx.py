@@ -70,10 +70,15 @@ class SZx(BaseCompressor):
         bmax = segment_max(vals, layout)
         bmin = -segment_max(-vals, layout)
         half_range = 0.5 * (bmax.astype(np.float64) - bmin.astype(np.float64))
-        constant = half_range <= eps
-        mids = (0.5 * (bmax.astype(np.float64) + bmin.astype(np.float64))).astype(
-            ftype
-        )
+        # The midpoint is *stored* in the stream's precision, so the
+        # constant-block criterion must charge the float64 -> ftype rounding
+        # of the midpoint against the bound: the reconstruction is ``mids``,
+        # not the exact float64 midpoint.  (Narrowing before the criterion
+        # check used to let a block at half_range == eps overshoot the bound
+        # by an ulp of the narrowed midpoint.)
+        mids64 = 0.5 * (bmax.astype(np.float64) + bmin.astype(np.float64))
+        mids = mids64.astype(ftype)
+        constant = half_range + np.abs(mids.astype(np.float64) - mids64) <= eps
 
         # Per-block truncation depth from the largest exponent.
         bits = vals.view(spec["uint"])

@@ -19,7 +19,10 @@ Conventions
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
+import numpy.typing as npt
 
 __all__ = [
     "bit_width",
@@ -35,7 +38,7 @@ __all__ = [
 ]
 
 
-def bit_width(values: np.ndarray) -> np.ndarray:
+def bit_width(values: npt.ArrayLike) -> npt.NDArray[np.uint8]:
     """Return the number of bits needed to represent each unsigned value.
 
     ``bit_width(0) == 0`` by convention (a zero needs no payload bits), and
@@ -64,7 +67,7 @@ def bit_width(values: np.ndarray) -> np.ndarray:
     return out
 
 
-def max_bit_width(values: np.ndarray) -> int:
+def max_bit_width(values: npt.ArrayLike) -> int:
     """Bit width of the largest magnitude in ``values`` (0 for empty/all-zero)."""
     v = np.asarray(values)
     if v.size == 0:
@@ -75,7 +78,7 @@ def max_bit_width(values: np.ndarray) -> int:
     return m.bit_length()
 
 
-def bits_of(values: np.ndarray, width: int) -> np.ndarray:
+def bits_of(values: npt.ArrayLike, width: int) -> npt.NDArray[np.uint8]:
     """Expand unsigned integers into an MSB-first bit array.
 
     Parameters
@@ -109,7 +112,7 @@ def bits_of(values: np.ndarray, width: int) -> np.ndarray:
     return np.ascontiguousarray(bits[:, nbytes * 8 - width :]).reshape(-1)
 
 
-def uints_from_bits(bits: np.ndarray, width: int) -> np.ndarray:
+def uints_from_bits(bits: npt.ArrayLike, width: int) -> npt.NDArray[np.uint64]:
     """Inverse of :func:`bits_of`: reassemble uint64 values from a bit array."""
     b = np.asarray(bits, dtype=np.uint8)
     if width == 0:
@@ -139,12 +142,16 @@ def uints_from_bits(bits: np.ndarray, width: int) -> np.ndarray:
     return out
 
 
-def pack_bits(bits: np.ndarray) -> np.ndarray:
+def pack_bits(bits: npt.ArrayLike) -> npt.NDArray[np.uint8]:
     """Pack a 0/1 bit array into bytes (MSB-first). Pads the tail with zeros."""
     return np.packbits(np.asarray(bits, dtype=np.uint8))
 
 
-def unpack_bits(buf: np.ndarray | bytes, nbits: int, bit_offset: int = 0) -> np.ndarray:
+def unpack_bits(
+    buf: npt.NDArray[np.uint8] | bytes | bytearray | memoryview,
+    nbits: int,
+    bit_offset: int = 0,
+) -> npt.NDArray[np.uint8]:
     """Unpack ``nbits`` bits starting at ``bit_offset`` from a byte buffer."""
     raw = np.frombuffer(buf, dtype=np.uint8) if isinstance(buf, (bytes, bytearray, memoryview)) else np.asarray(buf, dtype=np.uint8)
     first_byte = bit_offset // 8
@@ -159,14 +166,17 @@ def unpack_bits(buf: np.ndarray | bytes, nbits: int, bit_offset: int = 0) -> np.
     return window[start : start + nbits]
 
 
-def pack_uints(values: np.ndarray, width: int) -> np.ndarray:
+def pack_uints(values: npt.ArrayLike, width: int) -> npt.NDArray[np.uint8]:
     """Pack unsigned integers at a fixed bit width into a byte buffer."""
     return pack_bits(bits_of(values, width))
 
 
 def unpack_uints(
-    buf: np.ndarray | bytes, count: int, width: int, bit_offset: int = 0
-) -> np.ndarray:
+    buf: npt.NDArray[np.uint8] | bytes | bytearray | memoryview,
+    count: int,
+    width: int,
+    bit_offset: int = 0,
+) -> npt.NDArray[np.uint64]:
     """Unpack ``count`` fixed-width unsigned integers from a byte buffer."""
     if width == 0:
         return np.zeros(count, dtype=np.uint64)
@@ -174,7 +184,9 @@ def unpack_uints(
     return uints_from_bits(bits, width)
 
 
-def exclusive_cumsum(lengths: np.ndarray, dtype=np.int64) -> np.ndarray:
+def exclusive_cumsum(
+    lengths: npt.ArrayLike, dtype: npt.DTypeLike = np.int64
+) -> npt.NDArray[Any]:
     """Exclusive prefix sum: ``out[i] = sum(lengths[:i])``."""
     lens = np.asarray(lengths, dtype=dtype)
     out = np.empty(lens.size + 1, dtype=dtype)
@@ -183,7 +195,9 @@ def exclusive_cumsum(lengths: np.ndarray, dtype=np.int64) -> np.ndarray:
     return out[:-1]
 
 
-def ragged_arange(lengths: np.ndarray, starts: np.ndarray | None = None) -> np.ndarray:
+def ragged_arange(
+    lengths: npt.ArrayLike, starts: npt.ArrayLike | None = None
+) -> npt.NDArray[np.int64]:
     """Concatenate ``arange(l) + s`` for each (length, start) pair, vectorized.
 
     This is the index kernel behind ragged gather/scatter: with

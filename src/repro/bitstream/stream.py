@@ -16,7 +16,10 @@ from __future__ import annotations
 
 import struct
 
+from typing import Any
+
 import numpy as np
+import numpy.typing as npt
 
 __all__ = ["ByteWriter", "ByteReader", "StreamFormatError"]
 
@@ -40,7 +43,9 @@ class ByteWriter:
         self._parts.append(raw)
         self._size += len(raw)
 
-    def write_bytes(self, raw: bytes | bytearray | memoryview | np.ndarray) -> None:
+    def write_bytes(
+        self, raw: bytes | bytearray | memoryview | npt.NDArray[Any]
+    ) -> None:
         """Write a raw byte section verbatim."""
         if isinstance(raw, np.ndarray):
             raw = np.ascontiguousarray(raw, dtype=np.uint8).tobytes()
@@ -67,7 +72,7 @@ class ByteWriter:
         self.write_u32(len(raw))
         self._append(raw)
 
-    def write_array(self, arr: np.ndarray) -> None:
+    def write_array(self, arr: npt.NDArray[Any]) -> None:
         """Write a length-prefixed array plane (dtype + nbytes + data)."""
         a = np.ascontiguousarray(arr)
         self.write_str(a.dtype.str)
@@ -82,7 +87,9 @@ class ByteWriter:
 class ByteReader:
     """Sequential reader mirroring :class:`ByteWriter`."""
 
-    def __init__(self, buf: bytes | bytearray | memoryview | np.ndarray) -> None:
+    def __init__(
+        self, buf: bytes | bytearray | memoryview | npt.NDArray[Any]
+    ) -> None:
         if isinstance(buf, np.ndarray):
             buf = np.ascontiguousarray(buf, dtype=np.uint8).tobytes()
         self._buf = memoryview(bytes(buf))
@@ -108,25 +115,25 @@ class ByteReader:
         return bytes(self._take(n))
 
     def read_u8(self) -> int:
-        return struct.unpack("<B", self._take(1))[0]
+        return int(struct.unpack("<B", self._take(1))[0])
 
     def read_u32(self) -> int:
-        return struct.unpack("<I", self._take(4))[0]
+        return int(struct.unpack("<I", self._take(4))[0])
 
     def read_u64(self) -> int:
-        return struct.unpack("<Q", self._take(8))[0]
+        return int(struct.unpack("<Q", self._take(8))[0])
 
     def read_i64(self) -> int:
-        return struct.unpack("<q", self._take(8))[0]
+        return int(struct.unpack("<q", self._take(8))[0])
 
     def read_f64(self) -> float:
-        return struct.unpack("<d", self._take(8))[0]
+        return float(struct.unpack("<d", self._take(8))[0])
 
     def read_str(self) -> str:
         n = self.read_u32()
         return bytes(self._take(n)).decode("utf-8")
 
-    def read_array(self) -> np.ndarray:
+    def read_array(self) -> npt.NDArray[Any]:
         dtype = np.dtype(self.read_str())
         size = self.read_u64()
         raw = self._take(size * dtype.itemsize)

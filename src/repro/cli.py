@@ -109,6 +109,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--time", action="store_true", help="print the chain's wall time"
     )
 
+    p = sub.add_parser(
+        "lint",
+        help="run the static analysis passes (szops-lint + lockcheck)",
+        description=(
+            "Run the domain-aware static analysis passes over python "
+            "sources: the SZL lint rules and the LCK lock-discipline "
+            "check. With no paths, lints the installed repro package. "
+            "Exits 1 when any error-severity finding remains."
+        ),
+    )
+    p.add_argument(
+        "paths", nargs="*", type=Path, help="files or directories (default: repro)"
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    p.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (e.g. SZL001,SZL004)",
+    )
+    p.add_argument(
+        "--no-lockcheck",
+        action="store_true",
+        help="skip the lock-discipline pass",
+    )
+
+    p = sub.add_parser(
+        "verify-stream",
+        help="statically verify serialized streams without decompressing",
+        description=(
+            "Check container structure of serialized SZOps/SZp streams: "
+            "magic, version, header plausibility, per-block bit widths, "
+            "section sizes against the width plane, offset monotonicity, "
+            "trailing bytes. Exits 1 on any error finding."
+        ),
+    )
+    p.add_argument("inputs", nargs="+", type=Path)
+    p.add_argument(
+        "--stream-format",
+        choices=("auto", "szops", "szp"),
+        default="auto",
+        help="container format (auto sniffs the SZOps magic)",
+    )
+    p.add_argument(
+        "--n-elements",
+        type=int,
+        default=None,
+        help="element count (required for SZp payloads, which omit it)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+
     return parser
 
 
@@ -235,6 +289,37 @@ def _cmd_chain(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import lint_paths, lockcheck_paths
+    from repro.analysis.findings import Report, render_json, render_text
+
+    select = args.select.split(",") if args.select else None
+    paths = args.paths or None
+    findings = lint_paths(paths, select=select)
+    if not args.no_lockcheck and select is None:
+        findings = findings + lockcheck_paths(paths)
+    render = render_json if args.fmt == "json" else render_text
+    print(render(findings))
+    return Report(findings).exit_code
+
+
+def _cmd_verify_stream(args) -> int:
+    from repro.analysis import verify_file
+    from repro.analysis.findings import Report, render_json, render_text
+
+    fmt = None if args.stream_format == "auto" else args.stream_format
+    findings = []
+    for path in args.inputs:
+        try:
+            findings.extend(verify_file(path, fmt=fmt, n_elements=args.n_elements))
+        except (OSError, ValueError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+    render = render_json if args.fmt == "json" else render_text
+    print(render(findings))
+    return Report(findings).exit_code
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
@@ -242,6 +327,8 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "op": _cmd_op,
     "chain": _cmd_chain,
+    "lint": _cmd_lint,
+    "verify-stream": _cmd_verify_stream,
 }
 
 

@@ -109,7 +109,9 @@ def decode_stored_blocks(c: SZOpsCompressed) -> StoredBlocks:
     )
     q = ragged_cumsum(deltas, stored_lens)
     if q.size:
-        q += np.repeat(c.outliers[stored], stored_lens)
+        # Reconstructs the original quantized values, which compression
+        # guarded to |q| < Q_LIMIT — the sum cannot leave int64.
+        q += np.repeat(c.outliers[stored], stored_lens)  # szops: ignore[SZL001]
     return StoredBlocks(
         q=q,
         lens=stored_lens,
@@ -131,7 +133,9 @@ def requantize(q: np.ndarray, factor: float) -> np.ndarray:
     with np.errstate(over="ignore"):  # the guard below reports the overflow
         scaled = np.rint(np.asarray(q, dtype=np.float64) * factor)
     if scaled.size and (
-        not np.all(np.isfinite(scaled)) or np.abs(scaled).max() >= float(Q_LIMIT)
+        # isfinite runs first, so the >= comparison never sees NaN/inf.
+        not np.all(np.isfinite(scaled))
+        or np.abs(scaled).max() >= float(Q_LIMIT)  # szops: ignore[SZL003]
     ):
         raise OperationError(
             "scalar multiplication overflows the quantized integer range; "

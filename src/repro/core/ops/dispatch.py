@@ -14,21 +14,40 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.errors import OperationError
 from repro.core.format import SZOpsCompressed
+from repro.core.ops import multivariate
+from repro.core.ops.negate import ERROR_PROPAGATION as _NEGATE_PROPAGATION
 from repro.core.ops.negate import negate
+from repro.core.ops.reductions import ERROR_PROPAGATION as _REDUCE_PROPAGATION
 from repro.core.ops.reductions import maximum, mean, minimum, std, variance
+from repro.core.ops.scalar_add import ERROR_PROPAGATION as _SHIFT_PROPAGATION
 from repro.core.ops.scalar_add import scalar_add, scalar_subtract
+from repro.core.ops.scalar_mul import ERROR_PROPAGATION as _SCALE_PROPAGATION
 from repro.core.ops.scalar_mul import scalar_multiply
 
 __all__ = [
     "OpSpec",
+    "BivariateOpSpec",
     "OPERATIONS",
+    "BIVARIATE_OPERATIONS",
     "FUSABLE_OPERATIONS",
     "CHAIN_REDUCTIONS",
     "apply_operation",
+    "apply_bivariate",
     "apply_chain",
     "normalize_chain",
     "operation_names",
 ]
+
+#: Error-bound propagation mode of every registered operation, collected
+#: from the op modules' ERROR_PROPAGATION declarations (lint rule SZL005
+#: keeps the declarations present and well-formed at the source).
+ERROR_PROPAGATION: dict[str, str] = {
+    **_NEGATE_PROPAGATION,
+    **_SHIFT_PROPAGATION,
+    **_SCALE_PROPAGATION,
+    **_REDUCE_PROPAGATION,
+    **multivariate.ERROR_PROPAGATION,
+}
 
 
 @dataclass(frozen=True)
@@ -45,6 +64,10 @@ class OpSpec:
         ``"partial"`` (partial decompression to the quantized domain).
     needs_scalar : whether the kernel takes a scalar operand.
     fn : the kernel; signature ``fn(c)`` or ``fn(c, s)``.
+    error_propagation : how the operation propagates the stream's error
+        bound, sourced from the op module's ERROR_PROPAGATION declaration
+        (``exact`` / ``preserved`` / ``scaled`` / ``bounded-additive`` /
+        ``computation``; see docs/ANALYSIS.md).
     """
 
     name: str
@@ -53,14 +76,19 @@ class OpSpec:
     space: str
     needs_scalar: bool
     fn: Callable[..., Any]
+    error_propagation: str = "computation"
+
+
+def _spec(name: str, kind: str, result: str, space: str, needs_scalar: bool, fn) -> OpSpec:
+    return OpSpec(name, kind, result, space, needs_scalar, fn, ERROR_PROPAGATION[name])
 
 
 OPERATIONS: dict[str, OpSpec] = {
     spec.name: spec
     for spec in [
-        OpSpec("negation", "operation", "compression", "full", False, negate),
-        OpSpec("scalar_add", "operation", "compression", "full", True, scalar_add),
-        OpSpec(
+        _spec("negation", "operation", "compression", "full", False, negate),
+        _spec("scalar_add", "operation", "compression", "full", True, scalar_add),
+        _spec(
             "scalar_subtract",
             "operation",
             "compression",
@@ -68,7 +96,7 @@ OPERATIONS: dict[str, OpSpec] = {
             True,
             scalar_subtract,
         ),
-        OpSpec(
+        _spec(
             "scalar_multiply",
             "operation",
             "compression",
@@ -76,11 +104,74 @@ OPERATIONS: dict[str, OpSpec] = {
             True,
             scalar_multiply,
         ),
-        OpSpec("mean", "reduction", "computation", "partial", False, mean),
-        OpSpec("variance", "reduction", "computation", "partial", False, variance),
-        OpSpec("std", "reduction", "computation", "partial", False, std),
+        _spec("mean", "reduction", "computation", "partial", False, mean),
+        _spec("variance", "reduction", "computation", "partial", False, variance),
+        _spec("std", "reduction", "computation", "partial", False, std),
     ]
 }
+
+
+@dataclass(frozen=True)
+class BivariateOpSpec:
+    """A registered two-stream operation (Section VII future work).
+
+    Same registry idiom as :class:`OpSpec`, but the kernel takes two
+    compressed operands sharing geometry and error bound.
+    """
+
+    name: str
+    result: str
+    space: str
+    error_propagation: str
+    fn: Callable[[SZOpsCompressed, SZOpsCompressed], Any]
+
+
+BIVARIATE_OPERATIONS: dict[str, BivariateOpSpec] = {
+    spec.name: spec
+    for spec in [
+        BivariateOpSpec(
+            "add", "compression", "partial", ERROR_PROPAGATION["add"], multivariate.add
+        ),
+        BivariateOpSpec(
+            "subtract",
+            "compression",
+            "partial",
+            ERROR_PROPAGATION["subtract"],
+            multivariate.subtract,
+        ),
+        BivariateOpSpec(
+            "dot", "computation", "partial", ERROR_PROPAGATION["dot"], multivariate.dot
+        ),
+        BivariateOpSpec(
+            "l2_distance",
+            "computation",
+            "partial",
+            ERROR_PROPAGATION["l2_distance"],
+            multivariate.l2_distance,
+        ),
+        BivariateOpSpec(
+            "cosine_similarity",
+            "computation",
+            "partial",
+            ERROR_PROPAGATION["cosine_similarity"],
+            multivariate.cosine_similarity,
+        ),
+    ]
+}
+
+
+def apply_bivariate(
+    a: SZOpsCompressed, b: SZOpsCompressed, name: str
+) -> SZOpsCompressed | float:
+    """Apply a named two-stream operation (add/subtract/distances)."""
+    try:
+        spec = BIVARIATE_OPERATIONS[name]
+    except KeyError:
+        raise OperationError(
+            f"unknown bivariate operation {name!r}; valid: "
+            f"{', '.join(BIVARIATE_OPERATIONS)}"
+        ) from None
+    return spec.fn(a, b)
 
 
 def operation_names() -> list[str]:

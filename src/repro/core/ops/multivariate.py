@@ -33,6 +33,16 @@ from repro.core.ops._partial import StoredBlocks, stored_quantized
 
 __all__ = ["add", "subtract", "dot", "l2_distance", "cosine_similarity"]
 
+#: How each exported operation propagates the stream's error bound
+#: (vocabulary in docs/ANALYSIS.md, checked by lint rule SZL005).
+ERROR_PROPAGATION = {
+    "add": "bounded-additive",
+    "subtract": "bounded-additive",
+    "dot": "computation",
+    "l2_distance": "computation",
+    "cosine_similarity": "computation",
+}
+
 
 def _require_compatible(a: SZOpsCompressed, b: SZOpsCompressed) -> None:
     if a.shape != b.shape:
@@ -182,6 +192,8 @@ def cosine_similarity(a: SZOpsCompressed, b: SZOpsCompressed) -> float:
     """Cosine similarity of the represented arrays."""
     s_ab, s_aa, s_bb = _pair_moments(a, b)
     denom = math.sqrt(s_aa) * math.sqrt(s_bb)
-    if denom == 0.0:
+    # NaN is impossible by construction: s_aa/s_bb are sums of squares of
+    # finite int64 bins accumulated in float64, so both are finite and >= 0.
+    if denom == 0.0:  # szops: ignore[SZL003]
         raise OperationError("cosine similarity undefined for a zero array")
     return s_ab / denom

@@ -18,6 +18,10 @@ from repro.core.format import SZOpsCompressed
 
 __all__ = ["negate"]
 
+#: How each exported operation propagates the stream's error bound
+#: (vocabulary in docs/ANALYSIS.md, checked by lint rule SZL005).
+ERROR_PROPAGATION = {"negation": "exact"}
+
 
 def _flip_sign_bits(sign_bytes: np.ndarray, n_bits: int) -> np.ndarray:
     """Invert a packed bitmap, keeping the final byte's padding bits zero."""

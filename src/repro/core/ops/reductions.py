@@ -37,6 +37,19 @@ __all__ = [
     "value_range",
 ]
 
+#: How each exported reduction propagates the stream's error bound
+#: (vocabulary in docs/ANALYSIS.md, checked by lint rule SZL005).
+ERROR_PROPAGATION = {
+    "mean": "computation",
+    "variance": "computation",
+    "std": "computation",
+    "block_means": "computation",
+    "summary_statistics": "computation",
+    "minimum": "computation",
+    "maximum": "computation",
+    "value_range": "computation",
+}
+
 
 def _quantized_sum(blocks: StoredBlocks) -> float:
     """Sum of all quantized values, constant blocks in closed form."""
@@ -102,7 +115,11 @@ def block_means(c: SZOpsCompressed) -> np.ndarray:
     lens = layout.lengths().astype(np.float64)
     sums = np.empty(layout.n_blocks, dtype=np.float64)
     if blocks.const_outliers.size:
-        sums[~blocks.stored_mask] = blocks.const_outliers * blocks.const_lens
+        # Widen before multiplying: outlier * block-length products of two
+        # int64 planes can exceed int64 near the Q_LIMIT guard.
+        sums[~blocks.stored_mask] = (
+            blocks.const_outliers.astype(np.float64) * blocks.const_lens
+        )
     if blocks.q.size:
         from repro.bitstream import exclusive_cumsum
 

@@ -25,17 +25,53 @@ paper claims.  DESIGN.md records this deviation.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.errors import OperationError
 from repro.core.format import SZOpsCompressed
+from repro.core.ops._partial import Q_LIMIT
 from repro.core.quantize import dequantize_scalar, quantize_scalar
 
-__all__ = ["scalar_add", "scalar_subtract", "quantized_scalar_shift"]
+__all__ = [
+    "scalar_add",
+    "scalar_subtract",
+    "quantized_scalar_shift",
+    "shift_outliers",
+]
+
+#: How each exported operation propagates the stream's error bound
+#: (vocabulary in docs/ANALYSIS.md, checked by lint rule SZL005).
+ERROR_PROPAGATION = {
+    "scalar_add": "preserved",
+    "scalar_subtract": "preserved",
+}
 
 
 def quantized_scalar_shift(s: float, eps: float) -> tuple[int, float]:
     """Quantize the scalar operand; returns (bin index, representative value)."""
     rho = quantize_scalar(s, eps)
     return rho, dequantize_scalar(rho, eps)
+
+
+def shift_outliers(out: SZOpsCompressed, rho: int) -> None:
+    """Shift the outlier plane by ``rho`` bins, guarding int64 overflow.
+
+    The outlier plane holds quantized first values, guarded to
+    ``|q| < Q_LIMIT`` at compression time; an unchecked shift by a huge
+    quantized scalar could wrap int64 and decode to a valid-looking stream
+    representing garbage.  Shared by the eager kernels below and the lazy
+    fusion runtime so both paths fail identically.
+    """
+    rho = int(rho)
+    if rho == 0 or not out.outliers.size:
+        return
+    peak = int(np.abs(out.outliers).max()) + abs(rho)
+    if peak >= int(Q_LIMIT):
+        raise OperationError(
+            "scalar shift overflows the quantized integer range; use a "
+            "larger error bound or a smaller scalar"
+        )
+    out.outliers += rho  # szops: ignore[SZL001] -- peak bounded by Q_LIMIT above
 
 
 def scalar_add(c: SZOpsCompressed, s: float, inplace: bool = False) -> SZOpsCompressed:
@@ -47,7 +83,7 @@ def scalar_add(c: SZOpsCompressed, s: float, inplace: bool = False) -> SZOpsComp
     """
     out = c if inplace else c.copy()
     rho, _ = quantized_scalar_shift(s, out.eps)
-    out.outliers += rho
+    shift_outliers(out, rho)
     return out
 
 
@@ -64,7 +100,7 @@ def scalar_subtract(
     """
     out = c if inplace else c.copy()
     rho, _ = quantized_scalar_shift(s, out.eps)
-    out.outliers -= rho
+    shift_outliers(out, -rho)
     return out
 
 

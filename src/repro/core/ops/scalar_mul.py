@@ -30,6 +30,10 @@ from repro.core.ops.scalar_add import quantized_scalar_shift
 
 __all__ = ["scalar_multiply"]
 
+#: How each exported operation propagates the stream's error bound
+#: (vocabulary in docs/ANALYSIS.md, checked by lint rule SZL005).
+ERROR_PROPAGATION = {"scalar_multiply": "scaled"}
+
 
 def scalar_multiply(c: SZOpsCompressed, s: float) -> SZOpsCompressed:
     """Multiply every element by the scalar ``s``, re-encoding in place.

@@ -11,6 +11,7 @@ statistics example does.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -31,16 +32,25 @@ class ChunkedExecutor:
     >>> ex.close()
     """
 
+    # Lock discipline (verified lexically by `repro.cli lint`'s lockcheck
+    # pass): every mutation of these attributes must hold self._lock.  An
+    # executor may be shared across threads — e.g. several in-situ fields
+    # reducing concurrently — and an unguarded lazy `_ensure_pool` can
+    # create two pools and leak one.
+    _GUARDED_ATTRS = ("_pool",)
+
     def __init__(self, n_threads: int = 1) -> None:
         if n_threads <= 0:
             raise ValueError("n_threads must be positive")
         self.n_threads = n_threads
+        self._lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self.n_threads)
-        return self._pool
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self.n_threads)
+            return self._pool
 
     def map_ranges(
         self, fn: Callable[[int, int], R], n_items: int
@@ -66,9 +76,12 @@ class ChunkedExecutor:
         return [f.result() for f in futures]
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            # Shut down outside the lock: worker threads may re-enter
+            # map_* methods while draining.
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "ChunkedExecutor":
         return self

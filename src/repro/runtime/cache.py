@@ -97,6 +97,12 @@ class DecodedBlockCache:
         budget are returned uncached rather than thrashing the LRU.
     """
 
+    # Lock discipline (verified lexically by `repro.cli lint`'s lockcheck
+    # pass): every mutation of these attributes must hold self._lock; the
+    # `_evict_locked` naming convention marks helpers that require the
+    # caller to already hold it.
+    _GUARDED_ATTRS = ("_entries", "_nbytes", "stats")
+
     def __init__(self, max_entries: int = 32, max_bytes: int = 256 << 20) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")

@@ -61,7 +61,7 @@ from repro.core.ops._partial import (
 )
 from repro.core.ops.negate import negate as eager_negate
 from repro.core.ops.reductions import _quantized_sq_dev, _quantized_sum
-from repro.core.ops.scalar_add import quantized_scalar_shift
+from repro.core.ops.scalar_add import quantized_scalar_shift, shift_outliers
 from repro.core.quantize import dequantize, quantize_scalar
 
 __all__ = ["LazyStream", "IntAffine", "Requantize", "lazy"]
@@ -238,7 +238,7 @@ class LazyStream:
             (step,) = self.steps
             out = eager_negate(self.base) if step.sigma < 0 else self.base.copy()
             if step.shift:
-                out.outliers += step.shift
+                shift_outliers(out, step.shift)
             return out
         blocks = self._transformed_blocks()
         return rebuild_stored(self.base, blocks, blocks.q, blocks.const_outliers)

@@ -1,0 +1,15 @@
+"""SZL001 negative: widened or guarded quantized arithmetic passes."""
+
+import numpy as np
+
+
+def scaled_sums(blocks):
+    # Widening one operand to float64 leaves the overflow-prone lane.
+    return blocks.const_outliers.astype(np.float64) * blocks.const_lens
+
+
+def shift(out, rho, q_limit):
+    if int(np.abs(out.outliers).max()) + abs(rho) >= q_limit:
+        raise OverflowError("shift would overflow")
+    out.outliers += rho  # szops: ignore[SZL001] -- guarded just above
+    return out

@@ -1,0 +1,14 @@
+"""SZL001 positive: unwidened integer arithmetic on quantized planes."""
+
+import numpy as np
+
+
+def scaled_sums(blocks):
+    # int64 * int64 product of two quantized-domain planes: can wrap.
+    return blocks.const_outliers * blocks.const_lens
+
+
+def shift(out, rho):
+    # In-place shift of a quantized plane with no range guard.
+    out.outliers += rho
+    return out

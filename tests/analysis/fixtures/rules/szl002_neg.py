@@ -1,0 +1,14 @@
+"""SZL002 negative: narrowing stored values at an I/O boundary passes."""
+
+import numpy as np
+
+
+def midpoints(bmax, bmin):
+    mids64 = 0.5 * (bmax + bmin)
+    # Narrowing a *name* (stored intermediate) at the boundary is the
+    # sanctioned idiom; the criterion upstream accounts for the cast.
+    return mids64.astype(np.float32)
+
+
+def widen(values):
+    return values.astype(np.float64)

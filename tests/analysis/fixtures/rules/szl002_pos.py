@@ -1,0 +1,13 @@
+"""SZL002 positive: computed float64 values narrowed to float32."""
+
+import numpy as np
+
+
+def midpoints(bmax, bmin):
+    # Narrowing the computed midpoint drops ulps the error bound may need.
+    return (0.5 * (bmax + bmin)).astype(np.float32)
+
+
+def conditional_narrow(values, single):
+    ftype = np.float32 if single else np.float64
+    return (values * 2.0).astype(ftype)

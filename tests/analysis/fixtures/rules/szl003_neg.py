@@ -1,0 +1,12 @@
+"""SZL003 negative: isfinite-guarded comparison passes."""
+
+import numpy as np
+
+
+def guard(values, factor):
+    scaled = np.rint(values * factor)
+    if not np.all(np.isfinite(scaled)):
+        raise OverflowError("scale produced non-finite values")
+    if scaled.max() >= 2.0**62:
+        raise OverflowError("scale overflows the quantized range")
+    return scaled

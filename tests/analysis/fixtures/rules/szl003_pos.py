@@ -1,0 +1,11 @@
+"""SZL003 positive: NaN-unsafe comparison on a float-domain value."""
+
+import numpy as np
+
+
+def guard(values, factor):
+    scaled = np.rint(values * factor)
+    # NaN compares False against every threshold, slipping past the guard.
+    if scaled.max() >= 2.0**62:
+        raise OverflowError("scale overflows the quantized range")
+    return scaled

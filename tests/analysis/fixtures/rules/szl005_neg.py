@@ -1,0 +1,8 @@
+# szops-lint-scope: ops-module
+"""SZL005 negative: op module declaring its error-propagation class."""
+
+ERROR_PROPAGATION = {"scalar_triple": "scaled"}
+
+
+def scalar_triple(blocks):
+    return blocks

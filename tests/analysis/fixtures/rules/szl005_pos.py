@@ -1,0 +1,6 @@
+# szops-lint-scope: ops-module
+"""SZL005 positive: op module with no error-propagation declaration."""
+
+
+def scalar_triple(blocks):
+    return blocks

@@ -1,0 +1,12 @@
+"""SZL006 negative: typed handlers that surface or translate errors."""
+
+
+class FormatError(ValueError):
+    pass
+
+
+def read_header(stream):
+    try:
+        return stream.read_u32()
+    except ValueError as exc:
+        raise FormatError("truncated header") from exc

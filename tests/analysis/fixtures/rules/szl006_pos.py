@@ -1,0 +1,15 @@
+"""SZL006 positive: silent exception swallowing in a codec path."""
+
+
+def read_header(stream):
+    try:
+        return stream.read_u32()
+    except Exception:
+        pass
+
+
+def read_magic(stream):
+    try:
+        return stream.read_bytes(5)
+    except:  # noqa: E722
+        return b""

@@ -1,0 +1,5 @@
+"""Miniature dispatch module: imports one sibling, misses the other."""
+
+from tests.analysis.fixtures.szl004_pkg import registered
+
+OPERATIONS = {"registered_op": registered.registered_op}

@@ -1,0 +1,92 @@
+"""szops-lint: one positive and one negative fixture per SZL rule, plus
+driver behaviour (suppressions, scope tags, tree-wide cleanliness)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.linter import default_target, scope_tags
+
+FIXTURES = Path(__file__).parent / "fixtures"
+RULES_DIR = FIXTURES / "rules"
+
+
+def _rules_in(path: Path) -> set[str]:
+    return {f.rule for f in lint_source(path.read_text(), path)}
+
+
+@pytest.mark.parametrize("rule", ["SZL001", "SZL002", "SZL003", "SZL005", "SZL006"])
+def test_positive_fixture_fires_exactly_its_rule(rule: str) -> None:
+    path = RULES_DIR / f"{rule.lower()}_pos.py"
+    assert _rules_in(path) == {rule}
+
+
+@pytest.mark.parametrize("rule", ["SZL001", "SZL002", "SZL003", "SZL005", "SZL006"])
+def test_negative_fixture_is_clean(rule: str) -> None:
+    path = RULES_DIR / f"{rule.lower()}_neg.py"
+    assert _rules_in(path) == set()
+
+
+def test_szl004_flags_unimported_op_module() -> None:
+    findings = lint_paths([FIXTURES / "szl004_pkg"])
+    rules = {f.rule for f in findings}
+    assert rules == {"SZL004"}
+    (finding,) = findings
+    assert finding.path.endswith("orphan.py")
+    assert "never imported" in finding.message
+
+
+def test_szl000_on_syntax_error() -> None:
+    findings = lint_source("def broken(:\n    pass\n", "bad.py")
+    assert [f.rule for f in findings] == ["SZL000"]
+
+
+def test_suppression_is_line_granular() -> None:
+    src = (
+        "q = load()\n"
+        "q *= 3  # szops: ignore[SZL001]\n"
+        "q *= 5\n"
+    )
+    findings = lint_source(src, "frag.py")
+    assert [(f.rule, f.line) for f in findings] == [("SZL001", 3)]
+
+
+def test_blanket_suppression_without_bracket() -> None:
+    src = "q = load()\nq *= 3  # szops: ignore\n"
+    assert lint_source(src, "frag.py") == []
+
+
+def test_suppressing_other_rule_does_not_hide_finding() -> None:
+    src = "q = load()\nq *= 3  # szops: ignore[SZL006]\n"
+    assert [f.rule for f in lint_source(src, "frag.py")] == ["SZL001"]
+
+
+def test_select_restricts_rules() -> None:
+    path = RULES_DIR / "szl001_pos.py"
+    findings = lint_source(path.read_text(), path, select=["SZL002"])
+    assert findings == []
+
+
+def test_scope_marker_overrides_defaults() -> None:
+    src = "# szops-lint-scope: ops-module\nx = 1\n"
+    assert scope_tags(Path("anything.py"), src) == frozenset({"ops-module"})
+
+
+def test_loose_file_default_tags_exclude_ops_module() -> None:
+    tags = scope_tags(Path("loose.py"), "x = 1\n")
+    assert "ops-module" not in tags
+    assert {"ops", "codec", "runtime"} <= tags
+
+
+def test_ops_package_module_gets_ops_module_tag() -> None:
+    target = default_target() / "core" / "ops" / "negate.py"
+    tags = scope_tags(target, target.read_text())
+    assert "ops-module" in tags
+
+
+def test_installed_tree_is_clean() -> None:
+    # The acceptance bar: the shipped package has zero findings.
+    assert lint_paths() == []

@@ -1,0 +1,132 @@
+"""lockcheck: lock-discipline verification on guarded attributes."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import lockcheck_paths, lockcheck_source
+
+GUARDED_CACHE = textwrap.dedent(
+    """
+    import threading
+
+    class Cache:
+        _GUARDED_ATTRS = ("_entries", "_nbytes")
+
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._entries = {}
+            self._nbytes = 0
+
+        def put(self, key, value, size):
+            with self._lock:
+                self._entries[key] = value
+                self._nbytes += size
+
+        def clear(self):
+            with self._lock:
+                self._entries.clear()
+                self._nbytes = 0
+    """
+)
+
+
+UNGUARDED_CACHE = textwrap.dedent(
+    """
+    import threading
+
+    class Cache:
+        _GUARDED_ATTRS = ("_entries", "_nbytes")
+
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._entries = {}
+            self._nbytes = 0
+
+        def put(self, key, value, size):
+            self._entries[key] = value
+            self._nbytes += size
+    """
+)
+
+
+def test_guarded_class_is_clean() -> None:
+    assert lockcheck_source(GUARDED_CACHE, "cache.py") == []
+
+
+def test_unguarded_mutation_is_caught() -> None:
+    findings = lockcheck_source(UNGUARDED_CACHE, "cache.py")
+    assert findings, "deliberately unguarded mutation must be flagged"
+    assert all(f.rule == "LCK001" for f in findings)
+    assert any("_entries" in f.message for f in findings)
+    assert any("_nbytes" in f.message for f in findings)
+
+
+def test_init_is_exempt() -> None:
+    # __init__ publishes the object before any concurrent access exists,
+    # so its unlocked stores to _entries/_nbytes must not be findings.
+    findings = lockcheck_source(GUARDED_CACHE, "cache.py")
+    assert findings == []
+
+
+def test_mutating_method_call_is_caught() -> None:
+    src = GUARDED_CACHE + textwrap.dedent(
+        """
+        class Leaky(Cache):
+            _GUARDED_ATTRS = ("_entries",)
+
+            def __init__(self):
+                super().__init__()
+
+            def drop(self, key):
+                self._entries.pop(key, None)
+        """
+    )
+    findings = lockcheck_source(src, "cache.py")
+    assert [f.rule for f in findings] == ["LCK001"]
+    assert "pop" in findings[0].message or "_entries" in findings[0].message
+
+
+def test_locked_suffix_method_exempt_but_call_site_checked() -> None:
+    src = textwrap.dedent(
+        """
+        import threading
+
+        class Store:
+            _GUARDED_ATTRS = ("_items",)
+
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def _append_locked(self, item):
+                self._items.append(item)
+
+            def add_ok(self, item):
+                with self._lock:
+                    self._append_locked(item)
+
+            def add_bad(self, item):
+                self._append_locked(item)
+        """
+    )
+    findings = lockcheck_source(src, "store.py")
+    assert len(findings) == 1
+    assert findings[0].rule == "LCK001"
+    assert "add_bad" in findings[0].message or "_append_locked" in findings[0].message
+
+
+def test_empty_guarded_attrs_is_a_finding() -> None:
+    src = "class C:\n    _GUARDED_ATTRS = ()\n"
+    findings = lockcheck_source(src, "c.py")
+    assert [f.rule for f in findings] == ["LCK001"]
+    assert "non-empty" in findings[0].message
+
+
+def test_class_without_declaration_is_skipped() -> None:
+    src = "class C:\n    def poke(self):\n        self._entries = {}\n"
+    assert lockcheck_source(src, "c.py") == []
+
+
+def test_shipped_runtime_and_parallel_layers_are_clean() -> None:
+    assert lockcheck_paths() == []
