@@ -278,12 +278,17 @@ def lockcheck_paths(
     paths: Sequence[Path | str] | None = None,
     lock_attr: str = DEFAULT_LOCK_ATTR,
 ) -> list[Finding]:
-    """Check files/directories; defaults to the runtime + parallel layers."""
+    """Check files/directories; defaults to every lock-guarded layer.
+
+    The default set is the runtime + parallel packages plus the compressor
+    module, which shares its lazily-built backend pool between threads the
+    same way the executor and backends share theirs.
+    """
     if paths is None:
         import repro
 
         pkg = Path(repro.__file__).resolve().parent
-        paths = [pkg / "runtime", pkg / "parallel"]
+        paths = [pkg / "runtime", pkg / "parallel", pkg / "core" / "compressor.py"]
     from repro.analysis.linter import discover_files
 
     findings: list[Finding] = []

@@ -43,6 +43,21 @@ def _parse_shape(text: str) -> tuple[int, ...]:
     return dims
 
 
+def _add_backend_arg(p: argparse.ArgumentParser) -> None:
+    from repro.core.config import VALID_BACKENDS
+
+    p.add_argument(
+        "--backend",
+        choices=VALID_BACKENDS,
+        default="threads",
+        help=(
+            "execution backend for the chunked hot paths (processes = warm "
+            "worker pool with shared-memory transport); all backends produce "
+            "bit-identical results"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -59,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dtype", choices=sorted(_DTYPES), default="f32")
     p.add_argument("--block-size", type=int, default=64)
     p.add_argument("--threads", type=int, default=1)
+    _add_backend_arg(p)
 
     p = sub.add_parser("decompress", help="decompress a stream to raw binary")
     p.add_argument("input", type=Path)
@@ -103,11 +119,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--threads",
         type=int,
         default=1,
-        help="route fused reduction partial sums through this many threads",
+        help="route fused reduction partial sums through this many workers",
     )
+    _add_backend_arg(p)
     p.add_argument(
         "--time", action="store_true", help="print the chain's wall time"
     )
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark the execution backends (serial/threads/processes)",
+        description=(
+            "Run the parallel-backend benchmark on a synthetic dataset: "
+            "compress (QZ/LZ/BF split), decompress, and mean/variance "
+            "reductions for every backend at each worker count, asserting "
+            "bit-identical streams and reductions. Optionally persist the "
+            "JSON payload (the BENCH_parallel.json artifact)."
+        ),
+    )
+    p.add_argument(
+        "--workers",
+        default="1,2,4,8",
+        help="comma-separated worker counts (default 1,2,4,8)",
+    )
+    p.add_argument("--dataset", default="Miranda")
+    p.add_argument("--scale", type=float, default=None, help="synthetic scale override")
+    p.add_argument("--repeats", type=int, default=None, help="repeat count override")
+    p.add_argument("-o", "--output", type=Path, default=None, help="write bench JSON here")
 
     p = sub.add_parser(
         "lint",
@@ -181,10 +219,12 @@ def _cmd_compress(args) -> int:
             file=sys.stderr,
         )
         return 2
-    codec = SZOps(block_size=args.block_size, n_threads=args.threads)
-    c = codec.compress(
-        raw.reshape(args.shape), args.eps, mode="rel" if args.rel else "abs"
-    )
+    with SZOps(
+        block_size=args.block_size, n_threads=args.threads, backend=args.backend
+    ) as codec:
+        c = codec.compress(
+            raw.reshape(args.shape), args.eps, mode="rel" if args.rel else "abs"
+        )
     args.output.write_bytes(c.to_bytes())
     print(
         f"{args.input} -> {args.output}: {raw.nbytes} -> {c.compressed_nbytes} "
@@ -265,7 +305,9 @@ def _cmd_chain(args) -> int:
             file=sys.stderr,
         )
         return 2
-    executor = args.threads if args.threads > 1 else None
+    from repro.parallel.backends import get_backend
+
+    executor = get_backend(args.backend, args.threads) if args.threads > 1 else None
     t0 = time.perf_counter()
     try:
         result = ops.apply_chain(
@@ -274,6 +316,9 @@ def _cmd_chain(args) -> int:
     except OperationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if executor is not None:
+            executor.close()
     elapsed = time.perf_counter() - t0
     pretty = " -> ".join(
         name if scalar is None else f"{name}={scalar:g}" for name, scalar in steps
@@ -287,6 +332,34 @@ def _cmd_chain(args) -> int:
         mode = "eager" if args.no_fuse else "fused"
         print(f"[{mode} chain: {1e3 * elapsed:.2f} ms]")
     return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.harness import render_result, save_bench_json
+    from repro.harness.config import config_from_env
+    from repro.harness.runner import run_parallel_backends
+
+    try:
+        workers = tuple(int(part) for part in args.workers.split(","))
+    except ValueError:
+        print(f"error: bad --workers {args.workers!r}; expected e.g. 1,2,4", file=sys.stderr)
+        return 2
+    if not workers or any(w <= 0 for w in workers):
+        print("error: worker counts must be positive", file=sys.stderr)
+        return 2
+    import dataclasses
+
+    cfg = config_from_env()
+    if args.scale is not None:
+        cfg = dataclasses.replace(cfg, scale=args.scale)
+    if args.repeats is not None:
+        cfg = dataclasses.replace(cfg, repeats=args.repeats)
+    result = run_parallel_backends(cfg, workers=workers, dataset=args.dataset)
+    print(render_result(result))
+    if args.output is not None:
+        save_bench_json(result.extras["bench"], args.output)
+        print(f"[bench JSON -> {args.output}]")
+    return 0 if result.extras["bench"]["all_identical"] else 1
 
 
 def _cmd_lint(args) -> int:
@@ -327,6 +400,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "op": _cmd_op,
     "chain": _cmd_chain,
+    "bench": _cmd_bench,
     "lint": _cmd_lint,
     "verify-stream": _cmd_verify_stream,
 }

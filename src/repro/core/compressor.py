@@ -6,16 +6,22 @@ blockwise 1-D Lorenzo operator, split into sign bitmaps and magnitudes, and
 the magnitudes are stored with blockwise fixed-length encoding.  Constant
 blocks (all deltas zero) carry only a width byte and an outlier.
 
-Thread parallelism follows the paper's multi-threaded CPU SZp port: blocks
-are independent, so contiguous chunks of blocks are encoded/decoded by a
-thread pool and their byte-aligned sections concatenated.  Alignment is
-guaranteed because the block size is a multiple of 8 and only the globally
-last block may be ragged (see :class:`repro.core.config.SZOpsConfig`).
+Parallelism follows the paper's multi-threaded CPU SZp port, generalized to
+a pluggable execution backend (:mod:`repro.parallel.backends`): blocks are
+independent, so contiguous block-aligned chunks are encoded/decoded by the
+configured substrate — inline (``serial``), a thread pool (``threads``), or
+a warm process pool with shared-memory zero-copy transport
+(``processes``) — and their byte-aligned sections written at precomputed
+offsets.  Alignment is guaranteed because the block size is a multiple of 8
+and only the globally last block may be ragged (see
+:class:`repro.core.config.SZOpsConfig`).  Every backend produces
+bit-identical streams.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import threading
+from time import perf_counter
 
 import numpy as np
 
@@ -30,6 +36,9 @@ from repro.core.encode import (
 from repro.core.format import SZOpsCompressed
 from repro.core.lorenzo import lorenzo_forward, lorenzo_inverse
 from repro.core.quantize import dequantize, quantize
+from repro.parallel import kernels
+from repro.parallel.backends import ExecutionBackend, get_backend
+from repro.parallel.partition import BlockChunk, block_chunks
 
 __all__ = ["SZOps"]
 
@@ -41,7 +50,11 @@ class SZOps:
     ----------
     block_size : elements per 1-D block (multiple of 8), default 64 (the
         geometry the paper's Table VI block counts imply).
-    n_threads : worker threads for chunked encode/decode; 1 runs inline.
+    n_threads : workers for chunked encode/decode; 1 runs inline.
+    backend : execution substrate — a registered name (``"serial"`` /
+        ``"threads"`` / ``"processes"``) or a ready
+        :class:`~repro.parallel.backends.ExecutionBackend` instance (shared,
+        not owned: :meth:`close` leaves it running).
 
     Examples
     --------
@@ -54,16 +67,36 @@ class SZOps:
     True
     """
 
+    # Lock discipline (verified lexically by `repro.cli lint`'s lockcheck
+    # pass, same as ChunkedExecutor): every mutation of these attributes
+    # must hold self._lock.  A codec may be shared across threads — e.g.
+    # several in-situ fields compressing concurrently — and an unguarded
+    # lazy backend creation can build two pools and leak one.
+    _GUARDED_ATTRS = ("_pool",)
+
     def __init__(
         self,
         block_size: int = 64,
         n_threads: int = 1,
         config: SZOpsConfig | None = None,
+        backend: str | ExecutionBackend | None = None,
     ) -> None:
-        self.config = config if config is not None else SZOpsConfig(
-            block_size=block_size, n_threads=n_threads
+        if config is not None:
+            self.config = config
+        else:
+            backend_name = backend if isinstance(backend, str) else None
+            if isinstance(backend, ExecutionBackend):
+                backend_name = backend.name
+            self.config = SZOpsConfig(
+                block_size=block_size,
+                n_threads=n_threads,
+                **({"backend": backend_name} if backend_name is not None else {}),
+            )
+        self._lock = threading.Lock()
+        self._owns_pool = not isinstance(backend, ExecutionBackend)
+        self._pool: ExecutionBackend | None = (
+            backend if isinstance(backend, ExecutionBackend) else None
         )
-        self._pool: ThreadPoolExecutor | None = None
 
     # ------------------------------------------------------------------ helpers
 
@@ -75,20 +108,20 @@ class SZOps:
     def n_threads(self) -> int:
         return self.config.n_threads
 
-    def _executor(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self.config.n_threads)
-        return self._pool
+    @property
+    def backend_name(self) -> str:
+        """The configured execution-backend name."""
+        return self._pool.name if self._pool is not None else self.config.backend
 
-    def _chunk_ranges(self, n_blocks: int) -> list[tuple[int, int]]:
-        """Contiguous block ranges, one per worker (all blocks covered)."""
-        n = min(self.config.n_threads, max(n_blocks, 1))
-        bounds = np.linspace(0, n_blocks, n + 1, dtype=np.int64)
-        return [
-            (int(bounds[i]), int(bounds[i + 1]))
-            for i in range(n)
-            if bounds[i + 1] > bounds[i]
-        ]
+    def _ensure_backend(self) -> ExecutionBackend:
+        with self._lock:
+            if self._pool is None:
+                self._pool = get_backend(self.config.backend, self.config.n_threads)
+            return self._pool
+
+    def _chunks(self, n_elements: int) -> list[BlockChunk]:
+        """Block-aligned chunks, one per worker (all blocks covered)."""
+        return block_chunks(n_elements, self.config.block_size, self.config.n_threads)
 
     # ------------------------------------------------------------------ compress
 
@@ -97,8 +130,16 @@ class SZOps:
         data: np.ndarray,
         error_bound: float,
         mode: str = "abs",
+        *,
+        timings: dict[str, float] | None = None,
     ) -> SZOpsCompressed:
-        """Compress ``data`` under an absolute or value-range-relative bound."""
+        """Compress ``data`` under an absolute or value-range-relative bound.
+
+        ``timings``, when given, accumulates per-stage wall time under the
+        keys ``"quantize_s"`` (QZ), ``"lorenzo_s"`` (LZ) and ``"encode_s"``
+        (BF) — the Figure 5-style breakdown the parallel benchmark uses to
+        attribute backend wins.
+        """
         arr = np.asarray(data)
         if not np.issubdtype(arr.dtype, np.floating):
             raise TypeError(f"SZOps compresses floating-point data, got {arr.dtype}")
@@ -107,8 +148,13 @@ class SZOps:
             raise ValueError("cannot compress an empty array")
         value_range = float(flat.max() - flat.min()) if mode == "rel" else 0.0
         eps = resolve_error_bound(error_bound, mode, value_range)
+        t0 = perf_counter()
         q = quantize(flat, eps)
-        return self.encode_quantized(q, arr.shape, arr.dtype, eps)
+        if timings is not None:
+            timings["quantize_s"] = timings.get("quantize_s", 0.0) + (
+                perf_counter() - t0
+            )
+        return self.encode_quantized(q, arr.shape, arr.dtype, eps, timings=timings)
 
     def encode_quantized(
         self,
@@ -116,6 +162,8 @@ class SZOps:
         shape: tuple[int, ...],
         dtype: np.dtype,
         eps: float,
+        *,
+        timings: dict[str, float] | None = None,
     ) -> SZOpsCompressed:
         """Run LZ + BF on an already-quantized integer array.
 
@@ -124,30 +172,28 @@ class SZOps:
         """
         layout = BlockLayout(q.size, self.config.block_size)
         lens = layout.lengths()
+        t0 = perf_counter()
         deltas, outliers = lorenzo_forward(q, layout)
         signs = (deltas < 0).view(np.uint8)
         mags = np.abs(deltas).astype(np.uint64)
         widths = block_widths(mags, lens)
+        if timings is not None:
+            timings["lorenzo_s"] = timings.get("lorenzo_s", 0.0) + (
+                perf_counter() - t0
+            )
 
-        ranges = self._chunk_ranges(layout.n_blocks)
-        if len(ranges) == 1:
+        t0 = perf_counter()
+        chunks = self._chunks(q.size)
+        if len(chunks) == 1:
             sign_bytes, payload_bytes = encode_block_sections(mags, signs, widths, lens)
         else:
-            elem_bounds = [(lo * self.block_size, min(hi * self.block_size, q.size))
-                           for lo, hi in ranges]
-            futures = [
-                self._executor().submit(
-                    encode_block_sections,
-                    mags[elo:ehi],
-                    signs[elo:ehi],
-                    widths[lo:hi],
-                    lens[lo:hi],
-                )
-                for (lo, hi), (elo, ehi) in zip(ranges, elem_bounds)
-            ]
-            parts = [f.result() for f in futures]
-            sign_bytes = np.concatenate([p[0] for p in parts])
-            payload_bytes = np.concatenate([p[1] for p in parts])
+            sign_bytes, payload_bytes = self._encode_chunked(
+                mags, signs, widths, lens, chunks
+            )
+        if timings is not None:
+            timings["encode_s"] = timings.get("encode_s", 0.0) + (
+                perf_counter() - t0
+            )
 
         return SZOpsCompressed(
             shape=tuple(shape),
@@ -160,10 +206,57 @@ class SZOps:
             payload_bytes=payload_bytes,
         )
 
+    def _encode_chunked(
+        self,
+        mags: np.ndarray,
+        signs: np.ndarray,
+        widths: np.ndarray,
+        lens: np.ndarray,
+        chunks: list[BlockChunk],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Encode block-aligned chunks through the execution backend.
+
+        Per-chunk section byte offsets are derived from the width plane up
+        front (chunk starts are block-aligned, so the bit offsets are whole
+        bytes); every chunk kernel writes its sections straight into the
+        preallocated output buffers — concatenation by construction, which
+        is what keeps the stream bit-identical across backends and worker
+        counts.
+        """
+        sign_bits = lens * (widths > 0)
+        payload_bits = widths.astype(np.int64) * lens
+        sign_bit_off = exclusive_cumsum(sign_bits)
+        payload_bit_off = exclusive_cumsum(payload_bits)
+        total_sign_bytes = (int(sign_bits.sum()) + 7) // 8
+        total_payload_bytes = (int(payload_bits.sum()) + 7) // 8
+        chunk_specs = [
+            {
+                "lo": c.block_lo,
+                "hi": c.block_hi,
+                "elem_lo": c.elem_lo,
+                "elem_hi": c.elem_hi,
+                "sign_off": int(sign_bit_off[c.block_lo]) // 8,
+                "payload_off": int(payload_bit_off[c.block_lo]) // 8,
+            }
+            for c in chunks
+        ]
+        run = self._ensure_backend().run_kernel(
+            kernels.encode_chunk,
+            {"mags": mags, "signs": signs, "widths": widths, "lens": lens},
+            chunk_specs,
+            out_specs={
+                "sign_out": ((total_sign_bytes,), np.uint8),
+                "payload_out": ((total_payload_bytes,), np.uint8),
+            },
+        )
+        return run.outputs["sign_out"], run.outputs["payload_out"]
+
     # ------------------------------------------------------------------ decompress
 
-    def _section_offsets(self, c: SZOpsCompressed):
-        """Per-block cumulative byte offsets into the sign/payload sections."""
+    def _section_offsets(
+        self, c: SZOpsCompressed
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-block cumulative bit offsets into the sign/payload sections."""
         layout = c.layout
         lens = layout.lengths()
         stored = (c.widths > 0).astype(np.int64)
@@ -175,31 +268,44 @@ class SZOps:
         """Decode BF + signs back to the signed delta array (partial decode)."""
         layout = c.layout
         lens, sign_bit_off, payload_bit_off = self._section_offsets(c)
-        ranges = self._chunk_ranges(layout.n_blocks)
-
-        def total_bits(cum: np.ndarray, per_block_bits_last: int, hi: int) -> int:
-            if hi < layout.n_blocks:
-                return int(cum[hi])
-            return int(per_block_bits_last)
+        chunks = self._chunks(layout.n_elements)
+        if len(chunks) == 1:
+            return decode_block_sections(c.sign_bytes, c.payload_bytes, c.widths, lens)
 
         stored_lens = lens * (c.widths > 0)
         sign_total = int(stored_lens.sum())
         payload_total = int((c.widths.astype(np.int64) * lens).sum())
 
-        if len(ranges) == 1:
-            return decode_block_sections(c.sign_bytes, c.payload_bytes, c.widths, lens)
+        def end_bits(cum: np.ndarray, total: int, hi: int) -> int:
+            return int(cum[hi]) if hi < layout.n_blocks else total
 
-        def run(lo: int, hi: int) -> np.ndarray:
-            s0 = int(sign_bit_off[lo]) // 8
-            s1 = (total_bits(sign_bit_off, sign_total, hi) + 7) // 8
-            p0 = int(payload_bit_off[lo]) // 8
-            p1 = (total_bits(payload_bit_off, payload_total, hi) + 7) // 8
-            return decode_block_sections(
-                c.sign_bytes[s0:s1], c.payload_bytes[p0:p1], c.widths[lo:hi], lens[lo:hi]
-            )
-
-        futures = [self._executor().submit(run, lo, hi) for lo, hi in ranges]
-        return np.concatenate([f.result() for f in futures])
+        chunk_specs = [
+            {
+                "lo": ch.block_lo,
+                "hi": ch.block_hi,
+                "elem_lo": ch.elem_lo,
+                "elem_hi": ch.elem_hi,
+                "sign_b0": int(sign_bit_off[ch.block_lo]) // 8,
+                "sign_b1": (end_bits(sign_bit_off, sign_total, ch.block_hi) + 7) // 8,
+                "payload_b0": int(payload_bit_off[ch.block_lo]) // 8,
+                "payload_b1": (
+                    end_bits(payload_bit_off, payload_total, ch.block_hi) + 7
+                ) // 8,
+            }
+            for ch in chunks
+        ]
+        run = self._ensure_backend().run_kernel(
+            kernels.decode_chunk,
+            {
+                "sign_bytes": c.sign_bytes,
+                "payload_bytes": c.payload_bytes,
+                "widths": c.widths,
+                "lens": lens,
+            },
+            chunk_specs,
+            out_specs={"deltas_out": ((layout.n_elements,), np.int64)},
+        )
+        return run.outputs["deltas_out"]
 
     def decompress_quantized(self, c: SZOpsCompressed) -> np.ndarray:
         """Partial decompression: recover the quantized integers (no QZ^-1)."""
@@ -215,19 +321,23 @@ class SZOps:
     # ------------------------------------------------------------------ misc
 
     def close(self) -> None:
-        """Shut down the worker pool (no-op when single-threaded)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut down an owned backend pool (no-op for shared backends)."""
+        if not self._owns_pool:
+            return
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
 
     def __enter__(self) -> "SZOps":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SZOps(block_size={self.config.block_size}, "
-            f"n_threads={self.config.n_threads})"
+            f"n_threads={self.config.n_threads}, "
+            f"backend={self.backend_name!r})"
         )

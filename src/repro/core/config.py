@@ -13,7 +13,18 @@ from dataclasses import dataclass, field
 
 from repro.core.errors import ConfigError
 
-__all__ = ["SZOpsConfig", "ErrorBoundMode", "resolve_error_bound"]
+__all__ = [
+    "SZOpsConfig",
+    "ErrorBoundMode",
+    "resolve_error_bound",
+    "VALID_BACKENDS",
+]
+
+#: Execution-backend names accepted by ``SZOpsConfig.backend`` (the
+#: constructible registry lives in :mod:`repro.parallel.backends`; the
+#: tuple is duplicated here as a literal so the config layer stays free
+#: of parallel-layer imports).
+VALID_BACKENDS = ("serial", "threads", "processes")
 
 
 #: Error-bound interpretation, matching SDRBench / SZ conventions:
@@ -64,11 +75,20 @@ class SZOpsConfig:
         sections stay byte-aligned, which is what lets independently
         compressed chunks be concatenated by the thread-parallel executor.
     n_threads:
-        Worker threads for the blockwise executor.  ``1`` runs inline.
+        Workers for the blockwise execution backend.  ``1`` runs inline
+        regardless of the backend choice.
+    backend:
+        Execution substrate for the chunked hot paths: ``"serial"``
+        (inline, same chunking), ``"threads"`` (GIL-sharing pool — wins
+        while NumPy kernels dominate), or ``"processes"`` (warm worker
+        pool with shared-memory zero-copy block transport — wins when the
+        Python-level encode/decode group loops dominate).  All backends
+        produce bit-identical streams; see ``docs/PARALLEL.md``.
     """
 
     block_size: int = 64
     n_threads: int = 1
+    backend: str = "threads"
     #: Reserved for forward compatibility; containers record it.
     format_version: int = field(default=1, repr=False)
 
@@ -82,3 +102,7 @@ class SZOpsConfig:
             )
         if self.n_threads <= 0:
             raise ConfigError(f"n_threads must be positive, got {self.n_threads}")
+        if self.backend not in VALID_BACKENDS:
+            raise ConfigError(
+                f"backend must be one of {VALID_BACKENDS}, got {self.backend!r}"
+            )

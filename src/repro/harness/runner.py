@@ -19,16 +19,20 @@ import numpy as np
 
 from repro.baselines import make_codec
 from repro.core.compressor import SZOps
+from repro.core.format import SZOpsCompressed
 from repro.core.ops.dispatch import OPERATIONS, operation_names
 from repro.datasets import generate_fields, get_dataset
 from repro.harness.config import BenchConfig
 from repro.metrics import Timer, mb_per_s, gb_per_s, mean_ratio
+from repro.parallel import kernels
+from repro.parallel.backends import ExecutionBackend, available_backends, get_backend
 from repro.workflow import run_compressed, run_traditional
 
 __all__ = [
     "ExperimentResult",
     "OpMeasurement",
     "prepare_fields",
+    "compress_fields",
     "measure_ops_matrix",
     "run_table4",
     "run_figure5",
@@ -38,6 +42,7 @@ __all__ = [
     "run_ablation_format",
     "run_ablation_constant_blocks",
     "run_runtime_fusion",
+    "run_parallel_backends",
     "largest_dataset",
     "DEFAULT_SCALAR",
 ]
@@ -67,6 +72,47 @@ def prepare_fields(cfg: BenchConfig, dataset: str) -> dict[str, np.ndarray]:
     spec = get_dataset(dataset)
     names = cfg.limit_fields([f.name for f in spec.fields])
     return generate_fields(dataset, scale=cfg.scale, seed=cfg.seed, fields=names)
+
+
+def compress_fields(
+    fields: dict[str, np.ndarray],
+    eps: float,
+    backend: str | ExecutionBackend = "serial",
+    n_workers: int = 1,
+    block_size: int = BLOCK_SIZE,
+    mode: str = "abs",
+) -> dict[str, SZOpsCompressed]:
+    """Compress a timestep's worth of fields through an execution backend.
+
+    This is the multi-field in-situ shape: one whole field per work item,
+    distributed field-granular across the backend's workers (the process
+    backend ships fields through shared memory and returns only the
+    compressed streams over the pickle channel; its per-worker codecs are
+    built lazily and reused across calls).  Streams are bit-identical to
+    serial per-field compression on every backend.
+    """
+    chunks = [
+        {
+            "field": name,
+            "eps": float(eps),
+            "mode": mode,
+            "block_size": int(block_size),
+            "lo": 0,
+            "hi": int(arr.size),
+        }
+        for name, arr in fields.items()
+    ]
+    owns = isinstance(backend, str)
+    be = get_backend(backend, n_workers)
+    try:
+        run = be.run_kernel(kernels.compress_field_chunk, dict(fields), chunks)
+    finally:
+        if owns:
+            be.close()
+    return {
+        chunk["field"]: SZOpsCompressed.from_bytes(blob)
+        for chunk, blob in zip(chunks, run.results)
+    }
 
 
 # --------------------------------------------------------------------------
@@ -509,6 +555,166 @@ def run_runtime_fusion(
             "fused = one LazyStream chain: one decode, no encode, transform "
             "folded into the reduction;",
             f"identical results across all variants: {identical}.",
+        ],
+        extras={"bench": bench},
+    )
+
+
+# --------------------------------------------------------------------------
+# Parallel backends — serial vs threads vs processes on the chunked hot paths
+# --------------------------------------------------------------------------
+
+
+def run_parallel_backends(
+    cfg: BenchConfig,
+    workers: tuple[int, ...] = (1, 2, 4, 8),
+    dataset: str = "Miranda",
+    min_repeats: int = 3,
+) -> ExperimentResult:
+    """Benchmark the execution backends on compression and reductions.
+
+    For every backend × worker count on the synthetic Miranda density
+    field: compress (with the QZ/LZ/BF stage split), decompress, and the
+    backend-routed mean/variance reductions — best of ``repeats``.  Streams
+    and reduction values are asserted identical to the serial baseline
+    (bit-identity is the contract, not a tolerance), and the verdicts land
+    in ``extras["bench"]`` for ``BENCH_parallel.json``.
+    """
+    import os
+
+    spec = get_dataset(dataset)
+    fname = spec.fields[0].name
+    arr = generate_fields(dataset, scale=cfg.scale, seed=cfg.seed, fields=[fname])[fname]
+    reps = max(cfg.repeats, min_repeats)
+    cpus = os.cpu_count() or 1
+
+    baseline = SZOps(block_size=BLOCK_SIZE, n_threads=1, backend="serial")
+    ref_stream = baseline.compress(arr, cfg.eps).to_bytes()
+
+    from repro.runtime.reduce import parallel_mean, parallel_variance
+
+    rows: list[list] = []
+    cells: list[dict] = []
+    identical = True
+    serial_compress: dict[int, float] = {}
+    ref_reduce: dict[int, tuple[float, float]] = {}
+    for backend_name in available_backends():
+        for nw in workers:
+            codec = SZOps(block_size=BLOCK_SIZE, n_threads=nw, backend=backend_name)
+            try:
+                best_c = float("inf")
+                stages = {"quantize_s": 0.0, "lorenzo_s": 0.0, "encode_s": 0.0}
+                stream = None
+                for _ in range(reps):
+                    timings: dict[str, float] = {}
+                    with Timer() as t:
+                        c = codec.compress(arr, cfg.eps, timings=timings)
+                    if t.seconds < best_c:
+                        best_c, stages, stream = t.seconds, timings, c
+                best_d = float("inf")
+                for _ in range(reps):
+                    with Timer() as t:
+                        out = codec.decompress(stream)
+                    best_d = min(best_d, t.seconds)
+                same_stream = stream.to_bytes() == ref_stream
+                # Error-bound check with representation slack: half-ulp
+                # rounding at the value scale, plus a float32 cast ulp
+                # when the container stores float32 (same slack model as
+                # the test suite's assert_within_bound fixture).
+                scale_v = float(np.abs(arr).max()) + cfg.eps
+                slack = float(np.spacing(scale_v))
+                if arr.dtype == np.float32:
+                    slack += float(np.spacing(np.float32(scale_v)))
+                same_roundtrip = bool(
+                    float(np.abs(out - arr).max()) <= cfg.eps + slack
+                )
+            finally:
+                codec.close()
+
+            best_r = float("inf")
+            with get_backend(backend_name, nw) as be:
+                for _ in range(reps):
+                    with Timer() as t:
+                        mu = parallel_mean(stream, be)
+                        var = parallel_variance(stream, be)
+                    best_r = min(best_r, t.seconds)
+            if backend_name == "serial":
+                serial_compress[nw] = best_c
+                # Variance partials depend on the chunking, so the serial
+                # reference is per worker count, never cross-count.
+                ref_reduce[nw] = (mu, var)
+            same_reduce = (mu, var) == ref_reduce[nw]
+            identical = identical and same_stream and same_reduce and same_roundtrip
+
+            speedup = serial_compress.get(nw, best_c) / best_c if best_c > 0 else 0.0
+            rows.append(
+                [
+                    backend_name,
+                    nw,
+                    1e3 * best_c,
+                    1e3 * best_d,
+                    1e3 * best_r,
+                    speedup,
+                    "yes" if (same_stream and same_reduce) else "NO",
+                ]
+            )
+            cells.append(
+                {
+                    "backend": backend_name,
+                    "workers": nw,
+                    "compress_seconds": best_c,
+                    "compress_stage_seconds": {
+                        "QZ": stages.get("quantize_s", 0.0),
+                        "LZ": stages.get("lorenzo_s", 0.0),
+                        "BF": stages.get("encode_s", 0.0),
+                    },
+                    "decompress_seconds": best_d,
+                    "reduce_seconds": best_r,
+                    "mean": mu,
+                    "variance": var,
+                    "stream_identical": bool(same_stream),
+                    "reductions_identical": bool(same_reduce),
+                }
+            )
+
+    bench = {
+        "experiment": "parallel_backends",
+        "dataset": dataset,
+        "field": fname,
+        "shape": list(arr.shape),
+        "n_elements": int(arr.size),
+        "bytes": int(arr.nbytes),
+        "eps": cfg.eps,
+        "block_size": BLOCK_SIZE,
+        "repeats": reps,
+        "workers": list(workers),
+        "backends": list(available_backends()),
+        "cpus": cpus,
+        "all_identical": bool(identical),
+        "cells": cells,
+    }
+    return ExperimentResult(
+        exp_id="parallel_backends",
+        title=(
+            f"Execution backends on {dataset}/{fname} ({arr.size} elements, "
+            f"eps={cfg.eps:g}, {cpus} CPU(s)): compress / decompress / "
+            f"mean+variance, best of {reps}"
+        ),
+        headers=[
+            "backend",
+            "workers",
+            "compress (ms)",
+            "decompress (ms)",
+            "mean+var (ms)",
+            "speedup vs serial",
+            "identical",
+        ],
+        rows=rows,
+        notes=[
+            "All backends share one chunking and one kernel set; streams and "
+            "reductions are bit-identical by construction (asserted).",
+            f"Host has {cpus} CPU(s); process/thread scaling is bounded by "
+            "physical cores, so single-core hosts show overhead, not speedup.",
         ],
         extras={"bench": bench},
     )

@@ -1,0 +1,87 @@
+"""Pluggable execution backends: ``serial``, ``threads``, ``processes``.
+
+One interface (:class:`ExecutionBackend`), three substrates.  Every
+chunked hot path — ``SZOps`` encode/decode, the compressed-domain
+reductions, the multi-field in-situ harness — selects its substrate via
+:func:`get_backend`, so moving a workload from a GIL-bound thread pool to
+true multi-core execution is a configuration change::
+
+    from repro.parallel.backends import get_backend
+
+    with get_backend("processes", n_workers=8) as backend:
+        codec = SZOps(n_threads=8, backend=backend)
+        c = codec.compress(field, 1e-4)
+
+See ``docs/PARALLEL.md`` for the descriptor protocol, selection guidance,
+and the shared-memory ownership rules.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.parallel.backends.base import (
+    BackendError,
+    BackendWorkerError,
+    ChunkKernel,
+    ExecutionBackend,
+    KernelRun,
+    format_chunk,
+)
+from repro.parallel.backends.local import SerialBackend, ThreadBackend
+from repro.parallel.backends.process import ProcessBackend
+from repro.parallel.backends.shm import ArrayDescriptor, ShmArena, attach_arrays
+
+__all__ = [
+    "BackendError",
+    "BackendWorkerError",
+    "ChunkKernel",
+    "ExecutionBackend",
+    "KernelRun",
+    "format_chunk",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "ArrayDescriptor",
+    "ShmArena",
+    "attach_arrays",
+    "BACKENDS",
+    "available_backends",
+    "get_backend",
+]
+
+#: Registry of constructible backends, by config/CLI name.
+BACKENDS: dict[str, type[ExecutionBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backend names accepted by configs and the CLI."""
+    return tuple(BACKENDS)
+
+
+def get_backend(
+    spec: str | ExecutionBackend,
+    n_workers: int = 1,
+    **kwargs: Any,
+) -> ExecutionBackend:
+    """Resolve a backend spec into an :class:`ExecutionBackend`.
+
+    ``spec`` is either a registered name (``"serial"`` / ``"threads"`` /
+    ``"processes"``) — a fresh backend with ``n_workers`` workers is
+    constructed, owned by the caller — or an existing backend instance,
+    returned as-is (the caller does *not* take ownership).
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    try:
+        cls = BACKENDS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution backend {spec!r}; valid: "
+            f"{', '.join(available_backends())}"
+        ) from None
+    return cls(n_workers, **kwargs)

@@ -1,0 +1,198 @@
+"""True multi-core execution: a warm process pool over shared memory.
+
+The Python-level group loops inside ``encode_magnitudes`` /
+``decode_magnitudes`` hold the GIL, so the thread backend's speedup caps
+out well below the paper's 12-way OpenMP CPU SZp.  This backend runs the
+same chunk kernels in a **warm, reusable** ``ProcessPoolExecutor``:
+
+* array payloads travel by :class:`~repro.parallel.backends.shm.ShmArena`
+  — workers receive only tiny descriptors (segment name, offset, shape,
+  dtype) and build zero-copy views, so a chunk round-trip costs no array
+  serialization;
+* workers keep **lazy per-process state** (attached-segment cache, codec
+  instances) so repeated calls against a warm pool pay no setup;
+* every ``Future.result`` is **bounded** by ``timeout`` and a dead or
+  hung worker surfaces a :class:`BackendWorkerError` naming the chunk
+  range — never a deadlock — after which the pool **self-heals**: the
+  broken pool is torn down (hung workers killed) and the next call gets
+  a fresh one.
+
+The ``fork`` start method is preferred (workers inherit the imported
+NumPy stack instead of re-importing it); ``spawn`` is the fallback where
+fork is unavailable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Mapping, Sequence, TypeVar
+
+import numpy as np
+
+from repro.parallel.backends.base import (
+    BackendWorkerError,
+    ChunkKernel,
+    ExecutionBackend,
+    KernelRun,
+    format_chunk,
+)
+from repro.parallel.backends.shm import ArrayDescriptor, ShmArena, attach_arrays
+from repro.parallel.partition import even_ranges
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["ProcessBackend", "DEFAULT_TIMEOUT"]
+
+#: Per-chunk result deadline (seconds).  Generous — chunks are sub-second
+#: in practice — but *bounded*, which is what turns a hung worker into a
+#: clean BackendWorkerError instead of a deadlock.
+DEFAULT_TIMEOUT = 120.0
+
+
+def _preferred_context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _invoke_kernel(
+    kernel: ChunkKernel,
+    descriptors: dict[str, ArrayDescriptor],
+    chunk: dict[str, Any],
+) -> Any:
+    """Worker-side trampoline: attach shared arrays, run the kernel."""
+    return kernel(attach_arrays(descriptors), chunk)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Warm multi-process pool with shared-memory block transport."""
+
+    name = "processes"
+
+    # Lock discipline (verified by the lockcheck pass): every mutation of
+    # these attributes must hold self._lock — run_kernel may be called
+    # from several threads (e.g. concurrent in-situ fields).
+    _GUARDED_ATTRS = ("_pool",)
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        timeout: float = DEFAULT_TIMEOUT,
+        mp_context: multiprocessing.context.BaseContext | None = None,
+    ) -> None:
+        super().__init__(n_workers)
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.timeout = timeout
+        self._ctx = mp_context if mp_context is not None else _preferred_context()
+        self._lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------ pool
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.n_workers, mp_context=self._ctx
+                )
+            return self._pool
+
+    def _discard_pool(self, kill: bool) -> None:
+        """Drop the current pool so the next call builds a fresh one."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if kill:
+            # A hung worker never drains its call queue; terminate the
+            # processes so shutdown below cannot block.
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                if proc.is_alive():  # pragma: no branch - racy liveness
+                    proc.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------ kernels
+
+    def run_kernel(
+        self,
+        kernel: ChunkKernel,
+        arrays: Mapping[str, np.ndarray],
+        chunks: Sequence[Mapping[str, Any]],
+        out_specs: Mapping[str, tuple[Sequence[int], Any]] | None = None,
+    ) -> KernelRun:
+        arena = ShmArena(arrays, out_specs)
+        try:
+            pool = self._ensure_pool()
+            pending = [
+                (
+                    dict(chunk),
+                    pool.submit(_invoke_kernel, kernel, arena.descriptors, dict(chunk)),
+                )
+                for chunk in chunks
+            ]
+            results = self._collect(pending)
+            outputs = {
+                name: arena.fetch(name) for name in (out_specs or {})
+            }
+            return KernelRun(results=results, outputs=outputs)
+        finally:
+            arena.destroy()
+
+    # ------------------------------------------------------------------ maps
+
+    def map_ranges(self, fn: Callable[[int, int], R], n_items: int) -> list[R]:
+        """Pickles ``fn`` — only module-level callables work here."""
+        ranges = even_ranges(n_items, self.n_workers)
+        pool = self._ensure_pool()
+        pending = [
+            ({"lo": lo, "hi": hi}, pool.submit(fn, lo, hi)) for lo, hi in ranges
+        ]
+        return self._collect(pending)
+
+    def map_items(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Pickles ``fn`` and every item — keep both small."""
+        pool = self._ensure_pool()
+        pending = [
+            ({"item": i}, pool.submit(fn, item)) for i, item in enumerate(items)
+        ]
+        return self._collect(pending)
+
+    def _collect(self, pending: list[tuple[dict[str, Any], Any]]) -> list[Any]:
+        results: list[Any] = []
+        for chunk, future in pending:
+            try:
+                results.append(future.result(timeout=self.timeout))
+            except BrokenProcessPool as exc:
+                self._discard_pool(kill=False)
+                raise BackendWorkerError(
+                    f"process worker died while running {format_chunk(chunk)}",
+                    chunk=chunk,
+                ) from exc
+            except FutureTimeoutError as exc:
+                self._discard_pool(kill=True)
+                raise BackendWorkerError(
+                    f"process worker exceeded {self.timeout:g}s on "
+                    f"{format_chunk(chunk)}",
+                    chunk=chunk,
+                ) from exc
+        return results
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProcessBackend(n_workers={self.n_workers}, "
+            f"timeout={self.timeout:g}, pid={os.getpid()})"
+        )

@@ -1,0 +1,183 @@
+"""Shared-memory zero-copy transport for the process backend.
+
+A :class:`ShmArena` packs every array a chunked kernel needs — inputs and
+preallocated outputs — into **one** ``multiprocessing.shared_memory``
+segment.  What crosses the process boundary is only an
+:class:`ArrayDescriptor` per array (segment name, byte offset, shape,
+dtype): a few dozen bytes of pickle, never the array payload.  Workers map
+the segment once (cached per process), build zero-copy NumPy views at the
+descriptor offsets, and write chunk outputs straight into the shared
+buffer; the parent reads results out of its own mapping of the same
+segment.
+
+Ownership rules (enforced here, documented in ``docs/PARALLEL.md``):
+
+* the **parent** creates the segment and is the only process that ever
+  ``unlink``\\ s it — always in a ``finally``, so a failed kernel cannot
+  leak a ``/dev/shm`` entry;
+* **workers** only attach; pool workers share the parent's
+  ``resource_tracker`` process (its fd is inherited through fork and
+  passed through spawn), so the attach-time registration dedupes against
+  the parent's and the parent's single ``unlink`` is the one cleanup —
+  workers must *not* unregister, or they would erase the parent's claim;
+* worker-side mappings are cached by segment name (segment names are
+  never reused) with a small LRU so long-lived pool workers do not
+  accumulate file descriptors.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ArrayDescriptor", "ShmArena", "attach_array", "attach_arrays"]
+
+#: Byte alignment of each array inside the arena segment (cache-line).
+_ALIGN = 64
+
+
+def _aligned(nbytes: int) -> int:
+    return -(-nbytes // _ALIGN) * _ALIGN
+
+
+@dataclass(frozen=True)
+class ArrayDescriptor:
+    """Picklable handle to one array inside a shared-memory segment."""
+
+    segment: str
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+class ShmArena:
+    """Parent-side owner of one shared segment holding named arrays.
+
+    Parameters
+    ----------
+    arrays : input arrays, copied into the segment at construction.
+    out_specs : ``name -> (shape, dtype)`` outputs to preallocate
+        (zero-initialized by the OS); workers write into them in place.
+    """
+
+    def __init__(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        out_specs: Mapping[str, tuple[Sequence[int], np.dtype | str]] | None = None,
+    ) -> None:
+        layout: dict[str, tuple[int, tuple[int, ...], np.dtype]] = {}
+        offset = 0
+        staged: dict[str, np.ndarray] = {}
+        for name, arr in arrays.items():
+            contig = np.ascontiguousarray(arr)
+            staged[name] = contig
+            layout[name] = (offset, tuple(contig.shape), contig.dtype)
+            offset += _aligned(max(contig.nbytes, 1))
+        for name, (shape, dtype) in (out_specs or {}).items():
+            if name in layout:
+                raise ValueError(f"output name {name!r} collides with an input")
+            dt = np.dtype(dtype)
+            shape_t = tuple(int(s) for s in shape)
+            nbytes = int(np.prod(shape_t, dtype=np.int64)) * dt.itemsize
+            layout[name] = (offset, shape_t, dt)
+            offset += _aligned(max(nbytes, 1))
+
+        self._shm: shared_memory.SharedMemory | None = shared_memory.SharedMemory(
+            create=True, size=max(offset, 1)
+        )
+        self.descriptors: dict[str, ArrayDescriptor] = {
+            name: ArrayDescriptor(self._shm.name, off, shape, np.dtype(dt).str)
+            for name, (off, shape, dt) in layout.items()
+        }
+        for name, contig in staged.items():
+            if contig.nbytes:
+                self.view(name)[...] = contig
+
+    # ------------------------------------------------------------------ access
+
+    def view(self, name: str) -> np.ndarray:
+        """Zero-copy parent-side view of a named array."""
+        if self._shm is None:
+            raise ValueError("arena already destroyed")
+        d = self.descriptors[name]
+        return np.ndarray(
+            d.shape, dtype=np.dtype(d.dtype), buffer=self._shm.buf, offset=d.offset
+        )
+
+    def fetch(self, name: str) -> np.ndarray:
+        """Private copy of a named array (safe to use after ``destroy``)."""
+        return self.view(name).copy()
+
+    # ------------------------------------------------------------------ teardown
+
+    def destroy(self) -> None:
+        """Close and unlink the segment (idempotent; parent-only)."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:  # szops: ignore[SZL006] -- view cleanup, not a codec path
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # szops: ignore[SZL006] -- double-destroy is legal
+            pass
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.destroy()
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+#: Per-process cache of attached segments, keyed by segment name.  Names
+#: are unique per arena, so stale entries are only ever evicted, not hit.
+_ATTACHED: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
+_MAX_ATTACHED = 4
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    shm = _ATTACHED.get(name)
+    if shm is not None:
+        _ATTACHED.move_to_end(name)
+        return shm
+    # Attaching registers the name with the resource tracker the worker
+    # shares with the parent — a set-dedup no-op against the parent's own
+    # registration, whose unlink is the single cleanup.  Unregistering
+    # here would erase that claim and make the parent's unlink crash the
+    # tracker with a KeyError.
+    shm = shared_memory.SharedMemory(name=name)
+    _ATTACHED[name] = shm
+    while len(_ATTACHED) > _MAX_ATTACHED:
+        _, old = _ATTACHED.popitem(last=False)
+        try:
+            old.close()
+        except BufferError:  # szops: ignore[SZL006] -- LRU eviction with a live view
+            pass
+    return shm
+
+
+def attach_array(desc: ArrayDescriptor) -> np.ndarray:
+    """Worker-side zero-copy view of a described array."""
+    shm = _attach_segment(desc.segment)
+    return np.ndarray(
+        desc.shape, dtype=np.dtype(desc.dtype), buffer=shm.buf, offset=desc.offset
+    )
+
+
+def attach_arrays(descriptors: Mapping[str, ArrayDescriptor]) -> dict[str, np.ndarray]:
+    """Worker-side views of every described array."""
+    return {name: attach_array(d) for name, d in descriptors.items()}

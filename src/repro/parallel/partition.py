@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-__all__ = ["even_ranges", "block_aligned_ranges"]
+__all__ = ["even_ranges", "block_aligned_ranges", "BlockChunk", "block_chunks"]
 
 
 def even_ranges(n_items: int, n_parts: int) -> list[tuple[int, int]]:
@@ -24,6 +26,54 @@ def even_ranges(n_items: int, n_parts: int) -> list[tuple[int, int]]:
     ]
 
 
+@dataclass(frozen=True)
+class BlockChunk:
+    """One contiguous run of compression blocks plus its element bounds.
+
+    ``[block_lo, block_hi)`` indexes blocks; ``[elem_lo, elem_hi)`` are the
+    corresponding element positions in the flattened array.  Every chunk
+    starts on a block boundary, so when the block size is a multiple of 8
+    the per-chunk sign/payload sections of all non-final chunks are whole
+    bytes — the alignment contract that lets independently encoded chunks
+    be written at precomputed byte offsets.
+    """
+
+    block_lo: int
+    block_hi: int
+    elem_lo: int
+    elem_hi: int
+
+    @property
+    def n_blocks(self) -> int:
+        return self.block_hi - self.block_lo
+
+    @property
+    def n_elements(self) -> int:
+        return self.elem_hi - self.elem_lo
+
+
+def block_chunks(n_elements: int, block_size: int, n_parts: int) -> list[BlockChunk]:
+    """Partition an array into up to ``n_parts`` block-aligned chunks.
+
+    This is the one block-aligned element-bounds derivation shared by the
+    compressor's chunked encode/decode paths and
+    :func:`block_aligned_ranges`; only the globally last chunk may end on a
+    ragged (partial) block.
+    """
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    n_blocks = (n_elements + block_size - 1) // block_size
+    return [
+        BlockChunk(
+            block_lo=lo,
+            block_hi=hi,
+            elem_lo=lo * block_size,
+            elem_hi=min(hi * block_size, n_elements),
+        )
+        for lo, hi in even_ranges(n_blocks, n_parts)
+    ]
+
+
 def block_aligned_ranges(
     n_elements: int, block_size: int, n_parts: int
 ) -> list[tuple[int, int]]:
@@ -33,10 +83,7 @@ def block_aligned_ranges(
     final range, which absorbs the ragged tail.  This is the partitioning
     contract that keeps independently encoded chunks byte-aligned.
     """
-    if block_size <= 0:
-        raise ValueError("block_size must be positive")
-    n_blocks = (n_elements + block_size - 1) // block_size
     return [
-        (lo * block_size, min(hi * block_size, n_elements))
-        for lo, hi in even_ranges(n_blocks, n_parts)
+        (c.elem_lo, c.elem_hi)
+        for c in block_chunks(n_elements, block_size, n_parts)
     ]

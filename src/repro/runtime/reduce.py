@@ -3,17 +3,20 @@
 The reduction kernels of :mod:`repro.core.ops.reductions` are single-pass
 NumPy sums over the stored blocks' quantized values plus closed-form terms
 for constant blocks.  For large streams the stored-block pass dominates and
-parallelizes trivially: this module routes it through
-:class:`repro.parallel.executor.ChunkedExecutor` as chunked partial sums,
-while the constant-block closed forms (the Table V fast path) stay intact —
-they are O(n_blocks) and not worth distributing.
+parallelizes trivially: this module routes it through the pluggable
+execution backends (:mod:`repro.parallel.backends`) — or, for backward
+compatibility, a :class:`repro.parallel.executor.ChunkedExecutor` / thread
+count — as chunked partial aggregates, while the constant-block closed
+forms (the Table V fast path) stay intact: they are O(n_blocks) and not
+worth distributing.
 
 Exactness: quantized partial sums are integers represented exactly in
 float64 (while below 2^53), so the chunked ``sum``/``mean``/``min``/``max``
 equal their serial counterparts bit for bit regardless of chunking.  The
-squared-deviation pass accumulates float products, so chunked variance/std
-agree with serial to float64 rounding (~1e-12 relative) — same caveat as
-any reordered float reduction.
+squared-deviation pass accumulates float products, so variance/std depend
+only on the *chunk boundaries*, never on the substrate: two backends with
+the same worker count partition identically and therefore agree bit for
+bit (the cross-backend identity suite pins this down).
 
 The decoded blocks come through :func:`stored_quantized`, i.e. the decoded
 -block cache: a parallel reduction after any other operation on the same
@@ -29,7 +32,10 @@ import numpy as np
 
 from repro.core.format import SZOpsCompressed
 from repro.core.ops._partial import StoredBlocks, stored_quantized
+from repro.parallel import kernels
+from repro.parallel.backends import ExecutionBackend
 from repro.parallel.executor import ChunkedExecutor
+from repro.parallel.partition import even_ranges
 
 __all__ = [
     "chunked_quantized_sum",
@@ -42,20 +48,38 @@ __all__ = [
     "parallel_maximum",
 ]
 
+#: Accepted executor specs: a pluggable backend, the legacy thread
+#: executor, or a bare thread count.
+Executor = ExecutionBackend | ChunkedExecutor | int
+
 
 @contextmanager
-def _as_executor(executor: ChunkedExecutor | int):
-    """Accept a ready executor or a thread count (owned for the call)."""
-    if isinstance(executor, ChunkedExecutor):
+def _as_executor(executor: Executor):
+    """Accept a ready executor/backend or a thread count (owned per call)."""
+    if isinstance(executor, (ExecutionBackend, ChunkedExecutor)):
         yield executor
     elif isinstance(executor, int):
         with ChunkedExecutor(executor) as ex:
             yield ex
     else:
         raise TypeError(
-            f"executor must be a ChunkedExecutor or a thread count, got "
-            f"{type(executor).__name__}"
+            f"executor must be an ExecutionBackend, a ChunkedExecutor or a "
+            f"thread count, got {type(executor).__name__}"
         )
+
+
+def _backend_partials(
+    backend: ExecutionBackend,
+    kernel,
+    q: np.ndarray,
+    extra: dict | None = None,
+) -> list:
+    """Run a reduction kernel over an even ``n_workers``-way chunking."""
+    chunk_specs = [
+        {"lo": lo, "hi": hi, **(extra or {})}
+        for lo, hi in even_ranges(q.size, backend.n_workers)
+    ]
+    return backend.run_kernel(kernel, {"q": q}, chunk_specs).results
 
 
 def _const_sum(blocks: StoredBlocks) -> float:
@@ -64,21 +88,24 @@ def _const_sum(blocks: StoredBlocks) -> float:
     return float((blocks.const_outliers.astype(np.float64) * blocks.const_lens).sum())
 
 
-def chunked_quantized_sum(blocks: StoredBlocks, executor: ChunkedExecutor | int) -> float:
+def chunked_quantized_sum(blocks: StoredBlocks, executor: Executor) -> float:
     """Sum of all quantized values via chunked partials (constant closed form)."""
     total = 0.0
     if blocks.q.size:
         q = blocks.q
         with _as_executor(executor) as ex:
-            partials = ex.map_ranges(
-                lambda lo, hi: float(q[lo:hi].sum(dtype=np.float64)), q.size
-            )
+            if isinstance(ex, ExecutionBackend):
+                partials = _backend_partials(ex, kernels.reduce_sum_chunk, q)
+            else:
+                partials = ex.map_ranges(
+                    lambda lo, hi: float(q[lo:hi].sum(dtype=np.float64)), q.size
+                )
         total += math.fsum(partials)
     return total + _const_sum(blocks)
 
 
 def chunked_quantized_sq_dev(
-    blocks: StoredBlocks, mu_q: float, executor: ChunkedExecutor | int
+    blocks: StoredBlocks, mu_q: float, executor: Executor
 ) -> float:
     """Sum of squared deviations from ``mu_q`` via chunked partials."""
     total = 0.0
@@ -90,25 +117,31 @@ def chunked_quantized_sq_dev(
             return float(np.dot(dev, dev))
 
         with _as_executor(executor) as ex:
-            total += math.fsum(ex.map_ranges(part, q.size))
+            if isinstance(ex, ExecutionBackend):
+                partials = _backend_partials(
+                    ex, kernels.reduce_sq_dev_chunk, q, extra={"mu_q": mu_q}
+                )
+            else:
+                partials = ex.map_ranges(part, q.size)
+        total += math.fsum(partials)
     if blocks.const_outliers.size:
         dev_c = blocks.const_outliers.astype(np.float64) - mu_q
         total += float((blocks.const_lens * dev_c * dev_c).sum())
     return total
 
 
-def parallel_mean(c: SZOpsCompressed, executor: ChunkedExecutor | int) -> float:
+def parallel_mean(c: SZOpsCompressed, executor: Executor) -> float:
     """Compressed-domain mean with chunked parallel partial sums.
 
     Equals :func:`repro.core.ops.mean` bit for bit (integer partials are
-    exact in float64).
+    exact in float64), on every backend.
     """
     blocks = stored_quantized(c)
     return 2.0 * c.eps * (chunked_quantized_sum(blocks, executor) / c.n_elements)
 
 
 def parallel_variance(
-    c: SZOpsCompressed, executor: ChunkedExecutor | int, ddof: int = 0
+    c: SZOpsCompressed, executor: Executor, ddof: int = 0
 ) -> float:
     """Compressed-domain variance with chunked parallel partial sums."""
     n = c.n_elements
@@ -121,14 +154,14 @@ def parallel_variance(
 
 
 def parallel_std(
-    c: SZOpsCompressed, executor: ChunkedExecutor | int, ddof: int = 0
+    c: SZOpsCompressed, executor: Executor, ddof: int = 0
 ) -> float:
     """Compressed-domain standard deviation with chunked partial sums."""
     return math.sqrt(parallel_variance(c, executor, ddof=ddof))
 
 
 def parallel_summary_statistics(
-    c: SZOpsCompressed, executor: ChunkedExecutor | int, ddof: int = 0
+    c: SZOpsCompressed, executor: Executor, ddof: int = 0
 ) -> dict[str, float]:
     """Mean/variance/std in one decode with chunked partial sums."""
     n = c.n_elements
@@ -145,7 +178,7 @@ def parallel_summary_statistics(
 
 
 def _chunked_extreme(
-    c: SZOpsCompressed, executor: ChunkedExecutor | int, kind: str
+    c: SZOpsCompressed, executor: Executor, kind: str
 ) -> float:
     blocks = stored_quantized(c)
     ufunc = np.min if kind == "min" else np.max
@@ -153,7 +186,12 @@ def _chunked_extreme(
     if blocks.q.size:
         q = blocks.q
         with _as_executor(executor) as ex:
-            partials = ex.map_ranges(lambda lo, hi: int(ufunc(q[lo:hi])), q.size)
+            if isinstance(ex, ExecutionBackend):
+                partials = _backend_partials(
+                    ex, kernels.reduce_extreme_chunk, q, extra={"kind": kind}
+                )
+            else:
+                partials = ex.map_ranges(lambda lo, hi: int(ufunc(q[lo:hi])), q.size)
         candidates.extend(partials)
     if blocks.const_outliers.size:
         candidates.append(int(ufunc(blocks.const_outliers)))
@@ -162,11 +200,11 @@ def _chunked_extreme(
     return 2.0 * c.eps * (min(candidates) if kind == "min" else max(candidates))
 
 
-def parallel_minimum(c: SZOpsCompressed, executor: ChunkedExecutor | int) -> float:
+def parallel_minimum(c: SZOpsCompressed, executor: Executor) -> float:
     """Compressed-domain minimum via chunked partial extrema."""
     return _chunked_extreme(c, executor, "min")
 
 
-def parallel_maximum(c: SZOpsCompressed, executor: ChunkedExecutor | int) -> float:
+def parallel_maximum(c: SZOpsCompressed, executor: Executor) -> float:
     """Compressed-domain maximum via chunked partial extrema."""
     return _chunked_extreme(c, executor, "max")

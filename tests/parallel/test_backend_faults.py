@@ -1,0 +1,103 @@
+"""Fault injection for the process backend: dead and hung workers.
+
+The contract under test: a worker that dies (or hangs) mid-chunk must
+surface a :class:`BackendWorkerError` naming the chunk range — never a
+bare ``BrokenProcessPool`` and never a deadlock — the shared-memory
+segment must not leak into ``/dev/shm``, and the pool must self-heal so
+the next call succeeds on a fresh pool.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.parallel.backends import BackendWorkerError, ProcessBackend
+
+SHM_DIR = Path("/dev/shm")
+
+
+def _shm_entries() -> set[str]:
+    if not SHM_DIR.exists():
+        return set()
+    return {p.name for p in SHM_DIR.iterdir() if p.name.startswith("psm_")}
+
+
+def suicide_kernel(arrays, chunk):
+    """Kill the worker hard on the second chunk; SIGKILL skips cleanup."""
+    if chunk["lo"] >= 8:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return int(arrays["q"][chunk["lo"] : chunk["hi"]].sum())
+
+
+def sleep_kernel(arrays, chunk):
+    time.sleep(chunk["seconds"])
+    return chunk["lo"]
+
+
+def sum_kernel(arrays, chunk):
+    return int(arrays["q"][chunk["lo"] : chunk["hi"]].sum())
+
+
+@pytest.fixture
+def backend():
+    be = ProcessBackend(2, timeout=30.0)
+    yield be
+    be.close()
+
+
+class TestDeadWorker:
+    def test_raises_backend_worker_error_with_chunk_range(self, backend):
+        q = np.arange(16, dtype=np.int64)
+        chunks = [{"lo": lo, "hi": lo + 4} for lo in range(0, 16, 4)]
+        before = _shm_entries()
+        with pytest.raises(BackendWorkerError) as exc_info:
+            backend.run_kernel(suicide_kernel, {"q": q}, chunks)
+        err = exc_info.value
+        assert "chunk [" in str(err), "error must name the chunk range"
+        assert err.chunk is not None and "lo" in err.chunk
+        # The arena is destroyed in the error path: nothing new in /dev/shm.
+        assert _shm_entries() <= before, "leaked shared-memory segment"
+
+    def test_pool_self_heals(self, backend):
+        q = np.arange(16, dtype=np.int64)
+        chunks = [{"lo": lo, "hi": lo + 4} for lo in range(0, 16, 4)]
+        with pytest.raises(BackendWorkerError):
+            backend.run_kernel(suicide_kernel, {"q": q}, chunks)
+        # Same backend object, fresh pool underneath: next call succeeds.
+        run = backend.run_kernel(sum_kernel, {"q": q}, chunks)
+        assert run.results == [6, 22, 38, 54]
+
+
+class TestHungWorker:
+    def test_timeout_surfaces_not_deadlocks(self):
+        be = ProcessBackend(1, timeout=0.5)
+        try:
+            before = _shm_entries()
+            t0 = time.monotonic()
+            with pytest.raises(BackendWorkerError, match="exceeded"):
+                be.run_kernel(
+                    sleep_kernel, {}, [{"lo": 0, "hi": 1, "seconds": 60.0}]
+                )
+            assert time.monotonic() - t0 < 30.0, "timeout did not bound the wait"
+            assert _shm_entries() <= before
+        finally:
+            be.close()
+
+    def test_recovers_after_timeout(self):
+        be = ProcessBackend(1, timeout=0.5)
+        try:
+            with pytest.raises(BackendWorkerError):
+                be.run_kernel(
+                    sleep_kernel, {}, [{"lo": 0, "hi": 1, "seconds": 60.0}]
+                )
+            q = np.arange(8, dtype=np.int64)
+            run = be.run_kernel(sum_kernel, {"q": q}, [{"lo": 0, "hi": 8}])
+            assert run.results == [28]
+        finally:
+            be.close()
