@@ -25,8 +25,14 @@ See ``docs/ANALYSIS.md`` for rule rationales and the suppression syntax
 
 from __future__ import annotations
 
-from repro.analysis.findings import Finding, Severity, render_json, render_text
-from repro.analysis.linter import lint_paths, lint_source
+from repro.analysis.findings import (
+    Finding,
+    Severity,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from repro.analysis.linter import analyze_paths, lint_paths, lint_source
 from repro.analysis.lockcheck import lockcheck_paths, lockcheck_source
 from repro.analysis.verify_stream import (
     STREAM_VERIFIERS,
@@ -40,7 +46,9 @@ __all__ = [
     "Finding",
     "Severity",
     "render_json",
+    "render_sarif",
     "render_text",
+    "analyze_paths",
     "lint_paths",
     "lint_source",
     "lockcheck_paths",

@@ -1,0 +1,63 @@
+"""Dataflow analysis engine: abstract interpretation for SZOps invariants.
+
+PR 2's ``szops-lint`` rules are syntactic: SZL001 pattern-matches AST
+shapes ("an AugAssign on a quantized name without a widening cast") and
+must be suppressed at every site that *is* guarded, because a pattern
+matcher cannot see the guard.  This package upgrades the hot invariants to
+*dataflow-based* verification: a per-function abstract interpreter over
+the CPython AST (:mod:`~repro.analysis.dataflow.engine`) tracks value
+ranges, dtypes and symbolic guard facts through assignments, branches,
+loops and module-local calls (with call summaries), and four passes share
+it:
+
+``SZL101`` / ``SZL102`` (:mod:`~repro.analysis.dataflow.ranges`)
+    value-range + dtype lattice proofs that quantized int64 arithmetic
+    stays inside int64 given the ``|q| < Q_LIMIT`` invariant, and that
+    float → int casts are guarded (finite + bounded).  Supersedes the
+    syntactic SZL001/SZL002 when the dataflow suite runs.
+``SZL103`` (:mod:`~repro.analysis.dataflow.errorprop`)
+    rederives each registered operation's worst-case error-bound
+    transformer from its kernel (composing the symbolic error effects of
+    the quantization primitives it reaches) and cross-checks the module's
+    declared ``ERROR_PROPAGATION`` mode.
+``LCK002`` (:mod:`~repro.analysis.dataflow.lockorder`)
+    builds the acquires-while-holding relation over every ``self._lock``
+    in the analyzed files and rejects cycles — including self-cycles,
+    since ``threading.Lock`` is not reentrant.
+``SHM001`` / ``SHM002`` (:mod:`~repro.analysis.dataflow.shmlife`)
+    tracks ``ShmArena`` / ``SharedMemory(create=True)`` segments through
+    acquire, use and release along all paths *including exception edges*,
+    flagging use-after-release and leak-on-raise/-on-return.
+
+All passes emit the shared :class:`~repro.analysis.findings.Finding`
+type, honor ``# szops: ignore[...]`` suppressions (applied by the linter
+driver), and run via ``python -m repro lint --dataflow``.  Soundness
+caveats (what the engine deliberately does not model) are documented in
+``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow.errorprop import check_error_propagation
+from repro.analysis.dataflow.lattice import INT64_MAX, INT64_MIN, Interval, Value
+from repro.analysis.dataflow.lockorder import lockorder_findings
+from repro.analysis.dataflow.ranges import range_findings
+from repro.analysis.dataflow.shmlife import shm_findings
+
+__all__ = [
+    "INT64_MAX",
+    "INT64_MIN",
+    "Interval",
+    "Value",
+    "check_error_propagation",
+    "lockorder_findings",
+    "range_findings",
+    "shm_findings",
+    "DATAFLOW_RULES",
+]
+
+#: Rule ids contributed by the dataflow suite (the driver uses this to
+#: compute the active-rule set for unused-suppression accounting).
+DATAFLOW_RULES = frozenset(
+    {"SZL101", "SZL102", "SZL103", "LCK002", "SHM001", "SHM002"}
+)

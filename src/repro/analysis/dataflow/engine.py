@@ -1,0 +1,1355 @@
+"""Per-function abstract interpreter with call summaries.
+
+The engine executes a function's AST over the lattices in
+:mod:`~repro.analysis.dataflow.lattice`:
+
+* an **environment** maps canonical access paths (``"q"``,
+  ``"out.outliers"``, ``"arrays['q']"``) to abstract :class:`Value`\\ s;
+* **branch refinement** narrows the environment on ``if``/``while``/
+  ``assert`` edges, understanding the repo's guard idioms — ``x.size``
+  truthiness, ``np.all(np.isfinite(x))``, ``np.abs(x).max() >= bound``,
+  and the ``peak = |x|.max() + |y|`` / ``if peak >= Q_LIMIT: raise``
+  shape, which records a *bound fact* proving ``x ± y`` stays in range;
+* **raise pruning**: a branch that ends in ``raise`` contributes nothing
+  to the join after the ``if``;
+* **loops** run to a small fixpoint with interval widening;
+* ``try``/``with`` maintain a protection stack that lifetime passes
+  (shm) query, and handler entry states join every in-body raise point;
+* **call summaries**: module-local functions are analyzed first with
+  name-based seeds; a second pass re-analyzes private functions with the
+  join of their observed call-site arguments and gives every caller the
+  callee's return summary.
+
+Passes subclass :class:`Interpreter` and override the ``check_*`` /
+``on_*`` hooks; the engine itself emits no findings.
+
+Known soundness caveats (documented in ``docs/ANALYSIS.md``): NumPy view
+aliasing is not modeled (writes through a view do not update the base
+array's binding — summary returns widen bottom intervals to ⊤ to
+compensate), comprehension bodies are opaque, and reseeding a havocked
+quantized name assumes callees preserve the ``|q| < Q_LIMIT`` invariant
+their own analysis verifies.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.analysis.dataflow.lattice import (
+    KIND_BOOL,
+    KIND_FLOAT,
+    KIND_I64,
+    KIND_OBJ,
+    KIND_PYINT,
+    Q_LIMIT,
+    Interval,
+    Value,
+    _join_kind,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules.numeric import QUANTIZED_NAMES
+
+__all__ = [
+    "FunctionResult",
+    "Interpreter",
+    "ModuleContext",
+    "State",
+    "analyze_module",
+    "path_of",
+    "terminal_name",
+]
+
+_NUMPY_ROOTS = {"np", "numpy"}
+
+#: dtype spellings → value kind ("int" targets trigger the cast check).
+_DTYPE_KINDS: dict[str, str] = {}
+for _n in ("int64", "int32", "int16", "int8", "intp", "uint64", "uint32", "uint16", "uint8", "long"):
+    _DTYPE_KINDS[_n] = KIND_I64
+for _n in ("float64", "float32", "float16", "double", "single", "longdouble"):
+    _DTYPE_KINDS[_n] = KIND_FLOAT
+for _n in ("bool_", "bool"):
+    _DTYPE_KINDS[_n] = KIND_BOOL
+_DTYPE_STR_KINDS = {"i": KIND_I64, "u": KIND_I64, "f": KIND_FLOAT, "b": KIND_BOOL}
+
+
+def path_of(node: ast.AST) -> Optional[str]:
+    """Canonical access path of an l-value-shaped expression, or None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = path_of(node.value)
+        return f"{base}.{node.attr}" if base else None
+    if isinstance(node, ast.Subscript):
+        base = path_of(node.value)
+        if base is None:
+            return None
+        if isinstance(node.slice, ast.Constant) and isinstance(node.slice.value, str):
+            return f"{base}[{node.slice.value!r}]"
+        # positional/slice indexing shares the base array's element range
+        return base
+    if isinstance(node, ast.Call):
+        return None
+    return None
+
+
+def terminal_name(path: str) -> str:
+    """Last meaningful component of a canonical path."""
+    if path.endswith("]"):
+        key = path[path.rfind("[") + 1 : -1]
+        return key.strip("'\"")
+    return path.rsplit(".", 1)[-1]
+
+
+def _dtype_kind_of(node: ast.expr) -> Optional[str]:
+    """Value kind named by a dtype expression (np.int64, "<i8", ...)."""
+    if isinstance(node, ast.Attribute):
+        return _DTYPE_KINDS.get(node.attr)
+    if isinstance(node, ast.Name):
+        return _DTYPE_KINDS.get(node.id)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        s = node.value.lstrip("<>=|")
+        return _DTYPE_STR_KINDS.get(s[:1]) if s else None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# module context: function / class indexes shared by every pass
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FuncInfo:
+    qualname: str
+    node: ast.FunctionDef
+    class_name: Optional[str] = None
+
+    @property
+    def is_private(self) -> bool:
+        return self.node.name.startswith("_") and not self.node.name.startswith("__")
+
+
+@dataclass
+class ModuleContext:
+    """Indexes over one module: functions, classes, ctor-typed attributes."""
+
+    path: str
+    tree: ast.Module
+    functions: dict[str, FuncInfo] = field(default_factory=dict)
+    classes: dict[str, ast.ClassDef] = field(default_factory=dict)
+    #: class → method name → set of ``self.<attr>`` lock attrs it acquires
+    #: (filled lazily by the lock pass; here for cross-pass sharing)
+    class_attr_ctor: dict[str, dict[str, str]] = field(default_factory=dict)
+    class_field_kind: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    @staticmethod
+    def build(path: str, tree: ast.Module) -> "ModuleContext":
+        ctx = ModuleContext(path=path, tree=tree)
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if isinstance(node, ast.FunctionDef):
+                    ctx.functions[node.name] = FuncInfo(node.name, node)
+            elif isinstance(node, ast.ClassDef):
+                ctx.classes[node.name] = node
+                ctors: dict[str, str] = {}
+                kinds: dict[str, str] = {}
+                for item in node.body:
+                    if isinstance(item, ast.FunctionDef):
+                        qn = f"{node.name}.{item.name}"
+                        ctx.functions[qn] = FuncInfo(qn, item, class_name=node.name)
+                    elif isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                        ann = item.annotation
+                        if isinstance(ann, ast.Name):
+                            if ann.id == "int":
+                                kinds[item.target.id] = KIND_PYINT
+                            elif ann.id == "float":
+                                kinds[item.target.id] = KIND_FLOAT
+                init = next(
+                    (i for i in node.body if isinstance(i, ast.FunctionDef) and i.name == "__init__"),
+                    None,
+                )
+                if init is not None:
+                    for stmt in ast.walk(init):
+                        if (
+                            isinstance(stmt, ast.Assign)
+                            and len(stmt.targets) == 1
+                            and isinstance(stmt.targets[0], ast.Attribute)
+                            and isinstance(stmt.targets[0].value, ast.Name)
+                            and stmt.targets[0].value.id == "self"
+                            and isinstance(stmt.value, ast.Call)
+                        ):
+                            fn = stmt.value.func
+                            cname = fn.id if isinstance(fn, ast.Name) else (
+                                fn.attr if isinstance(fn, ast.Attribute) else None
+                            )
+                            if cname:
+                                ctors[stmt.targets[0].attr] = cname
+                ctx.class_attr_ctor[node.name] = ctors
+                ctx.class_field_kind[node.name] = kinds
+        return ctx
+
+
+# ---------------------------------------------------------------------------
+# abstract state
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class State:
+    env: dict[str, Value] = field(default_factory=dict)
+    #: proved |a ± b| bounds, keyed by the sorted path pair
+    bounds: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: generic per-pass resource states (shm lifetime): path → state str
+    res: dict[str, str] = field(default_factory=dict)
+    reachable: bool = True
+
+    def copy(self) -> "State":
+        return State(dict(self.env), dict(self.bounds), dict(self.res), self.reachable)
+
+    def same_as(self, other: "State") -> bool:
+        return (
+            self.reachable == other.reachable
+            and self.env == other.env
+            and self.bounds == other.bounds
+            and self.res == other.res
+        )
+
+
+def _join_res(a: str, b: str) -> str:
+    if a == b:
+        return a
+    open_ish = {"open", "maybe"}
+    if a in open_ish or b in open_ish:
+        return "maybe"
+    return "maybe"
+
+
+# ---------------------------------------------------------------------------
+# the interpreter
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FunctionResult:
+    return_value: Value
+    findings: list[Finding]
+    call_args: dict[str, list[tuple[list[Value], dict[str, Value]]]]
+    end_state: State
+
+
+class _TryFrame:
+    __slots__ = ("node", "raise_states")
+
+    def __init__(self, node: ast.Try) -> None:
+        self.node = node
+        self.raise_states: list[State] = []
+
+
+class _WithFrame:
+    __slots__ = ("node", "bound")
+
+    def __init__(self, node: ast.With, bound: list[str]) -> None:
+        self.node = node
+        self.bound = bound
+
+
+class Interpreter:
+    """Abstract interpreter for one function.  Subclass to add checks."""
+
+    #: extra names treated as known constructors (pass-specific typing)
+    CTOR_NAMES: frozenset[str] = frozenset()
+
+    def __init__(
+        self,
+        ctx: ModuleContext,
+        summaries: Optional[Mapping[str, Value]] = None,
+        source_path: str = "<module>",
+    ) -> None:
+        self.ctx = ctx
+        self.summaries = dict(summaries or {})
+        self.source_path = source_path
+        self.findings: list[Finding] = []
+        self.call_args: dict[str, list[tuple[list[Value], dict[str, Value]]]] = {}
+        self.frames: list[object] = []
+        self.current: Optional[FuncInfo] = None
+        self._break_states: list[list[State]] = []
+        self._returns: list[Value] = []
+        self._reported_sites: set[tuple[str, int, int]] = set()
+
+    # ------------------------------------------------------------------ hooks
+
+    def seed(self, path: str) -> Value:
+        """Abstract value assumed for a never-assigned load of ``path``."""
+        name = terminal_name(path)
+        if name == "Q_LIMIT":
+            return Value.pyint(Interval.const(Q_LIMIT))
+        if name in QUANTIZED_NAMES:
+            return Value.quantized_plane()
+        if self.current is not None and self.current.class_name and path.startswith("self."):
+            attr = path.split(".", 1)[1]
+            cls = self.current.class_name
+            ctor = self.ctx.class_attr_ctor.get(cls, {}).get(attr)
+            if ctor:
+                return Value.obj(ctor=ctor)
+            kind = self.ctx.class_field_kind.get(cls, {}).get(attr)
+            if kind:
+                return Value(kind)
+        return Value.obj()
+
+    def check_int_arith(
+        self,
+        node: ast.AST,
+        opname: str,
+        lv: Value,
+        rv: Value,
+        itv: Interval,
+        state: State,
+    ) -> None:
+        """Called for int64 Add/Sub/Mult/Pow/LShift results (ranges pass)."""
+
+    def check_cast(self, node: ast.AST, src: Value, dst_kind: str, state: State) -> None:
+        """Called for every ``.astype(dtype)`` (ranges pass)."""
+
+    def on_call(
+        self,
+        node: ast.Call,
+        func_path: Optional[str],
+        args: list[Value],
+        kwargs: dict[str, Value],
+        state: State,
+    ) -> Optional[Value]:
+        """Observe every call after evaluation; return a Value to override."""
+        return None
+
+    def on_assign(self, path: str, value: Value, node: ast.AST, state: State) -> None:
+        """Observe every strong store to a path."""
+
+    def on_attr_load(self, base_path: str, attr: str, node: ast.AST, state: State) -> None:
+        """Observe attribute loads whose base has a canonical path."""
+
+    def on_possible_raise(self, stmt: ast.stmt, state: State) -> None:
+        """Called before each simple statement that may raise."""
+
+    def on_return(self, stmt: ast.Return, value: Optional[Value], state: State) -> None:
+        """Called at each return, after pending finallys ran."""
+
+    def on_function_end(self, state: State) -> None:
+        """Called on the fall-off-the-end state (if reachable)."""
+
+    def on_with_enter(self, item: ast.withitem, value: Value, path: Optional[str], state: State) -> None:
+        """Called when a with-item context is entered."""
+
+    def on_with_exit(self, node: ast.With, state: State) -> None:
+        """Called when a with-block exits normally."""
+
+    def on_raise(self, stmt: ast.Raise, state: State) -> None:
+        """Called at explicit raise statements."""
+
+    # ------------------------------------------------------------------ report
+
+    def report(
+        self,
+        rule: str,
+        node: ast.AST,
+        message: str,
+        hint: str = "",
+        severity: Severity = Severity.ERROR,
+    ) -> None:
+        # loop bodies run to a small fixpoint, re-visiting each node up to
+        # four times — report each site once
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        key = (rule, line, col)
+        if key in self._reported_sites:
+            return
+        self._reported_sites.add(key)
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.source_path,
+                line=line,
+                message=message,
+                hint=hint,
+                severity=severity,
+            )
+        )
+
+    # ------------------------------------------------------------------ driver
+
+    def run(self, fn: FuncInfo, params: Optional[Mapping[str, Value]] = None) -> FunctionResult:
+        self.current = fn
+        self._returns = []
+        state = State()
+        argnames = [a.arg for a in fn.node.args.posonlyargs + fn.node.args.args]
+        for i, name in enumerate(argnames):
+            if i == 0 and name == "self" and fn.class_name:
+                state.env["self"] = Value.obj(ctor=fn.class_name)
+            elif params is not None and name in params:
+                state.env[name] = params[name]
+            else:
+                state.env[name] = self.seed(name)
+        for a in fn.node.args.kwonlyargs:
+            state.env[a.arg] = (
+                params[a.arg] if params is not None and a.arg in params else self.seed(a.arg)
+            )
+        end = self.exec_block(fn.node.body, state)
+        if end.reachable:
+            self.on_function_end(end)
+        ret = Value.obj()
+        if self._returns:
+            ret = self._returns[0]
+            for v in self._returns[1:]:
+                ret = ret.join(v)
+            if ret.itv.empty:
+                # widen ⊥ element ranges at the summary boundary: a function
+                # whose return was only ever written through views looks
+                # uninitialized to us (aliasing caveat)
+                ret = ret.with_itv(Interval.top())
+        return FunctionResult(ret, self.findings, self.call_args, end)
+
+    # ------------------------------------------------------------------ stmts
+
+    _SIMPLE = (ast.Expr, ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Return, ast.Raise, ast.Assert, ast.Delete)
+
+    def exec_block(self, stmts: Sequence[ast.stmt], state: State) -> State:
+        for stmt in stmts:
+            if not state.reachable:
+                break
+            if isinstance(stmt, self._SIMPLE):
+                self._note_raise_point(stmt, state)
+            state = self.exec_stmt(stmt, state)
+        return state
+
+    def _note_raise_point(self, stmt: ast.stmt, state: State) -> None:
+        may_raise = isinstance(stmt, ast.Raise) or any(
+            isinstance(n, (ast.Call, ast.Subscript)) for n in ast.walk(stmt)
+        )
+        if not may_raise:
+            return
+        for fr in self.frames:
+            if isinstance(fr, _TryFrame):
+                fr.raise_states.append(state.copy())
+        self.on_possible_raise(stmt, state)
+
+    def exec_stmt(self, stmt: ast.stmt, state: State) -> State:
+        if isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, state)
+            return state
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value, state)
+            for target in stmt.targets:
+                self.assign_target(target, value, stmt.value, stmt, state)
+            return state
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self.eval(stmt.value, state)
+                self.assign_target(stmt.target, value, stmt.value, stmt, state)
+            return state
+        if isinstance(stmt, ast.AugAssign):
+            return self._exec_augassign(stmt, state)
+        if isinstance(stmt, ast.Return):
+            return self._exec_return(stmt, state)
+        if isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc, state)
+            self.on_raise(stmt, state)
+            state.reachable = False
+            return state
+        if isinstance(stmt, ast.Assert):
+            return self.refine(state, stmt.test, True)
+        if isinstance(stmt, ast.If):
+            t = self.exec_block(stmt.body, self.refine(state.copy(), stmt.test, True))
+            f = self.exec_block(stmt.orelse, self.refine(state.copy(), stmt.test, False))
+            return self.join_states(t, f)
+        if isinstance(stmt, ast.While):
+            return self._exec_loop(stmt, state, test=stmt.test)
+        if isinstance(stmt, ast.For):
+            return self._exec_loop(stmt, state, for_node=stmt)
+        if isinstance(stmt, ast.With):
+            return self._exec_with(stmt, state)
+        if isinstance(stmt, ast.Try):
+            return self._exec_try(stmt, state)
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            if isinstance(stmt, ast.Break) and self._break_states:
+                self._break_states[-1].append(state.copy())
+            state.reachable = False
+            return state
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return state  # nested defs are opaque
+        if isinstance(stmt, ast.Delete):
+            for t in stmt.targets:
+                p = path_of(t)
+                if p:
+                    state.env.pop(p, None)
+                    self.invalidate(p, state)
+            return state
+        return state
+
+    # ------------------------------------------------------------------ pieces
+
+    def _exec_return(self, stmt: ast.Return, state: State) -> State:
+        value = self.eval(stmt.value, state) if stmt.value is not None else None
+        # returns run pending finally blocks (inner → outer)
+        for fr in reversed(self.frames):
+            if isinstance(fr, _TryFrame) and fr.node.finalbody:
+                state = self.exec_block(fr.node.finalbody, state)
+        self.on_return(stmt, value, state)
+        self._returns.append(value if value is not None else Value.obj())
+        state.reachable = False
+        return state
+
+    def _exec_augassign(self, stmt: ast.AugAssign, state: State) -> State:
+        tpath = path_of(stmt.target)
+        lv = self._load_path(tpath, state) if tpath else Value.obj()
+        rv = self.eval(stmt.value, state)
+        rpath = path_of(stmt.value)
+        result = self.binop(stmt.op, lv, rv, stmt, state, lpath=tpath, rpath=rpath)
+        if tpath:
+            if isinstance(stmt.target, ast.Subscript) and not tpath.endswith("]"):
+                cur = state.env.get(tpath, self.seed(tpath))
+                state.env[tpath] = cur.join(result)
+            else:
+                state.env[tpath] = result
+            self.invalidate(tpath, state)
+            self.on_assign(tpath, result, stmt, state)
+        return state
+
+    def assign_target(
+        self,
+        target: ast.expr,
+        value: Value,
+        value_node: Optional[ast.expr],
+        stmt: ast.stmt,
+        state: State,
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            elts_vals: list[Value]
+            if isinstance(value_node, (ast.Tuple, ast.List)) and len(value_node.elts) == len(target.elts):
+                elts_vals = [self.eval(e, state) for e in value_node.elts]
+            else:
+                elts_vals = [Value.obj()] * len(target.elts)
+            for sub, sv in zip(target.elts, elts_vals):
+                self.assign_target(sub, sv, None, stmt, state)
+            return
+        if isinstance(target, ast.Starred):
+            self.assign_target(target.value, Value.obj(), None, stmt, state)
+            return
+        path = path_of(target)
+        if path is None:
+            return
+        if isinstance(target, ast.Subscript) and not path.endswith("]"):
+            # element store: weak update of the base array's element range
+            if isinstance(target.slice, ast.expr):
+                self.eval(target.slice, state)
+            cur = state.env.get(path, self.seed(path))
+            state.env[path] = cur.join(value)
+        else:
+            self.invalidate(path, state)
+            state.env[path] = value
+        self.on_assign(path, value, stmt, state)
+
+    def invalidate(self, path: str, state: State) -> None:
+        """Reassignment of ``path`` retires facts and bindings built on it."""
+        for key in [k for k in state.bounds if path in k]:
+            del state.bounds[key]
+        for k in [k for k in state.env if k != path and (k.startswith(path + ".") or k.startswith(path + "["))]:
+            del state.env[k]
+        for k, v in list(state.env.items()):
+            if v.origin and path in v.origin[1:]:
+                state.env[k] = v.with_origin(None)
+
+    def _exec_loop(
+        self,
+        stmt: ast.stmt,
+        state: State,
+        test: Optional[ast.expr] = None,
+        for_node: Optional[ast.For] = None,
+    ) -> State:
+        body = stmt.body  # type: ignore[attr-defined]
+        orelse = stmt.orelse  # type: ignore[attr-defined]
+        elem = Value.obj()
+        if for_node is not None:
+            it = self.eval(for_node.iter, state)
+            ipath = path_of(for_node.iter)
+            if ipath and it.kind in (KIND_I64, KIND_FLOAT):
+                elem = it
+            elif isinstance(for_node.iter, ast.Call):
+                fp = path_of(for_node.iter.func)
+                if fp in ("range", "enumerate"):
+                    elem = Value.pyint(Interval(0, None))
+        self._break_states.append([])
+        st = state
+        for i in range(4):
+            body_in = st.copy()
+            if for_node is not None:
+                self.assign_target(for_node.target, elem, None, stmt, body_in)
+            elif test is not None:
+                body_in = self.refine(body_in, test, True)
+            body_out = self.exec_block(body, body_in)
+            new = self.join_states(st.copy(), body_out)
+            if new.same_as(st):
+                break
+            st = self._widen_states(st, new) if i >= 2 else new
+        breaks = self._break_states.pop()
+        exit_state = st
+        if test is not None:
+            exit_state = self.refine(exit_state, test, False)
+        for b in breaks:
+            exit_state = self.join_states(exit_state, b)
+        if orelse:
+            exit_state = self.exec_block(orelse, exit_state)
+        return exit_state
+
+    def _exec_with(self, stmt: ast.With, state: State) -> State:
+        bound: list[str] = []
+        for item in stmt.items:
+            v = self.eval(item.context_expr, state)
+            p: Optional[str] = None
+            if item.optional_vars is not None:
+                p = path_of(item.optional_vars)
+                if p:
+                    state.env[p] = v
+                    self.on_assign(p, v, stmt, state)
+            else:
+                p = path_of(item.context_expr)
+            if p:
+                bound.append(p)
+            self.on_with_enter(item, v, p, state)
+        frame = _WithFrame(stmt, bound)
+        self.frames.append(frame)
+        out = self.exec_block(stmt.body, state)
+        self.frames.pop()
+        self.on_with_exit(stmt, out)
+        return out
+
+    def _exec_try(self, stmt: ast.Try, state: State) -> State:
+        entry = state.copy()
+        frame = _TryFrame(stmt)
+        self.frames.append(frame)
+        body_out = self.exec_block(stmt.body, state)
+        self.frames.pop()
+        handler_entry = entry
+        for rs in frame.raise_states:
+            handler_entry = self.join_states(handler_entry, rs)
+        handler_entry.reachable = True
+        handler_outs: list[State] = []
+        for handler in stmt.handlers:
+            h = handler_entry.copy()
+            h.bounds.clear()
+            if handler.name:
+                h.env[handler.name] = Value.obj()
+            handler_outs.append(self.exec_block(handler.body, h))
+        if body_out.reachable and stmt.orelse:
+            body_out = self.exec_block(stmt.orelse, body_out)
+        out = body_out
+        for h in handler_outs:
+            out = self.join_states(out, h)
+        if stmt.finalbody:
+            if out.reachable:
+                out = self.exec_block(stmt.finalbody, out)
+            else:
+                # every path raised/returned: finally still runs
+                fstate = handler_entry.copy()
+                self.exec_block(stmt.finalbody, fstate)
+        return out
+
+    # ------------------------------------------------------------------ joins
+
+    def join_states(self, a: State, b: State) -> State:
+        if not a.reachable:
+            return b
+        if not b.reachable:
+            return a
+        env: dict[str, Value] = {}
+        for k in set(a.env) | set(b.env):
+            va = a.env.get(k)
+            vb = b.env.get(k)
+            if va is None:
+                va = self.seed(k)
+            if vb is None:
+                vb = self.seed(k)
+            env[k] = va.join(vb)
+        bounds = {
+            k: max(a.bounds[k], b.bounds[k]) for k in set(a.bounds) & set(b.bounds)
+        }
+        res: dict[str, str] = {}
+        for k in set(a.res) | set(b.res):
+            ra, rb = a.res.get(k), b.res.get(k)
+            if ra is None:
+                res[k] = rb if rb == "released" else "maybe"  # type: ignore[assignment]
+            elif rb is None:
+                res[k] = ra if ra == "released" else "maybe"
+            else:
+                res[k] = _join_res(ra, rb)
+        return State(env, bounds, res, True)
+
+    def _widen_states(self, old: State, new: State) -> State:
+        env = {}
+        for k, v in new.env.items():
+            ov = old.env.get(k)
+            env[k] = v.with_itv(ov.itv.widen(v.itv)) if ov is not None else v.with_itv(Interval.top())
+        return State(env, new.bounds, new.res, new.reachable)
+
+    # ------------------------------------------------------------------ eval
+
+    def _load_path(self, path: str, state: State) -> Value:
+        v = state.env.get(path)
+        if v is None:
+            v = self.seed(path)
+            state.env[path] = v
+        if v.origin is None:
+            v = v.with_origin(("id", path))
+        return v
+
+    def eval(self, node: ast.expr, state: State) -> Value:
+        if isinstance(node, ast.Constant):
+            c = node.value
+            if isinstance(c, bool):
+                return Value(KIND_BOOL, Interval(int(c), int(c)))
+            if isinstance(c, int):
+                return Value.pyint(Interval.const(c))
+            if isinstance(c, float):
+                import math
+
+                return Value.flt(Interval.const(c), finite=math.isfinite(c))
+            return Value.obj()
+        if isinstance(node, ast.Name):
+            return self._load_path(node.id, state)
+        if isinstance(node, ast.Attribute):
+            base = path_of(node.value)
+            if base is not None:
+                if node.attr in ("size", "nbytes"):
+                    return Value(KIND_PYINT, Interval(0, None), origin=("size", base))
+                self.on_attr_load(base, node.attr, node, state)
+                return self._load_path(f"{base}.{node.attr}", state)
+            self.eval(node.value, state)
+            return Value.obj()
+        if isinstance(node, ast.Subscript):
+            if isinstance(node.slice, ast.expr):
+                self.eval(node.slice, state)
+            p = path_of(node)
+            if p is not None:
+                # Evaluate the base too so attribute-load hooks see it
+                # (`shm.buf[0]` must still count as a read of shm.buf).
+                self.eval(node.value, state)
+                return self._load_path(p, state)
+            self.eval(node.value, state)
+            return Value.obj()
+        if isinstance(node, ast.UnaryOp):
+            v = self.eval(node.operand, state)
+            if isinstance(node.op, ast.USub):
+                return replace(v, itv=v.itv.neg(), origin=None)
+            if isinstance(node.op, ast.Not):
+                return Value(KIND_BOOL, Interval(0, 1))
+            if isinstance(node.op, ast.UAdd):
+                return v
+            return Value(v.kind, Interval.top())
+        if isinstance(node, ast.BinOp):
+            lv = self.eval(node.left, state)
+            rv = self.eval(node.right, state)
+            return self.binop(node.op, lv, rv, node, state, lpath=path_of(node.left), rpath=path_of(node.right))
+        if isinstance(node, ast.BoolOp):
+            out = self.eval(node.values[0], state)
+            for v in node.values[1:]:
+                out = out.join(self.eval(v, state))
+            return out
+        if isinstance(node, ast.Compare):
+            self.eval(node.left, state)
+            for c in node.comparators:
+                self.eval(c, state)
+            return Value(KIND_BOOL, Interval(0, 1))
+        if isinstance(node, ast.IfExp):
+            t = self.eval(node.body, self.refine(state.copy(), node.test, True))
+            f = self.eval(node.orelse, self.refine(state.copy(), node.test, False))
+            return t.join(f)
+        if isinstance(node, ast.Call):
+            return self.eval_call(node, state)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for e in node.elts:
+                self.eval(e, state)
+            return Value.obj()
+        if isinstance(node, ast.Dict):
+            for k in node.keys:
+                if k is not None:
+                    self.eval(k, state)
+            for v in node.values:
+                self.eval(v, state)
+            return Value.obj()
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value, state)
+        return Value.obj()
+
+    # ------------------------------------------------------------------ binop
+
+    _CHECKED_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Pow, ast.LShift)
+
+    def binop(
+        self,
+        op: ast.operator,
+        lv: Value,
+        rv: Value,
+        node: ast.AST,
+        state: State,
+        lpath: Optional[str] = None,
+        rpath: Optional[str] = None,
+    ) -> Value:
+        kind = _join_kind(lv.kind, rv.kind)
+        if isinstance(op, ast.Div):
+            kind = KIND_FLOAT if kind in (KIND_PYINT, KIND_I64, KIND_FLOAT, KIND_BOOL) else KIND_OBJ
+        itv = self._binop_itv(op, lv.itv, rv.itv)
+        # a previously proved |a ± b| bound overrides the raw interval
+        if isinstance(op, (ast.Add, ast.Sub)) and lpath and rpath:
+            key = tuple(sorted((lpath, rpath)))
+            bound = state.bounds.get(key)  # type: ignore[arg-type]
+            if bound is not None:
+                itv = Interval(-bound, bound)
+        quantized = (lv.quantized or rv.quantized) and kind in (KIND_I64, KIND_PYINT)
+        if kind == KIND_I64 and isinstance(op, self._CHECKED_OPS):
+            self.check_int_arith(node, type(op).__name__, lv, rv, itv, state)
+            if not itv.fits_int64():
+                itv = Interval.top()  # the concrete op wraps
+        origin = self._abssum_origin(op, lv, rv, lpath, rpath)
+        return Value(kind=kind, itv=itv, quantized=quantized, origin=origin)
+
+    @staticmethod
+    def _abssum_origin(
+        op: ast.operator, lv: Value, rv: Value, lpath: Optional[str], rpath: Optional[str]
+    ) -> Optional[tuple[str, ...]]:
+        if not isinstance(op, ast.Add):
+            return None
+        lo, ro = lv.origin, rv.origin
+        if lo and lo[0] == "absmax" and ro and ro[0] in ("abs", "absmax"):
+            return ("abssum", lo[1], ro[1])
+        if ro and ro[0] == "absmax" and lo and lo[0] in ("abs", "absmax"):
+            return ("abssum", ro[1], lo[1])
+        return None
+
+    @staticmethod
+    def _binop_itv(op: ast.operator, a: Interval, b: Interval) -> Interval:
+        if isinstance(op, ast.Add):
+            return a.add(b)
+        if isinstance(op, ast.Sub):
+            return a.sub(b)
+        if isinstance(op, ast.Mult):
+            return a.mul(b)
+        if isinstance(op, (ast.Pow, ast.LShift)):
+            if (
+                a.lo is not None
+                and a.lo == a.hi
+                and b.lo is not None
+                and b.lo == b.hi
+                and isinstance(a.lo, int)
+                and isinstance(b.lo, int)
+                and 0 <= b.lo <= 128
+            ):
+                v = a.lo**b.lo if isinstance(op, ast.Pow) else a.lo << b.lo
+                return Interval.const(v)
+            return Interval.top()
+        if isinstance(op, ast.Mod):
+            if b.lo is not None and b.lo == b.hi and isinstance(b.lo, int) and b.lo > 0:
+                return Interval(0, b.lo - 1)
+            return Interval.top()
+        return Interval.top()
+
+    # ------------------------------------------------------------------ calls
+
+    def eval_call(self, node: ast.Call, state: State) -> Value:
+        fp = path_of(node.func)
+        args = [self.eval(a, state) for a in node.args]
+        kwargs = {k.arg: self.eval(k.value, state) for k in node.keywords if k.arg is not None}
+        for k in node.keywords:
+            if k.arg is None:
+                self.eval(k.value, state)
+        result = self._eval_known_call(node, fp, args, kwargs, state)
+        hooked = self.on_call(node, fp, args, kwargs, state)
+        if hooked is not None:
+            return hooked
+        return result
+
+    def _eval_known_call(
+        self,
+        node: ast.Call,
+        fp: Optional[str],
+        args: list[Value],
+        kwargs: dict[str, Value],
+        state: State,
+    ) -> Value:
+        if fp is None:
+            if isinstance(node.func, ast.Attribute):
+                # method call on a computed receiver, e.g. np.abs(x).max()
+                recv = self.eval(node.func.value, state)
+                handled = self._eval_method_call(
+                    node, recv, None, node.func.attr, args, kwargs, state
+                )
+                if handled is not None:
+                    return handled
+            self._havoc_args(node, state)
+            return Value.obj()
+        root = fp.split(".", 1)[0]
+        leaf = fp.rsplit(".", 1)[-1]
+
+        # ---- builtins -------------------------------------------------
+        if fp == "int" and args:
+            a = args[0]
+            return Value(KIND_PYINT, a.itv, quantized=a.quantized, origin=a.origin or self._arg_id(node, 0))
+        if fp == "float" and args:
+            a = args[0]
+            finite = a.kind in (KIND_PYINT, KIND_I64, KIND_BOOL) or a.finite
+            return Value(KIND_FLOAT, a.itv, quantized=a.quantized, finite=finite, origin=a.origin)
+        if fp == "abs" and args:
+            a = args[0]
+            origin = None
+            # prefer the syntactic argument path: bound facts are keyed by
+            # the paths at the use site, not by where the value came from
+            src = self._arg_id(node, 0) or a.origin
+            if src and src[0] == "id":
+                origin = ("abs", src[1])
+            return Value(a.kind if a.kind != KIND_BOOL else KIND_PYINT, a.itv.abs(), quantized=a.quantized, origin=origin)
+        if fp == "len" and node.args:
+            p = path_of(node.args[0])
+            return Value(KIND_PYINT, Interval(0, None), origin=("size", p) if p else None)
+        if fp == "bool":
+            return Value(KIND_BOOL, Interval(0, 1))
+        if fp in ("min", "max") and args:
+            out = args[0]
+            for a in args[1:]:
+                out = out.join(a)
+            return out.with_origin(None)
+        if fp in ("range", "enumerate", "zip", "sorted", "list", "tuple", "dict", "set", "isinstance", "print", "repr", "str", "format", "getattr", "hasattr"):
+            return Value.obj()
+
+        # ---- numpy / math --------------------------------------------
+        if root in _NUMPY_ROOTS:
+            return self._eval_numpy_call(node, leaf, args, kwargs, state)
+        if root == "math":
+            if leaf == "isfinite" and node.args:
+                p = path_of(node.args[0])
+                return Value(KIND_BOOL, Interval(0, 1), origin=("allfinite", p) if p else None)
+            return Value(KIND_FLOAT, Interval.top())
+
+        # ---- method calls on pathed receivers ------------------------
+        if isinstance(node.func, ast.Attribute):
+            recv_node = node.func.value
+            recv_path = path_of(recv_node)
+            meth = node.func.attr
+            recv = self.eval(recv_node, state) if recv_path is None else self._load_path(recv_path, state)
+            handled = self._eval_method_call(node, recv, recv_path, meth, args, kwargs, state)
+            if handled is not None:
+                return handled
+
+        # ---- module-local functions and constructors ------------------
+        callee = self._resolve_local(fp)
+        if callee is not None:
+            rec = self.call_args.setdefault(callee.qualname, [])
+            rec.append((args, kwargs))
+            self._havoc_args(node, state)
+            summary = self.summaries.get(callee.qualname)
+            return summary if summary is not None else Value.obj()
+        cname = leaf if (leaf in self.ctx.classes or leaf in self.CTOR_NAMES) else None
+        if cname is not None:
+            self._havoc_args(node, state)
+            return Value.obj(ctor=cname)
+
+        # ---- unknown --------------------------------------------------
+        self._havoc_args(node, state)
+        return Value.obj()
+
+    @staticmethod
+    def _arg_id(node: ast.Call, i: int) -> Optional[tuple[str, ...]]:
+        if i < len(node.args):
+            p = path_of(node.args[i])
+            if p:
+                return ("id", p)
+        return None
+
+    def _eval_numpy_call(
+        self,
+        node: ast.Call,
+        leaf: str,
+        args: list[Value],
+        kwargs: dict[str, Value],
+        state: State,
+    ) -> Value:
+        a0 = args[0] if args else Value.obj()
+        out: Optional[Value] = None
+        if leaf in ("abs", "absolute", "fabs"):
+            p = path_of(node.args[0]) if node.args else None
+            # opaque input stays opaque: laundering OBJ to FLOAT here would
+            # let the cast check fire on values we know nothing about
+            kind = a0.kind if a0.kind != KIND_BOOL else KIND_PYINT
+            out = Value(kind, a0.itv.abs(), quantized=a0.quantized, finite=a0.finite, origin=("abs", p) if p else None)
+        elif leaf in ("asarray", "ascontiguousarray", "array", "copy"):
+            kind = a0.kind
+            finite = a0.finite
+            dt = self._dtype_kw(node)
+            if dt is not None:
+                if dt == KIND_FLOAT and a0.kind in (KIND_PYINT, KIND_I64, KIND_BOOL):
+                    finite = True
+                kind = dt
+            out = Value(kind if kind != KIND_OBJ else KIND_OBJ, a0.itv, quantized=a0.quantized, finite=finite)
+        elif leaf in ("floor", "ceil", "rint", "trunc", "round"):
+            out = Value(KIND_FLOAT, a0.itv.expand(1), quantized=a0.quantized, finite=a0.finite)
+        elif leaf in ("add", "subtract", "multiply") and len(args) >= 2:
+            opmap = {"add": ast.Add(), "subtract": ast.Sub(), "multiply": ast.Mult()}
+            out = self.binop(
+                opmap[leaf],
+                args[0],
+                args[1],
+                node,
+                state,
+                lpath=path_of(node.args[0]),
+                rpath=path_of(node.args[1]),
+            )
+        elif leaf == "negative":
+            out = replace(a0, itv=a0.itv.neg(), origin=None)
+        elif leaf in ("cumsum", "sum", "nansum", "prod"):
+            dt = self._dtype_kw(node)
+            kind = dt if dt is not None else (a0.kind if a0.kind in (KIND_I64, KIND_FLOAT) else KIND_OBJ)
+            out = Value(kind, Interval.top(), quantized=a0.quantized and kind == KIND_I64)
+        elif leaf in ("repeat", "tile", "ravel", "reshape", "ndarray_noop"):
+            out = replace(a0, origin=None)
+        elif leaf in ("empty", "empty_like"):
+            dt = self._dtype_kw(node)
+            kind = dt if dt is not None else (a0.kind if leaf == "empty_like" else KIND_OBJ)
+            # uninitialized contents: element range is ⊥ until written
+            out = Value(kind, Interval.bottom())
+        elif leaf in ("zeros", "zeros_like", "ones", "ones_like", "full", "full_like"):
+            dt = self._dtype_kw(node)
+            kind = dt if dt is not None else (a0.kind if leaf.endswith("_like") else KIND_OBJ)
+            if leaf.startswith("zeros"):
+                itv = Interval.const(0)
+            elif leaf.startswith("ones"):
+                itv = Interval.const(1)
+            else:
+                fill = args[1] if len(args) > 1 else kwargs.get("fill_value", Value.obj())
+                itv = fill.itv
+            out = Value(kind, itv)
+        elif leaf == "isfinite" and node.args:
+            p = path_of(node.args[0])
+            out = Value(KIND_BOOL, Interval(0, 1), origin=("allfinite", p) if p else None)
+        elif leaf in ("all", "any"):
+            src = a0.origin
+            origin = src if leaf == "all" and src and src[0] == "allfinite" else None
+            out = Value(KIND_BOOL, Interval(0, 1), origin=origin)
+        elif leaf in ("max", "amax", "min", "amin"):
+            out = self._reduce_minmax(a0, node.args[0] if node.args else None, leaf.lstrip("a"))
+        elif leaf == "where" and len(args) == 3:
+            out = args[1].join(args[2])
+        elif leaf in ("sqrt", "exp", "log", "mean", "std", "var", "median", "dot", "vdot", "hypot", "spacing", "nextafter", "diff"):
+            out = Value(KIND_FLOAT, Interval.top())
+        elif leaf in ("int64", "int32", "intp"):
+            out = Value(KIND_I64, a0.itv if args else Interval.top(), quantized=a0.quantized)
+        elif leaf in ("float64", "float32"):
+            out = Value(KIND_FLOAT, a0.itv if args else Interval.top())
+        elif leaf in ("errstate", "dtype", "iinfo", "finfo", "seterr"):
+            out = Value.obj()
+        if out is None:
+            out = Value.obj()
+        # out= kwarg writes the result through the named array
+        out_node = next((k.value for k in node.keywords if k.arg == "out"), None)
+        if out_node is not None:
+            op = path_of(out_node)
+            if op is not None:
+                base = op
+                cur = state.env.get(base, self.seed(base))
+                if isinstance(out_node, ast.Subscript) and not base.endswith("]"):
+                    state.env[base] = cur.join(out)
+                else:
+                    state.env[base] = out
+                self.invalidate(base, state)
+                self.on_assign(base, out, node, state)
+        return out
+
+    def _dtype_kw(self, node: ast.Call) -> Optional[str]:
+        for k in node.keywords:
+            if k.arg == "dtype":
+                return _dtype_kind_of(k.value)
+        # positional dtype in np.zeros(n, np.int64) style
+        if len(node.args) >= 2:
+            return _dtype_kind_of(node.args[1])
+        return None
+
+    @staticmethod
+    def _reduce_minmax(a0: Value, arg_node: Optional[ast.expr], which: str) -> Value:
+        origin = None
+        src = a0.origin
+        if src and src[0] == "abs":
+            origin = ("absmax", src[1]) if which == "max" else None
+        elif src and src[0] == "id":
+            origin = (which, src[1])
+        elif arg_node is not None:
+            p = path_of(arg_node)
+            if p:
+                origin = (which, p)
+        return Value(a0.kind if a0.kind in (KIND_I64, KIND_FLOAT, KIND_PYINT) else KIND_OBJ, a0.itv, quantized=a0.quantized, finite=a0.finite, origin=origin)
+
+    def _eval_method_call(
+        self,
+        node: ast.Call,
+        recv: Value,
+        recv_path: Optional[str],
+        meth: str,
+        args: list[Value],
+        kwargs: dict[str, Value],
+        state: State,
+    ) -> Optional[Value]:
+        if meth in ("max", "min") and not args:
+            return self._reduce_minmax(recv, node.func.value if isinstance(node.func, ast.Attribute) else None, meth)
+        if meth == "astype" and node.args:
+            dst = _dtype_kind_of(node.args[0])
+            if dst is None:
+                return Value.obj()
+            if dst == KIND_I64:
+                self.check_cast(node, recv, dst, state)
+                return Value(KIND_I64, recv.itv.meet(Interval(-(1 << 63), (1 << 63) - 1)) if recv.kind == KIND_FLOAT else recv.itv, quantized=recv.quantized)
+            if dst == KIND_FLOAT:
+                finite = recv.finite or recv.kind in (KIND_PYINT, KIND_I64, KIND_BOOL)
+                return Value(KIND_FLOAT, recv.itv, quantized=recv.quantized, finite=finite)
+            return Value(dst, Interval.top())
+        if meth == "copy" and not args:
+            return recv.with_origin(None)
+        if meth in ("reshape", "ravel", "flatten", "squeeze", "transpose"):
+            return recv.with_origin(None)
+        if meth == "view" and node.args:
+            dst = _dtype_kind_of(node.args[0])
+            return Value(dst or KIND_OBJ, Interval.top())
+        if meth == "item" and not args:
+            kind = KIND_PYINT if recv.kind == KIND_I64 else recv.kind
+            return Value(kind, recv.itv, quantized=recv.quantized, finite=recv.finite)
+        if meth == "sum":
+            dt = self._dtype_kw(node)
+            kind = dt if dt else (recv.kind if recv.kind in (KIND_I64, KIND_FLOAT) else KIND_OBJ)
+            return Value(kind, Interval.top(), quantized=recv.quantized and kind == KIND_I64)
+        if meth in ("mean", "std", "var"):
+            return Value(KIND_FLOAT, Interval.top())
+        if meth in ("any", "all"):
+            return Value(KIND_BOOL, Interval(0, 1))
+        if meth == "fill" and recv_path and args:
+            state.env[recv_path] = replace(args[0], quantized=recv.quantized or args[0].quantized)
+            self.invalidate(recv_path, state)
+            return Value.obj()
+        # self.<method> → module-local method of the current class
+        if recv_path == "self" and self.current is not None and self.current.class_name:
+            qn = f"{self.current.class_name}.{meth}"
+            callee = self.ctx.functions.get(qn)
+            if callee is not None:
+                self.call_args.setdefault(qn, []).append((args, kwargs))
+                self._havoc_args(node, state)
+                summary = self.summaries.get(qn)
+                return summary if summary is not None else Value.obj()
+        return None
+
+    def _resolve_local(self, fp: str) -> Optional[FuncInfo]:
+        if "." in fp:
+            return None
+        return self.ctx.functions.get(fp)
+
+    def _havoc_args(self, node: ast.Call, state: State) -> None:
+        """Unknown callee may mutate its arguments: retire derived bindings."""
+        for arg in list(node.args) + [k.value for k in node.keywords]:
+            p = path_of(arg)
+            if p is None:
+                continue
+            v = state.env.get(p)
+            if v is not None and v.kind in (KIND_I64, KIND_FLOAT):
+                # mutable array contents may have changed: reseed by name
+                state.env.pop(p, None)
+            for k in [k for k in state.env if k.startswith(p + ".") or k.startswith(p + "[")]:
+                del state.env[k]
+            self.invalidate(p, state)
+
+    # ------------------------------------------------------------------ refine
+
+    def refine(self, state: State, test: ast.expr, branch: bool) -> State:
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            return self.refine(state, test.operand, not branch)
+        if isinstance(test, ast.BoolOp):
+            is_and = isinstance(test.op, ast.And)
+            if is_and == branch:
+                # all conjuncts true (And-true) / all disjuncts false (Or-false)
+                for v in test.values:
+                    state = self.refine(state, v, branch)
+                return state
+            # De Morgan split: join the per-operand early exits
+            outs: list[State] = []
+            cur = state
+            for v in test.values:
+                outs.append(self.refine(cur.copy(), v, branch))
+                cur = self.refine(cur, v, not branch)
+            out = outs[0]
+            for o in outs[1:]:
+                out = self.join_states(out, o)
+            return out
+        if isinstance(test, ast.Compare) and len(test.ops) == 1:
+            return self._refine_compare(state, test, branch)
+        # bare truthiness
+        v = self.eval(test, state.copy())
+        p = path_of(test)
+        if v.origin and v.origin[0] == "size":
+            base = v.origin[1]
+            bv = state.env.get(base, self.seed(base))
+            if not branch:
+                state.env[base] = bv.with_itv(Interval.bottom())
+            return state
+        if v.origin and v.origin[0] == "allfinite" and branch:
+            base = v.origin[1]
+            bv = state.env.get(base, self.seed(base))
+            state.env[base] = replace(bv, finite=True)
+            return state
+        if p and not branch and v.kind in (KIND_PYINT, KIND_I64):
+            pv = state.env.get(p, self.seed(p))
+            state.env[p] = pv.with_itv(pv.itv.meet(Interval.const(0)))
+        return state
+
+    def _refine_compare(self, state: State, test: ast.Compare, branch: bool) -> State:
+        op = test.ops[0]
+        left, right = test.left, test.comparators[0]
+        lv = self.eval(left, state.copy())
+        rv = self.eval(right, state.copy())
+        lc = self._const_of(lv)
+        rc = self._const_of(rv)
+        if rc is not None and lc is None:
+            self._refine_against_const(state, left, lv, op, rc, branch, mirrored=False)
+        elif lc is not None and rc is None:
+            self._refine_against_const(state, right, rv, op, lc, branch, mirrored=True)
+        return state
+
+    @staticmethod
+    def _const_of(v: Value) -> Optional[float]:
+        if not v.itv.empty and v.itv.lo is not None and v.itv.lo == v.itv.hi:
+            return v.itv.lo
+        return None
+
+    def _refine_against_const(
+        self,
+        state: State,
+        node: ast.expr,
+        val: Value,
+        op: ast.cmpop,
+        c: float,
+        branch: bool,
+        mirrored: bool,
+    ) -> None:
+        # normalize to  expr <op> c  on the True branch
+        opname = type(op).__name__
+        if mirrored:
+            opname = {"Lt": "Gt", "LtE": "GtE", "Gt": "Lt", "GtE": "LtE"}.get(opname, opname)
+        if not branch:
+            opname = {"Lt": "GtE", "LtE": "Gt", "Gt": "LtE", "GtE": "Lt", "Eq": "NotEq", "NotEq": "Eq"}.get(opname, "skip")
+        is_int = val.kind in (KIND_PYINT, KIND_I64)
+        step = 1 if is_int and isinstance(c, int) else 0
+        if opname == "Lt":
+            upper: Interval = Interval(None, c - step)
+        elif opname == "LtE":
+            upper = Interval(None, c)
+        elif opname == "Gt":
+            upper = Interval(c + step, None)
+        elif opname == "GtE":
+            upper = Interval(c, None)
+        elif opname == "Eq":
+            upper = Interval.const(c)
+        else:
+            return
+        # 1) narrow the compared l-value itself
+        p = path_of(node)
+        if p:
+            pv = state.env.get(p, self.seed(p))
+            state.env[p] = pv.with_itv(pv.itv.meet(upper))
+        # 2) origin-directed effects
+        origin = val.origin
+        if origin is None:
+            return
+        tag = origin[0]
+        if tag in ("abs", "absmax") and opname in ("Lt", "LtE"):
+            bound = upper.hi
+            if bound is not None:
+                base = origin[1]
+                bv = state.env.get(base, self.seed(base))
+                state.env[base] = bv.with_itv(bv.itv.meet(Interval(-bound, bound)))
+        elif tag == "abssum" and opname in ("Lt", "LtE"):
+            bound = upper.hi
+            if bound is not None and isinstance(bound, int):
+                key = tuple(sorted((origin[1], origin[2])))
+                prev = state.bounds.get(key)  # type: ignore[arg-type]
+                state.bounds[key] = bound if prev is None else min(prev, bound)  # type: ignore[index]
+        elif tag == "max" and opname in ("Lt", "LtE"):
+            base = origin[1]
+            bv = state.env.get(base, self.seed(base))
+            state.env[base] = bv.with_itv(bv.itv.meet(Interval(None, upper.hi)))
+        elif tag == "min" and opname in ("Gt", "GtE"):
+            base = origin[1]
+            bv = state.env.get(base, self.seed(base))
+            state.env[base] = bv.with_itv(bv.itv.meet(Interval(upper.lo, None)))
+        elif tag == "size" and opname == "Eq" and c == 0:
+            base = origin[1]
+            bv = state.env.get(base, self.seed(base))
+            state.env[base] = bv.with_itv(Interval.bottom())
+
+
+# ---------------------------------------------------------------------------
+# module driver: two analysis rounds with call summaries
+# ---------------------------------------------------------------------------
+
+
+def analyze_module(
+    source_path: str,
+    tree: ast.Module,
+    make_interp: Callable[[ModuleContext, Mapping[str, Value]], Interpreter],
+) -> tuple[list[Finding], dict[str, FunctionResult]]:
+    """Run a pass over every function with two-round call summaries.
+
+    Round 1 analyzes each function with name-based seeds, collecting
+    return summaries and observed call-site arguments.  Round 2
+    re-analyzes everything with the full summary table, refining private
+    functions' parameters to the join of their observed arguments.
+    Findings are taken from round 2 only.
+    """
+    ctx = ModuleContext.build(source_path, tree)
+    summaries: dict[str, Value] = {}
+    observed: dict[str, list[tuple[list[Value], dict[str, Value]]]] = {}
+    for qn, fn in ctx.functions.items():
+        interp = make_interp(ctx, summaries)
+        res = interp.run(fn)
+        summaries[qn] = res.return_value
+        for callee, calls in res.call_args.items():
+            observed.setdefault(callee, []).extend(calls)
+
+    findings: list[Finding] = []
+    results: dict[str, FunctionResult] = {}
+    for qn, fn in ctx.functions.items():
+        params = _observed_params(fn, observed.get(qn)) if fn.is_private else None
+        interp = make_interp(ctx, summaries)
+        res = interp.run(fn, params=params)
+        findings.extend(res.findings)
+        results[qn] = res
+    return findings, results
+
+
+def _observed_params(
+    fn: FuncInfo, calls: Optional[list[tuple[list[Value], dict[str, Value]]]]
+) -> Optional[dict[str, Value]]:
+    if not calls:
+        return None
+    argnames = [a.arg for a in fn.node.args.posonlyargs + fn.node.args.args]
+    if argnames and argnames[0] == "self":
+        argnames = argnames[1:]
+    joined: dict[str, Value] = {}
+    complete: dict[str, bool] = {}
+    for args, kwargs in calls:
+        seen: dict[str, Value] = {}
+        for i, v in enumerate(args):
+            if i < len(argnames):
+                seen[argnames[i]] = v
+        seen.update({k: v for k, v in kwargs.items() if k in argnames})
+        for name in argnames:
+            if name in seen:
+                if name in joined:
+                    joined[name] = joined[name].join(seen[name])
+                else:
+                    joined[name] = seen[name]
+                complete.setdefault(name, True)
+            else:
+                complete[name] = False
+    # only refine parameters observed at every call site
+    return {k: v for k, v in joined.items() if complete.get(k)} or None

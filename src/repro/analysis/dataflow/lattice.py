@@ -1,0 +1,284 @@
+"""Value lattices for the dataflow engine.
+
+Two layers:
+
+:class:`Interval`
+    a classic interval domain over the extended number line
+    (``None`` endpoints are ∓∞), with an explicit bottom element for
+    "no value yet" — used for the element range of uninitialized
+    (``np.empty``) arrays, whose abstract content is ⊥ until written.
+
+:class:`Value`
+    an abstract value: a *kind* (python int, int64 array/scalar, float,
+    bool, opaque object), the element interval, the quantized-plane
+    taint (this value carries quantization bins whose overflow would be
+    silent data corruption), a finiteness fact for floats, a symbolic
+    *origin* (``('absmax', path)`` etc.) that branch refinement keys on,
+    and an optional constructor class name (used by the lock-order and
+    shm-lifetime passes to type objects).
+
+Both are immutable; joins return new objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+__all__ = [
+    "INT64_MAX",
+    "INT64_MIN",
+    "Q_LIMIT",
+    "Q_MAX",
+    "Interval",
+    "Value",
+    "KIND_PYINT",
+    "KIND_I64",
+    "KIND_FLOAT",
+    "KIND_BOOL",
+    "KIND_OBJ",
+]
+
+INT64_MIN = -(1 << 63)
+INT64_MAX = (1 << 63) - 1
+
+#: The quantized-plane guard band: every stored bin satisfies |q| < Q_LIMIT.
+Q_LIMIT = 1 << 62
+Q_MAX = Q_LIMIT - 1
+
+Bound = Optional[Union[int, float]]
+
+# Value kinds.  PYINT is an arbitrary-precision python int (cannot
+# overflow); I64 is a numpy int64 array or scalar (wraps silently);
+# FLOAT covers float scalars and float arrays; OBJ is anything opaque.
+KIND_PYINT = "pyint"
+KIND_I64 = "i64"
+KIND_FLOAT = "float"
+KIND_BOOL = "bool"
+KIND_OBJ = "obj"
+
+
+def _min(a: Bound, b: Bound) -> Bound:
+    if a is None or b is None:
+        return None
+    return a if a <= b else b
+
+
+def _max(a: Bound, b: Bound) -> Bound:
+    if a is None or b is None:
+        return None
+    return a if a >= b else b
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Closed interval [lo, hi]; ``None`` endpoints are infinite.
+
+    ``empty=True`` is the bottom element (identity of :meth:`join`,
+    absorbing for arithmetic).
+    """
+
+    lo: Bound = None
+    hi: Bound = None
+    empty: bool = False
+
+    # -------------------------------------------------------------- factories
+
+    @staticmethod
+    def top() -> "Interval":
+        return _TOP
+
+    @staticmethod
+    def bottom() -> "Interval":
+        return _BOTTOM
+
+    @staticmethod
+    def const(x: Union[int, float]) -> "Interval":
+        return Interval(x, x)
+
+    # -------------------------------------------------------------- predicates
+
+    @property
+    def is_top(self) -> bool:
+        return not self.empty and self.lo is None and self.hi is None
+
+    def within(self, lo: Union[int, float], hi: Union[int, float]) -> bool:
+        """True when every concrete value of this interval lies in [lo, hi]."""
+        if self.empty:
+            return True
+        if self.lo is None or self.hi is None:
+            return False
+        return lo <= self.lo and self.hi <= hi
+
+    def fits_int64(self) -> bool:
+        return self.within(INT64_MIN, INT64_MAX)
+
+    # -------------------------------------------------------------- lattice
+
+    def join(self, other: "Interval") -> "Interval":
+        if self.empty:
+            return other
+        if other.empty:
+            return self
+        return Interval(_min(self.lo, other.lo), _max(self.hi, other.hi))
+
+    def meet(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return _BOTTOM
+        lo = self.lo if other.lo is None else (other.lo if self.lo is None else max(self.lo, other.lo))
+        hi = self.hi if other.hi is None else (other.hi if self.hi is None else min(self.hi, other.hi))
+        if lo is not None and hi is not None and lo > hi:
+            return _BOTTOM
+        return Interval(lo, hi)
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Widening: endpoints that moved outward jump to infinity."""
+        if self.empty:
+            return newer
+        if newer.empty:
+            return self
+        lo = self.lo if (self.lo is not None and newer.lo is not None and newer.lo >= self.lo) else None
+        hi = self.hi if (self.hi is not None and newer.hi is not None and newer.hi <= self.hi) else None
+        return Interval(lo, hi)
+
+    # -------------------------------------------------------------- arithmetic
+
+    def add(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return _BOTTOM
+        lo = None if (self.lo is None or other.lo is None) else self.lo + other.lo
+        hi = None if (self.hi is None or other.hi is None) else self.hi + other.hi
+        return Interval(lo, hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        return self.add(other.neg())
+
+    def neg(self) -> "Interval":
+        if self.empty:
+            return _BOTTOM
+        return Interval(
+            None if self.hi is None else -self.hi,
+            None if self.lo is None else -self.lo,
+        )
+
+    def mul(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return _BOTTOM
+        if self == Interval.const(0) or other == Interval.const(0):
+            return Interval.const(0)
+        inf = float("inf")
+        a_lo = -inf if self.lo is None else self.lo
+        a_hi = inf if self.hi is None else self.hi
+        b_lo = -inf if other.lo is None else other.lo
+        b_hi = inf if other.hi is None else other.hi
+        products = []
+        for x in (a_lo, a_hi):
+            for y in (b_lo, b_hi):
+                if (x in (inf, -inf) and y == 0) or (y in (inf, -inf) and x == 0):
+                    products.append(0)
+                else:
+                    products.append(x * y)
+        lo, hi = min(products), max(products)
+        return Interval(None if lo == -inf else lo, None if hi == inf else hi)
+
+    def abs(self) -> "Interval":
+        if self.empty:
+            return _BOTTOM
+        if self.lo is not None and self.lo >= 0:
+            return self
+        if self.hi is not None and self.hi <= 0:
+            return self.neg()
+        mag = _max(
+            None if self.lo is None else -self.lo,
+            self.hi,
+        )
+        return Interval(0, mag)
+
+    def expand(self, pad: Union[int, float]) -> "Interval":
+        """Pad both endpoints outward (rounding slop for floor/rint/ceil)."""
+        if self.empty or self.is_top:
+            return self
+        return Interval(
+            None if self.lo is None else self.lo - pad,
+            None if self.hi is None else self.hi + pad,
+        )
+
+
+_TOP = Interval(None, None)
+_BOTTOM = Interval(empty=True)
+
+
+@dataclass(frozen=True)
+class Value:
+    """Abstract value: kind × interval × taint × facts × symbolic origin."""
+
+    kind: str = KIND_OBJ
+    itv: Interval = _TOP
+    quantized: bool = False
+    finite: bool = False
+    #: Symbolic origin for branch refinement, e.g. ``('absmax', 'q')`` for
+    #: ``np.abs(q).max()`` or ``('abssum', 'out', 'rho')`` for the
+    #: ``shift_outliers``-style peak expression.  ``('id', path)`` marks a
+    #: direct load so refinement can narrow the environment binding.
+    origin: Optional[tuple[str, ...]] = None
+    #: Class name when this value is a freshly constructed instance of a
+    #: class known to the current pass (lock-order / shm-lifetime typing).
+    ctor: Optional[str] = None
+
+    # -------------------------------------------------------------- factories
+
+    @staticmethod
+    def obj(ctor: Optional[str] = None, origin: Optional[tuple[str, ...]] = None) -> "Value":
+        return Value(KIND_OBJ, _TOP, ctor=ctor, origin=origin)
+
+    @staticmethod
+    def pyint(itv: Interval = _TOP) -> "Value":
+        return Value(KIND_PYINT, itv)
+
+    @staticmethod
+    def i64(itv: Interval = _TOP, quantized: bool = False) -> "Value":
+        return Value(KIND_I64, itv, quantized=quantized)
+
+    @staticmethod
+    def flt(itv: Interval = _TOP, finite: bool = False) -> "Value":
+        return Value(KIND_FLOAT, itv, finite=finite)
+
+    @staticmethod
+    def quantized_plane() -> "Value":
+        """Seed for a quantized-name load: int64, |q| <= Q_MAX, tainted."""
+        return Value(KIND_I64, Interval(-Q_MAX, Q_MAX), quantized=True)
+
+    # -------------------------------------------------------------- lattice
+
+    def join(self, other: "Value") -> "Value":
+        kind = self.kind if self.kind == other.kind else _join_kind(self.kind, other.kind)
+        return Value(
+            kind=kind,
+            itv=self.itv.join(other.itv),
+            quantized=self.quantized or other.quantized,
+            # An empty-interval side contributes no concrete values, so it
+            # cannot invalidate the other side's finiteness proof.
+            finite=(self.finite or self.itv.empty)
+            and (other.finite or other.itv.empty),
+            origin=self.origin if self.origin == other.origin else None,
+            ctor=self.ctor if self.ctor == other.ctor else None,
+        )
+
+    def with_itv(self, itv: Interval) -> "Value":
+        return replace(self, itv=itv)
+
+    def with_origin(self, origin: Optional[tuple[str, ...]]) -> "Value":
+        return replace(self, origin=origin)
+
+
+def _join_kind(a: str, b: str) -> str:
+    numeric = {KIND_PYINT, KIND_I64, KIND_FLOAT, KIND_BOOL}
+    if a in numeric and b in numeric:
+        # any float operand makes the result float; any i64 operand makes
+        # an all-int result an i64 (numpy promotion dominates python ints)
+        if KIND_FLOAT in (a, b):
+            return KIND_FLOAT
+        if KIND_I64 in (a, b):
+            return KIND_I64
+        return KIND_PYINT
+    return KIND_OBJ

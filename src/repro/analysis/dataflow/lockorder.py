@@ -1,0 +1,364 @@
+"""LCK002: lock-order graph verification over ``self._lock`` usage.
+
+PR 2's ``lockcheck`` (LCK001) proves the single-lock discipline: every
+guarded attribute is touched under its class's ``self._lock``.  That says
+nothing about *ordering* — two classes whose methods call into each other
+while holding their own locks can deadlock even though each class is
+individually correct.
+
+This pass builds the **acquires-while-holding** relation across every
+analyzed file:
+
+* a lock is identified as ``(ClassName, attr)`` for every instance
+  attribute assigned ``threading.Lock()``;
+* walking each method lexically with a stack of held locks, acquiring
+  ``B`` while holding ``A`` adds the edge ``A → B``;
+* self-calls (``self.helper()``) and calls through constructor-typed
+  attributes (``self._cache = BlockCache(...)`` in ``__init__`` followed
+  by ``self._cache.get()``) propagate the callee's transitive
+  acquisitions to the call site, so an edge is found even when the two
+  ``with`` statements live in different methods or classes;
+* a cycle in the resulting graph — including the self-cycle of acquiring
+  a ``threading.Lock`` already held, which self-deadlocks because the
+  lock is not reentrant — is reported as LCK002.
+
+The walk is lexical and therefore conservative in a *bounded* way: it
+only resolves receivers it can type (``self`` and ctor-typed attributes),
+so it cannot invent edges between unrelated locks, and every reported
+cycle corresponds to a concrete call path in the analyzed source.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Mapping, Optional
+
+from repro.analysis.findings import Finding
+
+__all__ = ["lockorder_findings"]
+
+#: A lock identity: (class name, instance attribute name).
+LockId = tuple[str, str]
+
+
+def _is_lock_ctor(node: ast.expr) -> bool:
+    """``threading.Lock()`` (the non-reentrant kind only — RLock cannot
+    self-deadlock and is excluded from the self-cycle rule)."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "Lock":
+        return True
+    if isinstance(func, ast.Name) and func.id == "Lock":
+        return True
+    return False
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``self.<attr>`` → attr name, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _ClassInfo:
+    """Everything the pass needs to know about one class."""
+
+    def __init__(self, path: str, node: ast.ClassDef) -> None:
+        self.path = path
+        self.name = node.name
+        self.methods: dict[str, ast.FunctionDef] = {}
+        self.lock_attrs: set[str] = set()
+        #: ``self.X = C(...)`` in ``__init__`` → ``{X: C}``; lets the walk
+        #: type method calls through composed objects.
+        self.attr_ctor: dict[str, str] = {}
+        for stmt in node.body:
+            if isinstance(stmt, ast.FunctionDef):
+                self.methods[stmt.name] = stmt
+        for meth in self.methods.values():
+            for sub in ast.walk(meth):
+                if not isinstance(sub, ast.Assign):
+                    continue
+                for target in sub.targets:
+                    attr = _self_attr(target)
+                    if attr is None:
+                        continue
+                    if _is_lock_ctor(sub.value):
+                        self.lock_attrs.add(attr)
+                    elif (
+                        meth.name == "__init__"
+                        and isinstance(sub.value, ast.Call)
+                        and isinstance(sub.value.func, ast.Name)
+                    ):
+                        self.attr_ctor[attr] = sub.value.func.id
+
+
+class _Walker:
+    """Lexical walk of one method with a held-lock stack."""
+
+    def __init__(self, pass_: "_LockOrderPass", cls: _ClassInfo, meth: str) -> None:
+        self.pass_ = pass_
+        self.cls = cls
+        self.meth = meth
+        self.held: list[LockId] = []
+        #: Locks this method acquires directly (seed for the fixpoint).
+        self.acquired: set[LockId] = set()
+        #: Deferred call sites: (held snapshot, callee qualname, lineno).
+        self.calls: list[tuple[tuple[LockId, ...], str, int]] = []
+
+    def walk_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self.walk_stmt(stmt)
+
+    def walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.With):
+            self._walk_with(stmt)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs run later, under an unknown lock set
+        self._scan_calls(stmt)
+        for body in _stmt_bodies(stmt):
+            self.walk_body(body)
+
+    def _walk_with(self, stmt: ast.With) -> None:
+        pushed = 0
+        for item in stmt.items:
+            self._scan_calls_expr(item.context_expr)
+            lock = self._lock_of(item.context_expr)
+            if lock is not None:
+                self.pass_.note_acquire(self, lock, item.context_expr.lineno)
+                self.held.append(lock)
+                pushed += 1
+        self.walk_body(stmt.body)
+        del self.held[len(self.held) - pushed :]
+
+    def _lock_of(self, expr: ast.expr) -> Optional[LockId]:
+        attr = _self_attr(expr)
+        if attr is not None and attr in self.cls.lock_attrs:
+            return (self.cls.name, attr)
+        return None
+
+    def _scan_calls(self, stmt: ast.stmt) -> None:
+        for expr in _stmt_exprs(stmt):
+            self._scan_calls_expr(expr)
+
+    def _scan_calls_expr(self, expr: ast.expr) -> None:
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = self._callee_qualname(node.func)
+            if qual is not None:
+                self.calls.append((tuple(self.held), qual, node.lineno))
+
+    def _callee_qualname(self, func: ast.expr) -> Optional[str]:
+        """``self.m`` → ``Cls.m``; ``self.X.m`` with typed ``X`` → ``C.m``."""
+        if not isinstance(func, ast.Attribute):
+            return None
+        recv = func.value
+        attr = _self_attr(recv)
+        if isinstance(recv, ast.Name) and recv.id == "self":
+            return f"{self.cls.name}.{func.attr}"
+        if attr is not None and attr in self.cls.attr_ctor:
+            ctor = self.cls.attr_ctor[attr]
+            return f"{ctor}.{func.attr}"
+        return None
+
+
+def _stmt_bodies(stmt: ast.stmt) -> Iterator[list[ast.stmt]]:
+    for field in ("body", "orelse", "finalbody"):
+        body = getattr(stmt, field, None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            yield body
+    for handler in getattr(stmt, "handlers", []) or []:
+        yield handler.body
+
+
+def _stmt_exprs(stmt: ast.stmt) -> Iterator[ast.expr]:
+    for field, value in ast.iter_fields(stmt):
+        if field in ("body", "orelse", "finalbody", "handlers"):
+            continue
+        if isinstance(value, ast.expr):
+            yield value
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.expr):
+                    yield item
+
+
+class _LockOrderPass:
+    def __init__(self) -> None:
+        self.classes: dict[str, _ClassInfo] = {}
+        #: edge (A, B) = "B acquired while holding A" → first site seen.
+        self.edges: dict[tuple[LockId, LockId], tuple[str, int]] = {}
+        self.findings: list[Finding] = []
+        #: direct acquisitions per method qualname (fixpoint seed).
+        self.method_acquires: dict[str, set[LockId]] = {}
+        self.method_calls: dict[str, set[str]] = {}
+        self.call_sites: list[tuple[str, tuple[LockId, ...], str, int]] = []
+
+    # ------------------------------------------------------------ collection
+
+    def add_module(self, path: str, tree: ast.Module) -> None:
+        for stmt in tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                self.classes[stmt.name] = _ClassInfo(path, stmt)
+
+    def note_acquire(self, walker: _Walker, lock: LockId, lineno: int) -> None:
+        walker.acquired.add(lock)
+        path = walker.cls.path
+        if lock in walker.held:
+            self.findings.append(
+                Finding(
+                    rule="LCK002",
+                    path=path,
+                    line=lineno,
+                    message=(
+                        f"self-deadlock: {lock[0]}.{lock[1]} is acquired while "
+                        "already held on this path (threading.Lock is not "
+                        "reentrant)"
+                    ),
+                    hint="restructure so the inner code runs lock-free, or "
+                    "split the guarded state",
+                )
+            )
+            return
+        for held in walker.held:
+            self.edges.setdefault((held, lock), (path, lineno))
+
+    def analyze(self) -> None:
+        for cls in self.classes.values():
+            for name, meth in cls.methods.items():
+                walker = _Walker(self, cls, name)
+                walker.walk_body(meth.body)
+                qual = f"{cls.name}.{name}"
+                self.method_acquires[qual] = set(walker.acquired)
+                self.method_calls[qual] = {
+                    callee for _, callee, _ in walker.calls
+                }
+                for held, callee, lineno in walker.calls:
+                    self.call_sites.append((cls.path, held, callee, lineno))
+        self._propagate()
+        self._find_cycles()
+
+    # -------------------------------------------------------------- fixpoint
+
+    def _propagate(self) -> None:
+        """Push callee acquisitions up to call sites until stable.
+
+        A call to ``C.m`` transitively acquires whatever ``C.m`` acquires;
+        iterating lets chains (``A.f`` → ``B.g`` → ``C.h``) converge.  The
+        lattice is finite (subsets of lock ids), so this terminates.
+        """
+        changed = True
+        while changed:
+            changed = False
+            for qual, callees in self.method_calls.items():
+                acq = self.method_acquires.setdefault(qual, set())
+                for callee in callees:
+                    if not self._known_method(callee):
+                        continue
+                    extra = self.method_acquires.get(callee, set())
+                    if not extra <= acq:
+                        acq |= extra
+                        changed = True
+        # Now close call sites that held locks over a resolvable callee.
+        for path, held, callee, lineno in self.call_sites:
+            if not held or not self._known_method(callee):
+                continue
+            for lock in self.method_acquires.get(callee, set()):
+                for h in held:
+                    if h == lock:
+                        self.findings.append(
+                            Finding(
+                                rule="LCK002",
+                                path=path,
+                                line=lineno,
+                                message=(
+                                    f"self-deadlock: call to {callee} acquires "
+                                    f"{lock[0]}.{lock[1]} which is already "
+                                    "held at this call site"
+                                ),
+                                hint="call the helper outside the lock, or "
+                                "factor the locked region out of the helper",
+                            )
+                        )
+                    else:
+                        self.edges.setdefault((h, lock), (path, lineno))
+
+    def _known_method(self, qual: str) -> bool:
+        cls, _, meth = qual.partition(".")
+        info = self.classes.get(cls)
+        return info is not None and meth in info.methods
+
+    # ---------------------------------------------------------------- cycles
+
+    def _find_cycles(self) -> None:
+        graph: dict[LockId, list[LockId]] = {}
+        for (a, b) in self.edges:
+            graph.setdefault(a, []).append(b)
+        reported: set[tuple[LockId, ...]] = set()
+        color: dict[LockId, int] = {}
+        stack: list[LockId] = []
+
+        def visit(node: LockId) -> None:
+            color[node] = 1
+            stack.append(node)
+            for succ in graph.get(node, []):
+                if color.get(succ, 0) == 0:
+                    visit(succ)
+                elif color.get(succ) == 1:
+                    cycle = tuple(stack[stack.index(succ) :])
+                    self._report_cycle(cycle, reported)
+            stack.pop()
+            color[node] = 2
+
+        for node in sorted(graph):
+            if color.get(node, 0) == 0:
+                visit(node)
+
+    def _report_cycle(
+        self, cycle: tuple[LockId, ...], reported: set[tuple[LockId, ...]]
+    ) -> None:
+        # Canonicalize by rotating the smallest lock id to the front so a
+        # cycle is reported once regardless of DFS entry point.
+        pivot = cycle.index(min(cycle))
+        canon = cycle[pivot:] + cycle[:pivot]
+        if canon in reported:
+            return
+        reported.add(canon)
+        # Anchor at the edge closing the cycle back to the first lock.
+        closing = (canon[-1], canon[0])
+        path, line = self.edges.get(closing, (self.classes_path_fallback(), 0))
+        order = " -> ".join(f"{c}.{a}" for c, a in canon + (canon[0],))
+        self.findings.append(
+            Finding(
+                rule="LCK002",
+                path=path,
+                line=line,
+                message=f"lock-order cycle: {order} can deadlock",
+                hint="pick one global acquisition order for these locks and "
+                "restructure the call that violates it",
+            )
+        )
+
+    def classes_path_fallback(self) -> str:
+        for cls in self.classes.values():
+            return cls.path
+        return "<unknown>"
+
+
+def lockorder_findings(sources: Mapping[str, str]) -> list[Finding]:
+    """Run the lock-order pass over a set of modules (path → source)."""
+    pass_ = _LockOrderPass()
+    for path, source in sources.items():
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue
+        pass_.add_module(path, tree)
+    pass_.analyze()
+    return pass_.findings

@@ -1,0 +1,369 @@
+"""SHM001/SHM002: shared-memory segment lifetime verification.
+
+POSIX shared memory is the one resource in this codebase the garbage
+collector cannot save you from: a ``SharedMemory(create=True)`` segment
+that is never ``unlink``-ed outlives the process in ``/dev/shm``, and a
+worker that touches a segment after ``destroy()`` reads unmapped memory.
+This pass tracks every acquired segment through the abstract
+interpreter's path-sensitive state — **including exception edges** —
+and reports:
+
+``SHM001`` (use-after-release)
+    any attribute access or method call on a resource the engine proved
+    *definitely* released on this path (``maybe``-released values are
+    not flagged: the lattice is conservative in the other direction).
+``SHM002`` (leak)
+    a resource still open (or only maybe released) when the function
+    falls off the end, **or** open at a statement that may raise with no
+    protection in scope.
+
+Acquisition is constructing ``ShmArena(...)`` or
+``SharedMemory(create=True)``; *attaching* to an existing segment by
+name (``SharedMemory(name=...)``) is not an acquisition — the attaching
+side must not unlink what it does not own.  Release is ``.destroy()`` or
+``.unlink()`` (``.close()`` alone only unmaps the local view and does
+not release the segment).
+
+A raise point counts as *protected* when one of these is in scope:
+
+* an enclosing ``with`` statement binding the resource (its ``__exit__``
+  owns cleanup);
+* an enclosing ``try`` whose ``finally`` or handler bodies release the
+  resource — either directly (``res.destroy()`` / ``res.unlink()``) or
+  through a *releaser method*: ``self.m()`` where ``m`` both reassigns
+  the resource attribute and calls ``unlink``/``destroy`` (the
+  ``shm, self._shm = self._shm, None`` swap idiom in ``ShmArena``).
+
+Ownership transfers end tracking: returning the resource hands it to
+the caller, passing it to an unknown call makes the callee responsible,
+and storing it on ``self`` moves it to object lifetime (inside
+``__init__`` the ``self.*`` binding stays tracked for raise-protection,
+but is exempt from the end-of-function leak check).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Mapping, Optional
+
+from repro.analysis.dataflow.engine import (
+    Interpreter,
+    ModuleContext,
+    State,
+    _TryFrame,
+    _WithFrame,
+    analyze_module,
+    path_of,
+)
+from repro.analysis.dataflow.lattice import Value
+from repro.analysis.findings import Finding
+
+__all__ = ["shm_findings", "ShmLifePass"]
+
+#: Constructors whose result owns a shared-memory segment.
+_RESOURCE_CTORS = frozenset({"ShmArena"})
+#: ``SharedMemory`` owns the segment only when ``create=True``.
+_CONDITIONAL_CTORS = frozenset({"SharedMemory"})
+
+#: Calling one of these on a resource releases the segment.
+_RELEASE_METHS = frozenset({"destroy", "unlink"})
+
+_ACQUIRED = ("acquired",)
+
+
+def _releaser_attrs(cls: ast.ClassDef) -> dict[str, set[str]]:
+    """Per method: the ``self.<attr>`` resources it releases.
+
+    A method releases ``attr`` when it calls ``self.attr.destroy()`` /
+    ``.unlink()`` directly, or when it reassigns ``self.attr`` *and*
+    calls ``unlink``/``destroy`` on something (the swap idiom moves the
+    handle to a local before unlinking, so receiver paths alone miss it).
+    """
+    out: dict[str, set[str]] = {}
+    for item in cls.body:
+        if not isinstance(item, ast.FunctionDef):
+            continue
+        direct: set[str] = set()
+        stored: set[str] = set()
+        releases_something = False
+        for node in ast.walk(item):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in _RELEASE_METHS:
+                    releases_something = True
+                    rp = path_of(node.func.value)
+                    if rp and rp.startswith("self."):
+                        direct.add(rp[len("self.") :])
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for t in ast.walk(target):
+                        if (
+                            isinstance(t, ast.Attribute)
+                            and isinstance(t.value, ast.Name)
+                            and t.value.id == "self"
+                            and isinstance(t.ctx, ast.Store)
+                        ):
+                            stored.add(t.attr)
+        released = direct | (stored if releases_something else set())
+        if released:
+            out[item.name] = released
+    return out
+
+
+class ShmLifePass(Interpreter):
+    """Shared-memory lifetime pass (SHM001, SHM002)."""
+
+    CTOR_NAMES = _RESOURCE_CTORS | _CONDITIONAL_CTORS
+
+    def __init__(
+        self,
+        ctx: ModuleContext,
+        summaries: Optional[Mapping[str, Value]] = None,
+        source_path: str = "<module>",
+    ) -> None:
+        super().__init__(ctx, summaries, source_path=source_path)
+        self._acq_line: dict[str, int] = {}
+        self._reported: set[tuple[str, str, str]] = set()
+        self._releasers: dict[str, dict[str, set[str]]] = {
+            name: _releaser_attrs(node) for name, node in ctx.classes.items()
+        }
+
+    # --------------------------------------------------------------- reporting
+
+    def _report_once(
+        self, kind: str, rule: str, node: ast.AST, path: str, message: str, hint: str
+    ) -> None:
+        key = (kind, rule, path)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.report(rule, node, message, hint=hint)
+
+    # ------------------------------------------------------------ acquisition
+
+    def on_call(
+        self,
+        node: ast.Call,
+        func_path: Optional[str],
+        args: list[Value],
+        kwargs: dict[str, Value],
+        state: State,
+    ) -> Optional[Value]:
+        if func_path is not None:
+            recv, _, meth = func_path.rpartition(".")
+            leaf = func_path.rsplit(".", 1)[-1]
+            # self.<releaser>() releases the attrs that method manages —
+            # checked before the generic branch because releasers are often
+            # themselves named destroy/unlink
+            if recv == "self" and self.current is not None and self.current.class_name:
+                released = self._releasers.get(self.current.class_name, {}).get(meth)
+                if released:
+                    for attr in released:
+                        p = f"self.{attr}"
+                        if p in state.res:
+                            state.res[p] = "released"
+                    return None
+            # release call on a tracked resource
+            if recv and meth in _RELEASE_METHS:
+                if state.res.get(recv) == "released":
+                    self._report_once(
+                        "uar",
+                        "SHM001",
+                        node,
+                        recv,
+                        f"`{recv}.{meth}()` on a segment already released on "
+                        "this path (double release)",
+                        "release exactly once; gate the second call on the "
+                        "handle still being live",
+                    )
+                if recv in state.res:
+                    state.res[recv] = "released"
+                return None
+            # any other method call on a definitely-released resource
+            if recv and state.res.get(recv) == "released":
+                self._report_once(
+                    "uar",
+                    "SHM001",
+                    node,
+                    recv,
+                    f"`{recv}.{meth}()` after the segment was released on "
+                    "this path",
+                    "restructure so no access follows destroy()/unlink(), "
+                    "or re-acquire the segment",
+                )
+            # acquisition
+            acquired = leaf in _RESOURCE_CTORS
+            if leaf in _CONDITIONAL_CTORS:
+                create = kwargs.get("create")
+                acquired = create is not None and create.itv.lo == 1
+            if acquired:
+                return Value.obj(ctor=leaf, origin=_ACQUIRED)
+        # escape: a resource passed to a call we cannot see transfers
+        # ownership to the callee — stop tracking rather than guess
+        for arg in list(node.args) + [k.value for k in node.keywords]:
+            p = path_of(arg)
+            if p and p in state.res and state.res[p] != "released":
+                del state.res[p]
+                self._acq_line.pop(p, None)
+        return None
+
+    def on_assign(self, path: str, value: Value, node: ast.AST, state: State) -> None:
+        if value.origin == _ACQUIRED and value.ctor in self.CTOR_NAMES:
+            # ``self.x = arena`` after ``arena = ShmArena(...)`` is a move,
+            # not a second acquisition: retire the source binding
+            if isinstance(node, (ast.Assign, ast.AnnAssign)) and node.value is not None:
+                src = path_of(node.value)
+                if src is not None and src != path and src in state.res:
+                    del state.res[src]
+                    self._acq_line.pop(src, None)
+            state.res[path] = "open"
+            self._acq_line[path] = getattr(node, "lineno", 0)
+        elif path in state.res and value.origin != _ACQUIRED:
+            # rebinding the name to something else loses the only handle
+            if state.res[path] != "released":
+                self._report_once(
+                    "leak",
+                    "SHM002",
+                    node,
+                    path,
+                    f"rebinding `{path}` drops the last handle to an "
+                    "unreleased shared-memory segment",
+                    "destroy()/unlink() the segment before rebinding",
+                )
+            del state.res[path]
+
+    # ----------------------------------------------------------------- usage
+
+    def on_attr_load(self, base_path: str, attr: str, node: ast.AST, state: State) -> None:
+        if state.res.get(base_path) == "released":
+            self._report_once(
+                "uar",
+                "SHM001",
+                node,
+                base_path,
+                f"`{base_path}.{attr}` read after the segment was released "
+                "on this path",
+                "access the segment only while the handle is live",
+            )
+
+    # --------------------------------------------------------------- lifetime
+
+    def _protected(self, path: str) -> bool:
+        for frame in reversed(self.frames):
+            if isinstance(frame, _WithFrame) and path in frame.bound:
+                return True
+            if isinstance(frame, _TryFrame) and self._try_releases(frame.node, path):
+                return True
+        return False
+
+    def _try_releases(self, try_node: ast.Try, path: str) -> bool:
+        bodies: list[ast.stmt] = list(try_node.finalbody)
+        for handler in try_node.handlers:
+            bodies.extend(handler.body)
+        return any(self._stmt_releases(stmt, path) for stmt in bodies)
+
+    def _stmt_releases(self, stmt: ast.stmt, path: str) -> bool:
+        cls = self.current.class_name if self.current is not None else None
+        releasers = self._releasers.get(cls, {}) if cls else {}
+        for node in ast.walk(stmt):
+            if not (
+                isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            rp = path_of(node.func.value)
+            if rp == path and node.func.attr in _RELEASE_METHS:
+                return True
+            if (
+                rp == "self"
+                and path.startswith("self.")
+                and path[len("self.") :] in releasers.get(node.func.attr, set())
+            ):
+                return True
+        return False
+
+    def _check_raise_leaks(self, stmt: ast.stmt, state: State) -> None:
+        for path, status in state.res.items():
+            if status == "released":
+                continue
+            if self._protected(path):
+                continue
+            # The release call itself is not a leak site: if destroy()
+            # raises midway, no guard at this level can help.
+            if self._stmt_releases(stmt, path):
+                continue
+            self._report_once(
+                "raise-leak",
+                "SHM002",
+                stmt,
+                path,
+                f"an exception here leaks the shared-memory segment held by "
+                f"`{path}` (acquired at line {self._acq_line.get(path, 0)}, "
+                "no release on the exception edge)",
+                "wrap the region in try/except that destroys the segment "
+                "before re-raising, or bind it in a with statement",
+            )
+
+    def on_possible_raise(self, stmt: ast.stmt, state: State) -> None:
+        self._check_raise_leaks(stmt, state)
+
+    def on_raise(self, stmt: ast.Raise, state: State) -> None:
+        self._check_raise_leaks(stmt, state)
+
+    def on_return(self, stmt: ast.Return, value: Optional[Value], state: State) -> None:
+        if stmt.value is not None:
+            p = path_of(stmt.value)
+            if p is not None and p in state.res:
+                # ownership transfers to the caller
+                del state.res[p]
+                self._acq_line.pop(p, None)
+        self._check_end_leaks(stmt, state)
+
+    def on_with_exit(self, node: ast.With, state: State) -> None:
+        for item in node.items:
+            p = (
+                path_of(item.optional_vars)
+                if item.optional_vars is not None
+                else path_of(item.context_expr)
+            )
+            if p is not None and state.res.get(p) in ("open", "maybe"):
+                state.res[p] = "released"
+
+    def on_function_end(self, state: State) -> None:
+        anchor = (
+            self.current.node if self.current is not None else ast.Pass()
+        )
+        self._check_end_leaks(anchor, state)
+
+    def _check_end_leaks(self, node: ast.AST, state: State) -> None:
+        for path, status in state.res.items():
+            if status == "released":
+                continue
+            if path.startswith("self."):
+                # stored on the object: lifetime is the object's, checked
+                # via the releaser protocol, not per-function
+                continue
+            maybe = " on some path" if status == "maybe" else ""
+            line = self._acq_line.get(path, 0)
+            self._report_once(
+                "leak",
+                "SHM002",
+                node,
+                path,
+                f"shared-memory segment `{path}` (acquired at line {line}) "
+                f"is not released{maybe} before the function exits",
+                "destroy()/unlink() the segment, return it to the caller, "
+                "or store it on an owner that releases it",
+            )
+
+
+def shm_findings(source_path: str, source: str) -> list[Finding]:
+    """Run the shm-lifetime pass over one module's source."""
+    try:
+        tree = ast.parse(source, filename=source_path)
+    except SyntaxError:
+        return []
+
+    def make(ctx: ModuleContext, summaries: Mapping[str, Value]) -> Interpreter:
+        return ShmLifePass(ctx, summaries, source_path=source_path)
+
+    findings, _ = analyze_module(source_path, tree, make)
+    return findings

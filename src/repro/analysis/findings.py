@@ -122,3 +122,54 @@ def render_json(findings: list[Finding]) -> str:
         "warnings": sum(1 for f in ordered if f.severity is Severity.WARNING),
     }
     return json.dumps(doc, indent=2)
+
+
+def render_sarif(findings: list[Finding], *, tool_name: str = "szops-lint") -> str:
+    """SARIF 2.1.0 report, for code-scanning UIs and CI artifact upload.
+
+    Minimal-but-valid subset: one run, one rule descriptor per distinct
+    rule id, one result per finding.  Stream findings (byte-offset
+    anchored, line 0) are emitted with ``byteOffset`` regions; source
+    findings with line regions.  Hints ride along as the fix description
+    so they stay visible in viewers that only show the result message.
+    """
+    ordered = sort_findings(findings)
+    rules = []
+    rule_index: dict[str, int] = {}
+    for f in ordered:
+        if f.rule not in rule_index:
+            rule_index[f.rule] = len(rules)
+            rules.append({"id": f.rule})
+    results = []
+    for f in ordered:
+        message = f.message if not f.hint else f"{f.message} [hint: {f.hint}]"
+        location: dict[str, object] = {
+            "physicalLocation": {
+                "artifactLocation": {"uri": f.path},
+                "region": (
+                    {"byteOffset": f.offset}
+                    if f.offset is not None
+                    else {"startLine": max(f.line, 1)}
+                ),
+            }
+        }
+        results.append(
+            {
+                "ruleId": f.rule,
+                "ruleIndex": rule_index[f.rule],
+                "level": f.severity.value,
+                "message": {"text": message},
+                "locations": [location],
+            }
+        )
+    doc = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {"driver": {"name": tool_name, "rules": rules}},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)

@@ -18,14 +18,22 @@ would defeat the point of encoding invariants as rules.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.findings import Finding, Severity, sort_findings
 from repro.analysis.rules import ProjectContext, RuleContext, RuleSpec, all_rules
 
-__all__ = ["lint_paths", "lint_source", "discover_files", "default_target"]
+__all__ = [
+    "analyze_paths",
+    "lint_paths",
+    "lint_source",
+    "discover_files",
+    "default_target",
+]
 
 _SUPPRESS_RE = re.compile(
     r"#\s*szops:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
@@ -86,11 +94,29 @@ def scope_tags(path: Path, source: str) -> frozenset[str]:
     return frozenset(tags)
 
 
+def _comment_lines(source: str) -> list[tuple[int, str]]:
+    """``(lineno, text)`` of every real comment token in ``source``.
+
+    Tokenizing (rather than scanning physical lines) keeps suppression
+    *examples* inside docstrings and hint strings from acting — or being
+    accounted — as suppressions.  Falls back to a plain line scan when the
+    file does not tokenize (it then also fails SZL000 anyway).
+    """
+    try:
+        return [
+            (tok.start[0], tok.string)
+            for tok in tokenize.generate_tokens(io.StringIO(source).readline)
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return list(enumerate(source.splitlines(), start=1))
+
+
 def _suppressions(source: str) -> dict[int, set[str] | None]:
     """Per-line suppressions; ``None`` means every rule is suppressed."""
     out: dict[int, set[str] | None] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        m = _SUPPRESS_RE.search(line)
+    for lineno, text in _comment_lines(source):
+        m = _SUPPRESS_RE.search(text)
         if not m:
             continue
         rules = m.group("rules")
@@ -105,12 +131,17 @@ def _suppressions(source: str) -> dict[int, set[str] | None]:
 
 
 def _apply_suppressions(
-    findings: list[Finding], suppressions: dict[int, set[str] | None]
+    findings: list[Finding],
+    suppressions: dict[int, set[str] | None],
+    used: set[tuple[int, str]] | None = None,
 ) -> list[Finding]:
+    """Drop suppressed findings; record hits as ``(line, rule)`` in ``used``."""
     kept = []
     for f in findings:
         rule_set = suppressions.get(f.line, set())
         if rule_set is None or (rule_set and f.rule in rule_set):
+            if used is not None:
+                used.add((f.line, f.rule))
             continue
         kept.append(f)
     return kept
@@ -123,14 +154,13 @@ def _selected(rules: Iterable[RuleSpec], select: Sequence[str] | None) -> list[R
     return [r for r in rules if r.rule_id in wanted]
 
 
-def lint_source(
+def _lint_file_raw(
     source: str,
-    path: Path | str = "<memory>",
+    path: Path,
     select: Sequence[str] | None = None,
     tags: frozenset[str] | None = None,
 ) -> list[Finding]:
-    """Lint one module's source text with the file-level rules."""
-    path = Path(path)
+    """File-level rule findings with no suppression applied."""
     if tags is None:
         tags = scope_tags(path, source)
     try:
@@ -154,7 +184,19 @@ def lint_source(
         if not (rule.tags & tags):
             continue
         findings.extend(rule.checker(ctx))
-    return _apply_suppressions(findings, _suppressions(source))
+    return findings
+
+
+def lint_source(
+    source: str,
+    path: Path | str = "<memory>",
+    select: Sequence[str] | None = None,
+    tags: frozenset[str] | None = None,
+) -> list[Finding]:
+    """Lint one module's source text with the file-level rules."""
+    path = Path(path)
+    raw = _lint_file_raw(source, path, select=select, tags=tags)
+    return _apply_suppressions(raw, _suppressions(source))
 
 
 def discover_files(paths: Sequence[Path]) -> list[Path]:
@@ -217,3 +259,147 @@ def lint_paths(
                     _apply_suppressions(fs, _suppressions(src)) if src else fs
                 )
     return sort_findings(findings)
+
+
+#: Syntactic rules superseded by their path-sensitive dataflow upgrades.
+#: In a ``--dataflow`` run they are still *computed* — so their
+#: suppression comments count as used (plain runs need them) — but
+#: dropped from the report in favour of SZL101/SZL102 proofs.
+_SHADOWED_IN_DATAFLOW = frozenset({"SZL001", "SZL002"})
+
+
+def analyze_paths(
+    paths: Sequence[Path | str] | None = None,
+    select: Sequence[str] | None = None,
+    *,
+    dataflow: bool = False,
+    run_lockcheck: bool = True,
+) -> list[Finding]:
+    """Run every analysis pass through one suppression-aware driver.
+
+    Unlike :func:`lint_paths` (kept stable as the plain ``lint`` entry
+    point), this routes the lexical lock checker (LCK001) and — with
+    ``dataflow=True`` — the abstract-interpretation passes (SZL101/102,
+    SZL103, LCK002, SHM001/002) through the same per-line suppression
+    machinery, tracks which suppression comments actually fired, and on
+    a full run reports stale ones as ``SZL099``.
+    """
+    targets = discover_files(
+        [Path(p) for p in paths] if paths else [default_target()]
+    )
+    wanted = None if select is None else {s.strip() for s in select}
+
+    report: list[Finding] = []
+    sources: dict[Path, str] = {}
+    raw_by_path: dict[str, list[Finding]] = {}
+    shadow_by_path: dict[str, list[Finding]] = {}
+
+    if dataflow:
+        # Local import: plain lint must not pay for the abstract
+        # interpreter (or fail if it ever grows optional deps).
+        from repro.analysis.dataflow import (
+            check_error_propagation,
+            lockorder_findings,
+            range_findings,
+            shm_findings,
+        )
+
+    def _want(f: Finding) -> bool:
+        return wanted is None or f.rule in wanted
+
+    for path in targets:
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            report.append(
+                Finding(
+                    rule="SZL000",
+                    path=str(path),
+                    line=0,
+                    message=f"unreadable file: {exc}",
+                )
+            )
+            continue
+        sources[path] = source
+        raw = _lint_file_raw(source, path, select=select)
+        if dataflow:
+            shadow_by_path[str(path)] = [
+                f for f in raw if f.rule in _SHADOWED_IN_DATAFLOW
+            ]
+            raw = [f for f in raw if f.rule not in _SHADOWED_IN_DATAFLOW]
+            raw.extend(
+                f
+                for f in (
+                    range_findings(str(path), source)
+                    + check_error_propagation(str(path), source)
+                    + shm_findings(str(path), source)
+                )
+                if _want(f)
+            )
+        if run_lockcheck and (wanted is None or "LCK001" in wanted):
+            from repro.analysis.lockcheck import lockcheck_source
+
+            raw.extend(lockcheck_source(source, path))
+        raw_by_path[str(path)] = raw
+
+    project_ctx = ProjectContext(paths=targets, sources=sources)
+    for rule in _selected(all_rules(), select):
+        if rule.project_checker is not None:
+            for f in rule.project_checker(project_ctx):
+                raw_by_path.setdefault(f.path, []).append(f)
+    if dataflow:
+        for f in lockorder_findings({str(p): s for p, s in sources.items()}):
+            if _want(f):
+                raw_by_path.setdefault(f.path, []).append(f)
+
+    # The stale-suppression check only makes sense when the full rule set
+    # ran: on a partial run an idle comment may serve a rule not selected.
+    active: set[str] = {r.rule_id for r in all_rules()}
+    if run_lockcheck:
+        active.add("LCK001")
+    if dataflow:
+        from repro.analysis.dataflow import DATAFLOW_RULES
+
+        active |= DATAFLOW_RULES
+    emit_stale = wanted is None
+
+    for path, source in sources.items():
+        sup = _suppressions(source)
+        used: set[tuple[int, str]] = set()
+        kept = _apply_suppressions(raw_by_path.get(str(path), []), sup, used)
+        _apply_suppressions(shadow_by_path.get(str(path), []), sup, used)
+        report.extend(kept)
+        if not emit_stale:
+            continue
+        for lineno, ruleset in sorted(sup.items()):
+            if ruleset is None:
+                # A blanket comment can only be proven idle when every
+                # pass that could hit its line actually ran.
+                stale = (
+                    dataflow
+                    and run_lockcheck
+                    and not any(line == lineno for line, _ in used)
+                )
+                listed = "a blanket `# szops: ignore`"
+            else:
+                stale = ruleset <= active and not any(
+                    (lineno, r) in used for r in ruleset
+                )
+                listed = f"`# szops: ignore[{', '.join(sorted(ruleset))}]`"
+            if stale:
+                report.append(
+                    Finding(
+                        rule="SZL099",
+                        path=str(path),
+                        line=lineno,
+                        message=f"{listed} comment suppresses nothing",
+                        hint="remove the stale suppression — the invariant "
+                        "is now proven, or the code it excused has changed",
+                        severity=Severity.ERROR,
+                    )
+                )
+
+    for fpath, fs in raw_by_path.items():
+        if Path(fpath) not in sources:  # anchor file was never read
+            report.extend(fs)
+    return sort_findings(report)

@@ -121,6 +121,11 @@ class ZFP(BaseCompressor):
             )
         else:
             work_shape = tuple(shape)
+        if not np.all(np.isfinite(flat)):
+            # np.rint(nan).astype(int64) below is undefined garbage and the
+            # stream would decode silently wrong; reject up front like the
+            # core quantizer does.
+            raise ValueError("ZFP baseline requires finite input data")
         arr = flat.astype(np.float64).reshape(work_shape)
         blocks, pshape = _to_blocks(arr)
         n_blocks = blocks.shape[0]
@@ -151,7 +156,12 @@ class ZFP(BaseCompressor):
                     "value)"
                 )
             scale = np.ldexp(1.0, (qb - e).astype(np.int64))
-            ints = np.rint(flat_blocks * scale[:, None]).astype(np.int64)
+            # Finite by the entry guard above; |value| <= 2^qb <= 2^45 by
+            # the MAX_QBITS check, so the cast cannot truncate.  (The
+            # finiteness fact does not survive the _to_blocks summary.)
+            ints = np.rint(flat_blocks * scale[:, None]).astype(  # szops: ignore[SZL102]
+                np.int64
+            )
             tblocks = ints.reshape((n_blocks,) + (4,) * d).copy()
             fwd_transform_block(tblocks)
             coeffs = tblocks.reshape(n_blocks, bpe)

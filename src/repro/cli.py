@@ -161,7 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
         "paths", nargs="*", type=Path, help="files or directories (default: repro)"
     )
     p.add_argument(
-        "--format", choices=("text", "json"), default="text", dest="fmt"
+        "--format", choices=("text", "json", "sarif"), default="text", dest="fmt"
     )
     p.add_argument(
         "--select",
@@ -172,6 +172,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-lockcheck",
         action="store_true",
         help="skip the lock-discipline pass",
+    )
+    p.add_argument(
+        "--dataflow",
+        action="store_true",
+        help="also run the abstract-interpretation passes (SZL101/102/103, "
+        "LCK002, SHM001/002) and the SZL099 stale-suppression check",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=None,
+        help="write the report to this file instead of stdout "
+        "(a one-line summary still prints)",
     )
 
     p = sub.add_parser(
@@ -198,7 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="element count (required for SZp payloads, which omit it)",
     )
     p.add_argument(
-        "--format", choices=("text", "json"), default="text", dest="fmt"
+        "--format", choices=("text", "json", "sarif"), default="text", dest="fmt"
     )
 
     return parser
@@ -362,34 +376,62 @@ def _cmd_bench(args) -> int:
     return 0 if result.extras["bench"]["all_identical"] else 1
 
 
+def _render_findings(findings, fmt: str) -> str:
+    from repro.analysis.findings import render_json, render_sarif, render_text
+
+    render = {"json": render_json, "sarif": render_sarif, "text": render_text}[fmt]
+    return render(findings)
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import lint_paths, lockcheck_paths
-    from repro.analysis.findings import Report, render_json, render_text
+    from repro.analysis.findings import Report
 
     select = args.select.split(",") if args.select else None
     paths = args.paths or None
-    findings = lint_paths(paths, select=select)
-    if not args.no_lockcheck and select is None:
-        findings = findings + lockcheck_paths(paths)
-    render = render_json if args.fmt == "json" else render_text
-    print(render(findings))
-    return Report(findings).exit_code
+    if args.dataflow:
+        from repro.analysis import analyze_paths
+
+        findings = analyze_paths(
+            paths,
+            select=select,
+            dataflow=True,
+            run_lockcheck=not args.no_lockcheck,
+        )
+    else:
+        findings = lint_paths(paths, select=select)
+        if not args.no_lockcheck and select is None:
+            findings = findings + lockcheck_paths(paths)
+    text = _render_findings(findings, args.fmt)
+    report = Report(findings)
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+        print(f"[{len(findings)} finding(s) -> {args.output}]")
+    else:
+        print(text)
+    return report.exit_code
 
 
 def _cmd_verify_stream(args) -> int:
     from repro.analysis import verify_file
-    from repro.analysis.findings import Report, render_json, render_text
+    from repro.analysis.findings import Report
 
     fmt = None if args.stream_format == "auto" else args.stream_format
     findings = []
     for path in args.inputs:
+        # Distinct exit codes so callers can tell a *malformed* stream
+        # (ValueError: bad arguments/format for this verifier, rc 2) from
+        # an *unreadable* one (OSError: missing file, permissions, rc 3);
+        # rc 1 stays "verified, findings present".
         try:
             findings.extend(verify_file(path, fmt=fmt, n_elements=args.n_elements))
-        except (OSError, ValueError) as exc:
+        except ValueError as exc:
             print(f"error: {path}: {exc}", file=sys.stderr)
             return 2
-    render = render_json if args.fmt == "json" else render_text
-    print(render(findings))
+        except OSError as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 3
+    print(_render_findings(findings, args.fmt))
     return Report(findings).exit_code
 
 

@@ -62,11 +62,13 @@ def lorenzo_inverse(
         body = deltas[: nf * B].reshape(nf, B)
         out_body = q[: nf * B].reshape(nf, B)
         np.cumsum(body, axis=1, out=out_body)
-        out_body += outliers[:nf, None]
+        # Reconstructs original quantized values (|q| < Q_LIMIT by the
+        # quantizer's guard), so the prefix sum stays inside int64.
+        out_body += outliers[:nf, None]  # szops: ignore[SZL101]
     tail = deltas[nf * B :]
     if tail.size:
         np.cumsum(tail, out=q[nf * B :])
         # Reconstructs original quantized values (|q| < Q_LIMIT by the
         # quantizer's guard), so the prefix sum stays inside int64.
-        q[nf * B :] += outliers[-1]  # szops: ignore[SZL001]
+        q[nf * B :] += outliers[-1]  # szops: ignore[SZL001, SZL101]
     return q

@@ -18,19 +18,18 @@ from repro.bitstream import exclusive_cumsum
 from repro.core.encode import block_widths, decode_stored_deltas, encode_block_sections
 from repro.core.errors import OperationError
 from repro.core.format import SZOpsCompressed
+from repro.core.quantize import Q_LIMIT
 
 __all__ = [
+    "Q_LIMIT",
     "StoredBlocks",
     "stored_quantized",
     "decode_stored_blocks",
     "ragged_cumsum",
+    "ensure_quantized_range",
     "requantize",
     "rebuild_stored",
 ]
-
-#: Quantized integers are guarded to +-2^62 so downstream Lorenzo deltas
-#: (differences of two quantized values) cannot overflow int64.
-Q_LIMIT = np.int64(1) << 62
 
 
 def ragged_cumsum(values: np.ndarray, lens: np.ndarray) -> np.ndarray:
@@ -111,7 +110,7 @@ def decode_stored_blocks(c: SZOpsCompressed) -> StoredBlocks:
     if q.size:
         # Reconstructs the original quantized values, which compression
         # guarded to |q| < Q_LIMIT — the sum cannot leave int64.
-        q += np.repeat(c.outliers[stored], stored_lens)  # szops: ignore[SZL001]
+        q += np.repeat(c.outliers[stored], stored_lens)  # szops: ignore[SZL001, SZL101]
     return StoredBlocks(
         q=q,
         lens=stored_lens,
@@ -119,6 +118,23 @@ def decode_stored_blocks(c: SZOpsCompressed) -> StoredBlocks:
         const_outliers=c.outliers[~stored],
         const_lens=lens[~stored],
     )
+
+
+def ensure_quantized_range(q: np.ndarray, context: str) -> np.ndarray:
+    """Enforce the ``|q| < Q_LIMIT`` invariant on a combined quantized plane.
+
+    Compressed-domain combines (``q_a ± q_b``) double the worst-case bin
+    magnitude; without this gate a chain of combines could push bins past
+    the guard band, where the *next* op's Lorenzo deltas wrap int64 and
+    silently corrupt the stream.  Raises :class:`OperationError` naming
+    ``context`` so the failing operation is diagnosable.
+    """
+    if q.size and int(np.abs(q).max()) >= int(Q_LIMIT):
+        raise OperationError(
+            f"{context} overflows the quantized integer range; "
+            "use a larger error bound or smaller operands"
+        )
+    return q
 
 
 def requantize(q: np.ndarray, factor: float) -> np.ndarray:

@@ -29,7 +29,11 @@ from repro.bitstream import exclusive_cumsum
 from repro.core.encode import block_widths, encode_block_sections
 from repro.core.errors import OperationError
 from repro.core.format import SZOpsCompressed
-from repro.core.ops._partial import StoredBlocks, stored_quantized
+from repro.core.ops._partial import (
+    StoredBlocks,
+    ensure_quantized_range,
+    stored_quantized,
+)
 
 __all__ = ["add", "subtract", "dot", "l2_distance", "cosine_similarity"]
 
@@ -88,12 +92,21 @@ def _combine(a: SZOpsCompressed, b: SZOpsCompressed, sign: int) -> SZOpsCompress
     const_b = np.zeros(layout.n_blocks, dtype=np.int64)
     const_a[~blocks_a.stored_mask] = blocks_a.const_outliers
     const_b[~blocks_b.stored_mask] = blocks_b.const_outliers
-    new_outliers[both_const] = const_a[both_const] + sign * const_b[both_const]
+    new_outliers[both_const] = ensure_quantized_range(
+        const_a[both_const] + sign * const_b[both_const],
+        "compressed-domain combine (constant blocks)",
+    )
 
     if any_stored.any():
         qa = _full_quantized(blocks_a, lens)
         qb = _full_quantized(blocks_b, lens)
-        qc = qa + sign * qb
+        # Combined bins must re-enter the |q| < Q_LIMIT band: without the
+        # gate, adjacent near-limit bins make the Lorenzo deltas below
+        # (differences of two combined bins) wrap int64 and the re-encoded
+        # stream silently decodes to garbage.
+        qc = ensure_quantized_range(
+            qa + sign * qb, "compressed-domain combine"
+        )
         sel_elems = np.repeat(any_stored, lens)
         q_sel = qc[sel_elems]
         sel_lens = lens[any_stored]

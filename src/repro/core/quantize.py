@@ -29,7 +29,19 @@ import numpy as np
 
 from repro.core.errors import ConfigError
 
-__all__ = ["quantize", "dequantize", "quantize_scalar", "dequantize_scalar"]
+__all__ = [
+    "Q_LIMIT",
+    "quantize",
+    "dequantize",
+    "quantize_scalar",
+    "dequantize_scalar",
+]
+
+#: Guard band for quantized magnitudes: every stored bin must satisfy
+#: ``|q| < Q_LIMIT``, leaving headroom so a single compressed-domain
+#: combine (``q_a ± q_b``, delta coding of adjacent bins) cannot wrap
+#: int64.  Shared by the scalar ops and the dataflow lint rules.
+Q_LIMIT = np.int64(1) << 62
 
 
 def quantize(values: np.ndarray, eps: float) -> np.ndarray:
@@ -45,7 +57,20 @@ def quantize(values: np.ndarray, eps: float) -> np.ndarray:
     if not np.all(np.isfinite(v)):
         raise ValueError("input contains non-finite values; error-bounded "
                          "quantization requires finite data")
-    q = np.floor((v + eps) / (2.0 * eps)).astype(np.int64)
+    scaled = np.floor((v + eps) / (2.0 * eps))
+    # For tiny eps the bin ratio overflows float64 to ±inf even for finite
+    # input; floor(±inf).astype(int64) is undefined garbage.  Reject before
+    # the cast — mirroring quantize_scalar — so the int domain below only
+    # ever sees bins inside the |q| < Q_LIMIT band.
+    if scaled.size and (
+        not np.all(np.isfinite(scaled))
+        or np.abs(scaled).max() >= float(Q_LIMIT)
+    ):
+        raise ValueError(
+            f"data at eps {eps!r} overflows the quantized integer range; "
+            "increase the error bound"
+        )
+    q = scaled.astype(np.int64)
     # Formula (1) guarantees the bound in exact arithmetic; float64 rounding
     # of (v + eps) / (2 eps) can push an element one bin off by ~1 ulp of
     # its value.  One correction pass turns the bound into a hard guarantee.

@@ -93,13 +93,20 @@ class ShmArena:
         self._shm: shared_memory.SharedMemory | None = shared_memory.SharedMemory(
             create=True, size=max(offset, 1)
         )
-        self.descriptors: dict[str, ArrayDescriptor] = {
-            name: ArrayDescriptor(self._shm.name, off, shape, np.dtype(dt).str)
-            for name, (off, shape, dt) in layout.items()
-        }
-        for name, contig in staged.items():
-            if contig.nbytes:
-                self.view(name)[...] = contig
+        # From here on the segment exists in /dev/shm under our name; any
+        # failure while populating it (a bad descriptor, a copy raising)
+        # must unlink it or it outlives the process.
+        try:
+            self.descriptors: dict[str, ArrayDescriptor] = {
+                name: ArrayDescriptor(self._shm.name, off, shape, np.dtype(dt).str)
+                for name, (off, shape, dt) in layout.items()
+            }
+            for name, contig in staged.items():
+                if contig.nbytes:
+                    self.view(name)[...] = contig
+        except BaseException:
+            self.destroy()
+            raise
 
     # ------------------------------------------------------------------ access
 

@@ -32,6 +32,7 @@ import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.core.format import SZOpsCompressed
 from repro.core.ops._partial import StoredBlocks, decode_stored_blocks
@@ -214,7 +215,9 @@ def configure(
 
 
 @contextmanager
-def use_cache(cache: DecodedBlockCache | None):
+def use_cache(
+    cache: DecodedBlockCache | None,
+) -> Iterator[DecodedBlockCache | None]:
     """Scope a specific cache (or ``None``) to the current thread."""
     stack = _stack()
     stack.append(cache)
@@ -225,7 +228,7 @@ def use_cache(cache: DecodedBlockCache | None):
 
 
 @contextmanager
-def cache_disabled():
+def cache_disabled() -> Iterator[None]:
     """Run a block with decoded-block caching off (current thread only)."""
     with use_cache(None):
         yield

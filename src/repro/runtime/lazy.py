@@ -54,6 +54,7 @@ import numpy as np
 from repro.core.errors import OperationError
 from repro.core.format import SZOpsCompressed
 from repro.core.ops._partial import (
+    Q_LIMIT,
     StoredBlocks,
     rebuild_stored,
     requantize,
@@ -63,6 +64,7 @@ from repro.core.ops.negate import negate as eager_negate
 from repro.core.ops.reductions import _quantized_sq_dev, _quantized_sum
 from repro.core.ops.scalar_add import quantized_scalar_shift, shift_outliers
 from repro.core.quantize import dequantize, quantize_scalar
+from repro.runtime.reduce import Executor
 
 __all__ = ["LazyStream", "IntAffine", "Requantize", "lazy"]
 
@@ -76,8 +78,18 @@ class IntAffine:
 
     def apply(self, q: np.ndarray) -> np.ndarray:
         out = -q if self.sigma < 0 else q.copy()
-        if self.shift:
-            out += self.shift
+        shift = int(self.shift)
+        if shift and out.size:
+            # Same guard as shift_outliers: a fused chain can accumulate a
+            # shift the eager path would have rejected step by step, and an
+            # unguarded += here wraps int64 silently instead of raising.
+            peak = int(np.abs(out).max()) + abs(shift)
+            if peak >= int(Q_LIMIT):
+                raise OperationError(
+                    "fused scalar shift overflows the quantized integer "
+                    "range; use a larger error bound or a smaller scalar"
+                )
+            out += shift
         return out
 
     @property
@@ -247,7 +259,7 @@ class LazyStream:
 
     # ------------------------------------------------------------------ reductions
 
-    def mean(self, executor=None) -> float:
+    def mean(self, executor: Executor | None = None) -> float:
         """Mean of the transformed stream — one decode, no encode.
 
         Bit-identical to ``ops.mean(chain materialized eagerly)`` while the
@@ -257,7 +269,7 @@ class LazyStream:
         total = _reduce_sum(blocks, executor)
         return 2.0 * self.base.eps * (total / self.base.n_elements)
 
-    def variance(self, ddof: int = 0, executor=None) -> float:
+    def variance(self, ddof: int = 0, executor: Executor | None = None) -> float:
         """Variance of the transformed stream (two-pass, quantized domain)."""
         n = self.base.n_elements
         if n - ddof <= 0:
@@ -267,7 +279,7 @@ class LazyStream:
         ssd = _reduce_sq_dev(blocks, mu_q, executor)
         return (2.0 * self.base.eps) ** 2 * (ssd / (n - ddof))
 
-    def std(self, ddof: int = 0, executor=None) -> float:
+    def std(self, ddof: int = 0, executor: Executor | None = None) -> float:
         """Standard deviation of the transformed stream."""
         return math.sqrt(self.variance(ddof=ddof, executor=executor))
 
@@ -289,7 +301,9 @@ class LazyStream:
             raise ValueError("cannot take the maximum of an empty container")
         return 2.0 * self.base.eps * max(hi)
 
-    def summary_statistics(self, ddof: int = 0, executor=None) -> dict[str, float]:
+    def summary_statistics(
+        self, ddof: int = 0, executor: Executor | None = None
+    ) -> dict[str, float]:
         """Mean, variance and std of the transformed stream in one decode."""
         n = self.base.n_elements
         blocks = self._transformed_blocks()
@@ -328,7 +342,7 @@ class LazyStream:
         return self.materialize().to_bytes()
 
 
-def _reduce_sum(blocks: StoredBlocks, executor) -> float:
+def _reduce_sum(blocks: StoredBlocks, executor: Executor | None) -> float:
     if executor is None:
         return _quantized_sum(blocks)
     from repro.runtime.reduce import chunked_quantized_sum
@@ -336,7 +350,9 @@ def _reduce_sum(blocks: StoredBlocks, executor) -> float:
     return chunked_quantized_sum(blocks, executor)
 
 
-def _reduce_sq_dev(blocks: StoredBlocks, mu_q: float, executor) -> float:
+def _reduce_sq_dev(
+    blocks: StoredBlocks, mu_q: float, executor: Executor | None
+) -> float:
     if executor is None:
         return _quantized_sq_dev(blocks, mu_q)
     from repro.runtime.reduce import chunked_quantized_sq_dev

@@ -27,13 +27,14 @@ from __future__ import annotations
 
 import math
 from contextlib import contextmanager
+from typing import Any, Iterator
 
 import numpy as np
 
 from repro.core.format import SZOpsCompressed
 from repro.core.ops._partial import StoredBlocks, stored_quantized
 from repro.parallel import kernels
-from repro.parallel.backends import ExecutionBackend
+from repro.parallel.backends import ChunkKernel, ExecutionBackend
 from repro.parallel.executor import ChunkedExecutor
 from repro.parallel.partition import even_ranges
 
@@ -54,7 +55,9 @@ Executor = ExecutionBackend | ChunkedExecutor | int
 
 
 @contextmanager
-def _as_executor(executor: Executor):
+def _as_executor(
+    executor: Executor,
+) -> Iterator[ExecutionBackend | ChunkedExecutor]:
     """Accept a ready executor/backend or a thread count (owned per call)."""
     if isinstance(executor, (ExecutionBackend, ChunkedExecutor)):
         yield executor
@@ -70,10 +73,10 @@ def _as_executor(executor: Executor):
 
 def _backend_partials(
     backend: ExecutionBackend,
-    kernel,
+    kernel: ChunkKernel,
     q: np.ndarray,
-    extra: dict | None = None,
-) -> list:
+    extra: dict[str, Any] | None = None,
+) -> list[Any]:
     """Run a reduction kernel over an even ``n_workers``-way chunking."""
     chunk_specs = [
         {"lo": lo, "hi": hi, **(extra or {})}

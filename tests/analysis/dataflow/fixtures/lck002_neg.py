@@ -1,0 +1,20 @@
+"""Negative LCK002 fixture: both methods honour the same lock order."""
+
+import threading
+
+
+class Pipeline:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._aux = threading.Lock()
+        self.stats = 0
+
+    def forward(self) -> None:
+        with self._lock:
+            with self._aux:
+                self.stats += 1
+
+    def reverse(self) -> None:
+        with self._lock:
+            with self._aux:
+                self.stats -= 1

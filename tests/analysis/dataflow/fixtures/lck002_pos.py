@@ -1,0 +1,20 @@
+"""Positive LCK002 fixture: two locks taken in opposite orders."""
+
+import threading
+
+
+class Pipeline:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._aux = threading.Lock()
+        self.stats = 0
+
+    def forward(self) -> None:
+        with self._lock:
+            with self._aux:
+                self.stats += 1
+
+    def reverse(self) -> None:
+        with self._aux:
+            with self._lock:
+                self.stats -= 1

@@ -1,0 +1,17 @@
+"""Negative SHM fixture: try/finally and with both release on all paths."""
+
+from multiprocessing import shared_memory
+
+
+def tidy(data) -> None:
+    shm = shared_memory.SharedMemory(create=True, size=64)
+    try:
+        validate(data)  # may raise, but the finally releases
+    finally:
+        shm.unlink()
+
+
+def scoped(arrays, data) -> None:
+    with ShmArena(arrays) as arena:
+        validate(data)
+        use(arena.view("x"), data)

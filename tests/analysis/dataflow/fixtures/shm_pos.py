@@ -1,0 +1,19 @@
+"""Positive SHM fixtures: leak-on-raise (SHM002) and use-after-release
+(SHM001) of a shared-memory segment."""
+
+from multiprocessing import shared_memory
+
+
+def leaky(data) -> None:
+    shm = shared_memory.SharedMemory(create=True, size=64)
+    validate(data)  # may raise -> the /dev/shm segment leaks
+    shm.unlink()
+
+
+def stale(data) -> int:
+    shm = shared_memory.SharedMemory(create=True, size=64)
+    try:
+        validate(data)
+    finally:
+        shm.unlink()
+    return shm.buf[0]  # segment already unlinked

@@ -1,0 +1,12 @@
+"""Negative SZL099 fixture: a live suppression and a docstring example.
+
+A docstring mention of the syntax — ``# szops: ignore[SZL001]`` — is not
+a suppression comment and must never be reported stale.
+"""
+
+import numpy as np
+
+
+def shift(out, rho: int):
+    out.outliers += rho  # szops: ignore[SZL001, SZL101]
+    return out

@@ -1,0 +1,7 @@
+"""Positive SZL099 fixture: suppressions that no longer suppress anything."""
+
+SCALE = 4  # szops: ignore[SZL001]
+
+
+def double(x: int) -> int:
+    return x * 2  # szops: ignore

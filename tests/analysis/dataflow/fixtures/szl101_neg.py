@@ -1,0 +1,12 @@
+"""Negative SZL101 fixture: the shift_outliers peak-guard protocol."""
+
+import numpy as np
+
+Q_LIMIT = np.int64(1) << 62
+
+
+def shift(q: np.ndarray, k: int) -> np.ndarray:
+    peak = int(np.abs(q).max()) + abs(k)
+    if peak >= int(Q_LIMIT):
+        raise OverflowError("scalar shift overflows the quantized range")
+    return q + k

@@ -1,0 +1,9 @@
+"""Positive SZL101 fixture: unguarded add on a quantized int64 plane."""
+
+import numpy as np
+
+
+def shift(q: np.ndarray, k: int) -> np.ndarray:
+    # No peak guard: |q| can be up to Q_LIMIT-1 and k is unbounded, so
+    # the sum can wrap int64 silently.
+    return q + np.int64(k)

@@ -1,0 +1,15 @@
+"""Negative SZL102 fixture: the quantizer's finite + in-range guard."""
+
+import numpy as np
+
+Q_LIMIT = np.int64(1) << 62
+
+
+def bins(x: np.ndarray, eps: float) -> np.ndarray:
+    scaled = np.floor(x.astype(np.float64) / (2.0 * eps))
+    if scaled.size and (
+        not np.all(np.isfinite(scaled))
+        or np.abs(scaled).max() >= float(Q_LIMIT)
+    ):
+        raise ValueError("data overflows the quantized integer range")
+    return scaled.astype(np.int64)

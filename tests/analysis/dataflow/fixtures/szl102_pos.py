@@ -1,0 +1,10 @@
+"""Positive SZL102 fixture: float -> int64 cast with no finiteness guard."""
+
+import numpy as np
+
+
+def bins(x: np.ndarray, eps: float) -> np.ndarray:
+    scaled = np.floor(x.astype(np.float64) / (2.0 * eps))
+    # For tiny eps the ratio overflows to inf; floor(inf).astype(int64)
+    # is undefined garbage.
+    return scaled.astype(np.int64)

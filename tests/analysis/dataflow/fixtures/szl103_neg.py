@@ -1,0 +1,19 @@
+"""Negative SZL103 fixture: declarations match what the kernels derive."""
+
+ERROR_PROPAGATION = {
+    "negate": "exact",
+    "scalar_multiply": "scaled",
+    "mean": "computation",
+}
+
+
+def negate(c: "SZOpsCompressed") -> "SZOpsCompressed":
+    return c.with_flipped_signs()
+
+
+def scalar_multiply(c: "SZOpsCompressed", s: float) -> "SZOpsCompressed":
+    return requantize(c, abs(s) * c.eps)
+
+
+def mean(c: "SZOpsCompressed") -> float:
+    return 2.0 * c.eps * float(c.bin_sum()) / c.n_elements

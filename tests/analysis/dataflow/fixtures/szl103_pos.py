@@ -1,0 +1,13 @@
+"""Positive SZL103 fixture: declared propagation contradicts the kernel.
+
+The kernel below is a pure stream rewrite — it never requantizes, never
+reaches a quantization primitive, and returns a compressed stream — so
+the derivable mode is ``exact``.  The declaration says ``scaled``.
+"""
+
+ERROR_PROPAGATION = {"negation": "scaled"}
+
+
+def negate(c: "SZOpsCompressed") -> "SZOpsCompressed":
+    flipped = c.with_flipped_signs()
+    return flipped

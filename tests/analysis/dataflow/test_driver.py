@@ -1,0 +1,92 @@
+"""The suppression-aware driver: SZL099, SARIF, and tree-wide cleanliness."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import analyze_paths, render_sarif
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.linter import default_target
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+# ------------------------------------------------------------------ SZL099
+
+
+def test_stale_suppressions_are_reported() -> None:
+    findings = analyze_paths([FIXTURES / "szl099_pos.py"], dataflow=True)
+    assert [f.rule for f in findings] == ["SZL099", "SZL099"]
+    listed, blanket = findings
+    assert "SZL001" in listed.message
+    assert "blanket" in blanket.message
+
+
+def test_live_suppression_and_docstring_example_are_not_stale() -> None:
+    assert analyze_paths([FIXTURES / "szl099_neg.py"], dataflow=True) == []
+
+
+def test_no_stale_check_on_partial_runs() -> None:
+    # With --select the unlisted rules never ran, so an idle comment
+    # cannot be proven stale.
+    findings = analyze_paths(
+        [FIXTURES / "szl099_pos.py"], select=["SZL003"], dataflow=True
+    )
+    assert findings == []
+
+
+def test_dataflow_mode_shadows_syntactic_rules() -> None:
+    # The peak-guard negative fixture is proven safe by SZL101; the
+    # syntactic SZL001 must not resurface its finding in dataflow mode.
+    findings = analyze_paths([FIXTURES / "szl101_neg.py"], dataflow=True)
+    assert [f for f in findings if f.rule in {"SZL001", "SZL101"}] == []
+
+
+# ----------------------------------------------------------------- e2e tree
+
+
+def test_repro_package_is_dataflow_clean() -> None:
+    """The acceptance gate: zero unsuppressed findings over the package."""
+    findings = analyze_paths([default_target()], dataflow=True)
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+# -------------------------------------------------------------------- SARIF
+
+
+def test_render_sarif_minimal_document() -> None:
+    findings = [
+        Finding(
+            rule="SZL101",
+            path="src/x.py",
+            line=12,
+            message="overflow",
+            hint="guard it",
+        ),
+        Finding(
+            rule="VS001",
+            path="stream.bin",
+            line=0,
+            message="bad magic",
+            severity=Severity.WARNING,
+            offset=4,
+        ),
+    ]
+    doc = json.loads(render_sarif(findings))
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "szops-lint"
+    assert {r["id"] for r in run["tool"]["driver"]["rules"]} == {"SZL101", "VS001"}
+    by_rule = {r["ruleId"]: r for r in run["results"]}
+    src_region = by_rule["SZL101"]["locations"][0]["physicalLocation"]["region"]
+    assert src_region == {"startLine": 12}
+    assert "guard it" in by_rule["SZL101"]["message"]["text"]
+    stream_region = by_rule["VS001"]["locations"][0]["physicalLocation"]["region"]
+    assert stream_region == {"byteOffset": 4}
+    assert by_rule["VS001"]["level"] == "warning"
+
+
+def test_render_sarif_empty() -> None:
+    doc = json.loads(render_sarif([]))
+    assert doc["runs"][0]["results"] == []

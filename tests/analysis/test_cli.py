@@ -75,9 +75,11 @@ def test_verify_stream_accepts_fresh_stream(tmp_path, capsys) -> None:
     assert "clean" in out
 
 
-def test_verify_stream_missing_file_exits_two(capsys) -> None:
+def test_verify_stream_missing_file_exits_three(capsys) -> None:
+    # I/O failures (unreadable path) are rc 3, distinct from rc 2 usage
+    # errors so callers can script retries vs. fix-the-invocation.
     rc = main(["verify-stream", "/nonexistent/stream.bin"])
-    assert rc == 2
+    assert rc == 3
 
 
 def test_verify_stream_szp_requires_n_elements(tmp_path, capsys) -> None:
@@ -94,3 +96,48 @@ def test_lint_pinpoints_fixture_lines(capsys) -> None:
     assert rc == 1
     lines = sorted(f["line"] for f in doc["findings"])
     assert lines == [7, 14]
+
+
+# ------------------------------------------------------------- dataflow CLI
+
+DATAFLOW_FIXTURES = Path(__file__).parent / "dataflow" / "fixtures"
+
+
+def test_lint_dataflow_clean_tree_exits_zero(capsys) -> None:
+    rc = main(["lint", "--dataflow"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "clean: no findings" in out
+
+
+def test_lint_dataflow_fixture_reports_dataflow_rule(capsys) -> None:
+    rc = main(
+        [
+            "lint",
+            "--dataflow",
+            str(DATAFLOW_FIXTURES / "szl101_pos.py"),
+            "--format=json",
+        ]
+    )
+    doc = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert {f["rule"] for f in doc["findings"]} == {"SZL101"}
+
+
+def test_lint_sarif_output_file(tmp_path, capsys) -> None:
+    target = tmp_path / "lint.sarif"
+    rc = main(
+        [
+            "lint",
+            "--dataflow",
+            str(DATAFLOW_FIXTURES / "shm_pos.py"),
+            "--format=sarif",
+            "--output",
+            str(target),
+        ]
+    )
+    assert rc == 1
+    assert str(target) in capsys.readouterr().out
+    doc = json.loads(target.read_text())
+    assert doc["version"] == "2.1.0"
+    assert {r["ruleId"] for r in doc["runs"][0]["results"]} == {"SHM001", "SHM002"}
