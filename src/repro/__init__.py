@@ -28,6 +28,8 @@ Subpackages
 ``repro.harness``    table- and figure-regeneration drivers
 ``repro.parallel``   thread executor and simulated-MPI collectives
 ``repro.runtime``    decoded-block cache, lazy op fusion, parallel reductions
+``repro.service``    asyncio compressed-array store + op server with
+                     micro-batching, backpressure and live telemetry
 """
 
 from repro.core import (

@@ -47,7 +47,7 @@ _SCOPE_MARKER_RE = re.compile(r"#\s*szops-lint-scope:[ \t]*(?P<tags>[\w, \t-]+)"
 _LOOSE_FILE_TAGS = frozenset({"ops", "codec", "runtime"})
 
 _CODEC_DIRS = {"core", "bitstream", "encoding", "baselines", "transforms"}
-_RUNTIME_DIRS = {"runtime", "parallel"}
+_RUNTIME_DIRS = {"runtime", "parallel", "service"}
 
 
 def default_target() -> Path:

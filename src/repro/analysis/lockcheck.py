@@ -288,7 +288,12 @@ def lockcheck_paths(
         import repro
 
         pkg = Path(repro.__file__).resolve().parent
-        paths = [pkg / "runtime", pkg / "parallel", pkg / "core" / "compressor.py"]
+        paths = [
+            pkg / "runtime",
+            pkg / "parallel",
+            pkg / "service",
+            pkg / "core" / "compressor.py",
+        ]
     from repro.analysis.linter import discover_files
 
     findings: list[Finding] = []

@@ -11,6 +11,8 @@ the decompressed array::
     python -m repro op U.szops mean
     python -m repro chain U.szops negation scalar_multiply=0.1 mean
     python -m repro decompress K.szops K.f32
+    python -m repro serve --port 7201
+    python -m repro bench-serve -o BENCH_service.json
 
 Input/output binary convention matches :mod:`repro.datasets.io`:
 little-endian float32 (or float64 with ``--dtype f64``), C order.
@@ -146,6 +148,89 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=None, help="synthetic scale override")
     p.add_argument("--repeats", type=int, default=None, help="repeat count override")
     p.add_argument("-o", "--output", type=Path, default=None, help="write bench JSON here")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the compressed-array op server",
+        description=(
+            "Serve named compressed arrays over TCP: PUT/GET streams, "
+            "apply fused pointwise chains (OP), run compressed-domain "
+            "reductions (REDUCE), and expose live telemetry (STATS) and "
+            "health (HEALTH). Concurrent requests against the same array "
+            "are micro-batched; overload sheds as BUSY; SIGTERM/SIGINT "
+            "drain in-flight requests before exit. See docs/SERVICE.md."
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0, help="0 = pick an ephemeral port")
+    p.add_argument(
+        "--threads", type=int, default=1, help="workers for chunked reductions"
+    )
+    _add_backend_arg(p)
+    p.add_argument(
+        "--byte-budget",
+        type=int,
+        default=256 << 20,
+        help="store budget in bytes before LRU eviction (default 256 MiB)",
+    )
+    p.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="admission cap; excess requests shed as BUSY",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=30.0, help="default per-request deadline (s)"
+    )
+    p.add_argument(
+        "--window",
+        type=float,
+        default=0.002,
+        help="micro-batching window in seconds (0 keeps dedup, no delay)",
+    )
+    p.add_argument(
+        "--no-batching", action="store_true", help="disable micro-batching entirely"
+    )
+    p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the static stream verifier on PUT (trusted peers only)",
+    )
+    p.add_argument(
+        "--debug-delay-s",
+        type=float,
+        default=0.0,
+        help="artificial kernel delay per OP/REDUCE (load and drain drills)",
+    )
+
+    p = sub.add_parser(
+        "bench-serve",
+        help="benchmark the service: batched vs unbatched serving throughput",
+        description=(
+            "Self-host the op server twice (micro-batching on and off) and "
+            "drive it with a closed loop of concurrent clients issuing the "
+            "same depth-3 pointwise chain. Reports throughput and p50/p99 "
+            "latency per variant, verifies every reply bit-identical to the "
+            "eager apply_chain result, and times compressed-domain REDUCE "
+            "against fetch-and-decompress. Writes BENCH_service.json."
+        ),
+    )
+    p.add_argument("--dataset", default="Miranda")
+    p.add_argument("--scale", type=float, default=0.5, help="synthetic scale")
+    p.add_argument("--eps", type=float, default=1e-3)
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--requests", type=int, default=25, help="requests per client")
+    p.add_argument(
+        "--threads", type=int, default=1, help="server workers for reductions"
+    )
+    _add_backend_arg(p)
+    p.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=Path("BENCH_service.json"),
+        help="bench JSON path (default BENCH_service.json)",
+    )
 
     p = sub.add_parser(
         "lint",
@@ -376,6 +461,78 @@ def _cmd_bench(args) -> int:
     return 0 if result.extras["bench"]["all_identical"] else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.service.server import ServiceConfig, ServiceServer
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        n_workers=args.threads,
+        byte_budget=args.byte_budget,
+        max_pending=args.max_pending,
+        request_timeout_s=args.timeout,
+        batch_window_s=args.window,
+        batching=not args.no_batching,
+        verify_streams=not args.no_verify,
+        debug_delay_s=args.debug_delay_s,
+    )
+
+    async def _serve() -> None:
+        server = ServiceServer(config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop.set)
+        print(f"listening on {config.host}:{server.port}", flush=True)
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        await stop.wait()
+        print("draining...", flush=True)
+        serve_task.cancel()
+        await server.shutdown()
+        print("stopped", flush=True)
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    from repro.harness import save_bench_json
+    from repro.service.bench import run_service_bench
+
+    payload = run_service_bench(
+        dataset=args.dataset,
+        scale=args.scale,
+        eps=args.eps,
+        n_clients=args.clients,
+        requests_per_client=args.requests,
+        backend=args.backend,
+        n_workers=args.threads,
+    )
+    for label in ("batched", "unbatched"):
+        v = payload[label]
+        print(
+            f"{label:>9}: {v['throughput_rps']:8.1f} req/s  "
+            f"p50 {v['latency_p50_ms']:7.2f} ms  p99 {v['latency_p99_ms']:7.2f} ms  "
+            f"({v['completed_requests']}/{v['total_requests']} ok)"
+        )
+    print(f"speedup (batched/unbatched): {payload['speedup_batched_vs_unbatched']:.2f}x")
+    red = payload["reduce_vs_decompress"]
+    print(
+        f"REDUCE mean: {1e3 * red['compressed_domain_seconds']:.2f} ms compressed-domain "
+        f"vs {1e3 * red['fetch_decompress_seconds']:.2f} ms fetch+decompress "
+        f"({red['speedup']:.2f}x)"
+    )
+    save_bench_json(payload, args.output)
+    print(f"[bench JSON -> {args.output}]")
+    ok = payload["total_errors"] == 0 and payload["bit_identical_to_eager"]
+    return 0 if ok else 1
+
+
 def _render_findings(findings, fmt: str) -> str:
     from repro.analysis.findings import render_json, render_sarif, render_text
 
@@ -443,6 +600,8 @@ _COMMANDS = {
     "op": _cmd_op,
     "chain": _cmd_chain,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "bench-serve": _cmd_bench_serve,
     "lint": _cmd_lint,
     "verify-stream": _cmd_verify_stream,
 }

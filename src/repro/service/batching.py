@@ -1,0 +1,203 @@
+"""Micro-batching: coalesce concurrent op requests into fused executions.
+
+Under load, a compressed-array server sees bursts of scalar-op and
+reduction requests against the same hot arrays — the classic serving
+shape (dynamic batching in model servers exists for exactly this
+reason).  Executing each request independently pays a per-request
+executor round-trip and, for pointwise chains, a per-request re-encode.
+This module closes both gaps without giving up the eager semantics:
+
+* **Single-flight dedup** — requests whose *batch key* (array content
+  fingerprint + version + exact chain) matches an in-flight computation
+  attach to its future instead of recomputing.  Content fingerprints
+  make this sound: equal key ⇒ equal bytes in, equal chain ⇒ equal
+  bytes out.  One decode + one encode serves the whole flight.
+* **Same-array grouping** — distinct chains over the same array that
+  arrive inside one batching window execute in a single executor job,
+  back to back, so the first chain's decode (kept by the decoded-block
+  cache of :mod:`repro.runtime.cache`) is warm for the rest, and the
+  event loop pays one ``run_in_executor`` hop per array instead of one
+  per request.
+
+Each individual computation still goes through the PR-1 fusion runtime
+(:class:`repro.runtime.lazy.LazyStream`), whose results are bit-identical
+to the eager :func:`repro.core.ops.apply_chain` path — batching changes
+*when and where* work runs, never *what* is computed.  A failure inside
+one flight fails only the requests attached to that flight.
+
+The batcher is event-loop-confined: ``submit`` must be called from the
+owning loop.  The window (default 2 ms) bounds added latency; a window
+of 0 still dedups identical concurrent requests but groups only what is
+already queued.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor as _PoolExecutor
+from typing import Any, Awaitable, Callable
+
+from repro.service.telemetry import Telemetry
+
+__all__ = ["BatchKey", "MicroBatcher"]
+
+#: Identity of one computation: (array fingerprint, version tag, chain).
+#: Two requests with equal keys are guaranteed byte-identical answers.
+BatchKey = tuple[str, ...]
+
+
+class _Flight:
+    """One unique computation and the requests riding on it."""
+
+    __slots__ = ("key", "group", "compute", "future", "riders")
+
+    def __init__(
+        self,
+        key: BatchKey,
+        group: str,
+        compute: Callable[[], Any],
+        future: "asyncio.Future[Any]",
+    ) -> None:
+        self.key = key
+        self.group = group
+        self.compute = compute
+        self.future = future
+        #: How many requests share this flight (1 = no dedup happened).
+        self.riders = 1
+
+
+class MicroBatcher:
+    """Coalesce concurrent compute requests behind one executor pass.
+
+    Parameters
+    ----------
+    pool : the ``concurrent.futures`` executor heavy work is offloaded
+        to (the server's kernel pool).
+    window_s : how long the first request of a batch waits for company.
+    max_batch : hard cap on flights drained per batch (backpressure on
+        pathological bursts; excess flights roll into the next batch).
+    telemetry : optional sink for batch/dedup counters.
+    """
+
+    def __init__(
+        self,
+        pool: _PoolExecutor,
+        window_s: float = 0.002,
+        max_batch: int = 64,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if window_s < 0:
+            raise ValueError(f"window_s must be non-negative, got {window_s}")
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        self.pool = pool
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self.telemetry = telemetry
+        #: key -> in-flight computation (pending or executing).
+        self._flights: dict[BatchKey, _Flight] = {}
+        #: keys queued for the next drain, in arrival order.
+        self._queued: list[BatchKey] = []
+        self._drain_task: "asyncio.Task[None] | None" = None
+
+    # ------------------------------------------------------------------ api
+
+    @property
+    def pending(self) -> int:
+        """Flights queued but not yet drained (for tests and gauges)."""
+        return len(self._queued)
+
+    async def submit(
+        self, key: BatchKey, group: str, compute: Callable[[], Any]
+    ) -> Any:
+        """Run ``compute`` (or join an identical in-flight run); await result.
+
+        ``key`` identifies the computation (dedup granularity); ``group``
+        identifies the array (grouping granularity) — flights sharing a
+        group drain in one executor job so they share the decoded-block
+        cache line while it is certainly warm.
+        """
+        loop = asyncio.get_running_loop()
+        flight = self._flights.get(key)
+        if flight is not None:
+            flight.riders += 1
+            if self.telemetry is not None:
+                self.telemetry.increment("batch_dedup_hits")
+            return await asyncio.shield(flight.future)
+        flight = _Flight(key, group, compute, loop.create_future())
+        self._flights[key] = flight
+        self._queued.append(key)
+        if self._drain_task is None or self._drain_task.done():
+            self._drain_task = loop.create_task(self._drain_after_window())
+        return await asyncio.shield(flight.future)
+
+    async def flush(self) -> None:
+        """Drain everything queued right now (used by graceful shutdown)."""
+        while self._queued or (self._drain_task and not self._drain_task.done()):
+            if self._drain_task is not None and not self._drain_task.done():
+                await self._drain_task
+            elif self._queued:
+                await self._drain_batch()
+
+    # ------------------------------------------------------------------ internals
+
+    async def _drain_after_window(self) -> None:
+        if self.window_s:
+            await asyncio.sleep(self.window_s)
+        await self._drain_batch()
+        # Requests that arrived while the batch executed start a new window.
+        if self._queued:
+            loop = asyncio.get_running_loop()
+            self._drain_task = loop.create_task(self._drain_after_window())
+
+    async def _drain_batch(self) -> None:
+        keys = self._queued[: self.max_batch]
+        del self._queued[: len(keys)]
+        if not keys:
+            return
+        # Group flights by array so each group is one executor job.
+        groups: dict[str, list[_Flight]] = {}
+        for key in keys:
+            flight = self._flights[key]
+            groups.setdefault(flight.group, []).append(flight)
+        if self.telemetry is not None:
+            self.telemetry.increment("batches")
+            self.telemetry.increment("batched_flights", len(keys))
+            self.telemetry.increment(
+                "batched_requests", sum(f.riders for g in groups.values() for f in g)
+            )
+        loop = asyncio.get_running_loop()
+        jobs: list[Awaitable[None]] = [
+            loop.run_in_executor(self.pool, self._run_group, group)
+            for group in groups.values()
+        ]
+        try:
+            await asyncio.gather(*jobs)
+        finally:
+            for key in keys:
+                self._flights.pop(key, None)
+
+    def _run_group(self, flights: list[_Flight]) -> None:
+        """Execute one array's flights back to back (worker thread)."""
+        for flight in flights:
+            try:
+                result = flight.compute()
+            except BaseException as exc:  # delivered to the waiters, not lost
+                self._resolve(flight, None, exc)
+            else:
+                self._resolve(flight, result, None)
+
+    def _resolve(
+        self, flight: _Flight, result: Any, exc: BaseException | None
+    ) -> None:
+        loop = flight.future.get_loop()
+
+        def _set() -> None:
+            if flight.future.cancelled():
+                return
+            if exc is not None:
+                flight.future.set_exception(exc)
+            else:
+                flight.future.set_result(result)
+
+        loop.call_soon_threadsafe(_set)

@@ -1,0 +1,250 @@
+"""Service benchmark: batched vs unbatched serving throughput.
+
+``repro bench-serve`` runs this.  A self-hosted :class:`ThreadedServer`
+is stood up twice — once with micro-batching on, once off — and hammered
+by a closed-loop fleet of sync clients, all issuing the same depth-3
+pointwise chain against one hot array.  That is the workload batching is
+built for: the unbatched server pays one executor hop and one re-encode
+per request, the batched server answers a whole flight of identical
+requests from a single decode + encode.
+
+Three checks ride along with the timing:
+
+* every OP reply is compared byte-for-byte against the eager
+  :func:`repro.core.ops.dispatch.apply_chain` result (``fused=False``) —
+  batching must not change a single bit;
+* every request must succeed (the bench fleet is sized under the
+  admission cap, so a BUSY here is a bug);
+* REDUCE-on-the-server is timed against the decompress-then-NumPy
+  route (GET + decompress + ``np.mean``) to show the compressed-domain
+  path also wins over the wire.
+
+The resulting payload is what ``BENCH_service.json`` persists.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.core.compressor import SZOps
+from repro.core.ops.dispatch import apply_chain
+from repro.datasets import generate_fields
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceConfig, ThreadedServer
+
+__all__ = ["DEFAULT_CHAIN", "run_service_bench"]
+
+#: The depth-3 pointwise chain every bench request applies.
+DEFAULT_CHAIN: tuple[tuple[str, float | None], ...] = (
+    ("negation", None),
+    ("scalar_add", 0.25),
+    ("scalar_multiply", 1.5),
+)
+
+_BLOCK_SIZE = 64
+
+
+def _quantile(samples: list[float], frac: float) -> float:
+    if not samples:
+        return 0.0
+    if len(samples) == 1:
+        return samples[0]
+    rank = int(frac * 100) - 1
+    return float(statistics.quantiles(samples, n=100, method="inclusive")[rank])
+
+
+def _run_load(
+    host: str,
+    port: int,
+    name: str,
+    chain: tuple[tuple[str, float | None], ...],
+    n_clients: int,
+    requests_per_client: int,
+    expected_blob: bytes,
+) -> dict[str, Any]:
+    """Closed-loop OP load: each client thread issues its requests back to back."""
+    latencies: list[list[float]] = [[] for _ in range(n_clients)]
+    errors: list[str] = []
+    mismatches = [0]
+    barrier = threading.Barrier(n_clients + 1)
+    lock = threading.Lock()
+
+    def worker(idx: int) -> None:
+        try:
+            with ServiceClient(host, port) as client:
+                barrier.wait()
+                for _ in range(requests_per_client):
+                    t0 = time.perf_counter()
+                    blob = client.op(name, chain)
+                    latencies[idx].append(time.perf_counter() - t0)
+                    if blob != expected_blob:
+                        with lock:
+                            mismatches[0] += 1
+        except Exception as exc:  # collected, not raised: the bench reports
+            with lock:
+                errors.append(f"client {idx}: {type(exc).__name__}: {exc}")
+            # Release the start barrier if we died before reaching it.
+            if barrier.n_waiting:
+                barrier.abort()
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"bench-client-{i}")
+        for i in range(n_clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t_start = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall_s = time.perf_counter() - t_start
+
+    flat = sorted(s for per_client in latencies for s in per_client)
+    total = n_clients * requests_per_client
+    return {
+        "clients": n_clients,
+        "requests_per_client": requests_per_client,
+        "total_requests": total,
+        "completed_requests": len(flat),
+        "errors": errors,
+        "mismatched_replies": mismatches[0],
+        "wall_seconds": wall_s,
+        "throughput_rps": len(flat) / wall_s if wall_s > 0 else 0.0,
+        "latency_p50_ms": 1e3 * _quantile(flat, 0.50),
+        "latency_p99_ms": 1e3 * _quantile(flat, 0.99),
+        "latency_mean_ms": 1e3 * (sum(flat) / len(flat)) if flat else 0.0,
+    }
+
+
+def _best_of(fn: Any, repeats: int) -> tuple[float, Any]:
+    best_s, value = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best_s = min(best_s, time.perf_counter() - t0)
+    return best_s, value
+
+
+def run_service_bench(
+    dataset: str = "Miranda",
+    scale: float = 0.5,
+    eps: float = 1e-3,
+    n_clients: int = 8,
+    requests_per_client: int = 25,
+    chain: tuple[tuple[str, float | None], ...] = DEFAULT_CHAIN,
+    backend: str = "serial",
+    n_workers: int = 1,
+    seed: int = 20240624,
+    repeats: int = 3,
+) -> dict[str, Any]:
+    """Measure batched vs unbatched serving on one synthetic hot array.
+
+    Returns the JSON-able payload ``repro bench-serve`` writes to
+    ``BENCH_service.json``.
+    """
+    fields = generate_fields(dataset, scale=scale, seed=seed)
+    fname, arr = next(iter(fields.items()))
+    codec = SZOps(block_size=_BLOCK_SIZE)
+    compressed = codec.compress(arr, eps)
+    blob = compressed.to_bytes()
+
+    # Ground truth: the eager, unfused op-by-op pipeline.
+    eager = apply_chain(compressed, list(chain), fused=False)
+    expected_blob = eager.to_bytes()
+
+    variants: dict[str, Any] = {}
+    reduce_section: dict[str, Any] = {}
+    for label, batching in (("batched", True), ("unbatched", False)):
+        config = ServiceConfig(
+            backend=backend,
+            n_workers=n_workers,
+            batching=batching,
+            max_pending=max(64, 4 * n_clients * requests_per_client),
+        )
+        with ThreadedServer(config) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                client.put("bench", blob)
+            variants[label] = _run_load(
+                handle.host,
+                handle.port,
+                "bench",
+                chain,
+                n_clients,
+                requests_per_client,
+                expected_blob,
+            )
+            if batching:
+                with ServiceClient(handle.host, handle.port) as client:
+                    variants[label]["server_stats"] = {
+                        k: v
+                        for k, v in client.stats()["counters"].items()
+                        if k.startswith("batch")
+                    }
+            else:
+                # Compressed-domain REDUCE vs fetch-and-decompress, both
+                # over the wire against the same server.  Measured on the
+                # unbatched variant so neither path pays the coalescing
+                # window — this isolates compressed-domain-fold vs
+                # transfer-plus-full-decompress, not batching policy.
+                with ServiceClient(handle.host, handle.port) as client:
+                    reduce_s, reduce_value = _best_of(
+                        lambda: client.reduce("bench", "mean"), repeats
+                    )
+
+                    def fetch_and_mean() -> float:
+                        raw = client.get("bench")
+                        from repro.core.format import SZOpsCompressed
+
+                        decoded = codec.decompress(SZOpsCompressed.from_bytes(raw))
+                        return float(np.mean(decoded))
+
+                    decompress_s, decompress_value = _best_of(fetch_and_mean, repeats)
+                    reduce_section = {
+                        "reduction": "mean",
+                        "repeats": repeats,
+                        "compressed_domain_seconds": reduce_s,
+                        "fetch_decompress_seconds": decompress_s,
+                        "speedup": (
+                            decompress_s / reduce_s if reduce_s > 0 else float("inf")
+                        ),
+                        "compressed_domain_value": reduce_value,
+                        "fetch_decompress_value": decompress_value,
+                        "values_close": bool(
+                            abs(reduce_value - decompress_value) <= 1e-6 * max(1.0, abs(decompress_value))
+                        ),
+                    }
+
+    batched = variants["batched"]
+    unbatched = variants["unbatched"]
+    total_errors = len(batched["errors"]) + len(unbatched["errors"])
+    return {
+        "experiment": "service_batching",
+        "dataset": dataset,
+        "field": fname,
+        "shape": list(arr.shape),
+        "n_elements": int(arr.size),
+        "eps": eps,
+        "block_size": _BLOCK_SIZE,
+        "blob_bytes": len(blob),
+        "chain": [name if s is None else f"{name}={s:g}" for name, s in chain],
+        "chain_depth": len(chain),
+        "backend": backend,
+        "n_workers": n_workers,
+        "batched": batched,
+        "unbatched": unbatched,
+        "speedup_batched_vs_unbatched": (
+            batched["throughput_rps"] / unbatched["throughput_rps"]
+            if unbatched["throughput_rps"] > 0
+            else float("inf")
+        ),
+        "reduce_vs_decompress": reduce_section,
+        "total_errors": total_errors,
+        "bit_identical_to_eager": (
+            batched["mismatched_replies"] == 0 and unbatched["mismatched_replies"] == 0
+        ),
+    }

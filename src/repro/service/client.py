@@ -1,0 +1,308 @@
+"""Sync and asyncio clients for the compressed-array service.
+
+Two clients over one protocol implementation:
+
+* :class:`ServiceClient` — blocking sockets, one connection, safe for
+  one thread at a time.  The test suite's load generators run one per
+  worker thread; the CLI examples use it directly.
+* :class:`AsyncServiceClient` — asyncio streams, for callers already
+  living on an event loop.
+
+Both raise the same typed errors: :class:`ServerBusy` on load shed,
+:class:`RequestTimedOut` on deadline expiry, :class:`RemoteError` for
+any ``ERROR`` reply, and :class:`protocol.FrameError` on wire damage.
+A ``BUSY`` reply is the server telling the *client* to retry with
+backoff — the client classes deliberately do not retry internally, so
+callers stay in control of their offered load.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any
+
+from repro.core.format import SZOpsCompressed
+from repro.service import protocol
+from repro.service.protocol import (
+    BodyKind,
+    FrameError,
+    GetRequest,
+    HealthRequest,
+    OpRequest,
+    PutRequest,
+    ReduceRequest,
+    Reply,
+    Request,
+    StatsRequest,
+    Status,
+    Step,
+)
+
+__all__ = [
+    "ServiceError",
+    "RemoteError",
+    "ServerBusy",
+    "RequestTimedOut",
+    "ServiceClient",
+    "AsyncServiceClient",
+    "steps_from_chain",
+]
+
+import asyncio
+
+
+class ServiceError(RuntimeError):
+    """Base class for client-visible service failures."""
+
+
+class RemoteError(ServiceError):
+    """The server replied ``ERROR`` (bad stream, unknown array, ...)."""
+
+
+class ServerBusy(ServiceError):
+    """The server shed this request (``BUSY``); retry with backoff."""
+
+
+class RequestTimedOut(ServiceError):
+    """The per-request deadline expired on the server (``TIMEOUT``)."""
+
+
+def steps_from_chain(chain: Any) -> tuple[Step, ...]:
+    """Normalize CLI-style chain specs into protocol :class:`Step` tuples.
+
+    Accepts ``"name"``, ``"name=scalar"`` strings, ``(name, scalar)``
+    pairs, and :class:`Step` instances.
+    """
+    steps: list[Step] = []
+    for item in chain:
+        if isinstance(item, Step):
+            steps.append(item)
+        elif isinstance(item, str):
+            name, sep, text = item.partition("=")
+            steps.append(Step(name, float(text) if sep else None))
+        else:
+            name, scalar = item
+            steps.append(Step(name, None if scalar is None else float(scalar)))
+    return tuple(steps)
+
+
+def _raise_for_status(reply: Reply) -> Reply:
+    if reply.status is Status.OK:
+        return reply
+    if reply.status is Status.BUSY:
+        raise ServerBusy(reply.message)
+    if reply.status is Status.TIMEOUT:
+        raise RequestTimedOut(reply.message)
+    raise RemoteError(reply.message)
+
+
+def _as_blob(array: SZOpsCompressed | bytes) -> bytes:
+    if isinstance(array, SZOpsCompressed):
+        return array.to_bytes()
+    return bytes(array)
+
+
+class ServiceClient:
+    """Blocking client over one TCP connection.
+
+    >>> with ServiceClient("127.0.0.1", 7201) as client:  # doctest: +SKIP
+    ...     client.put("U", compressed)
+    ...     mu = client.reduce("U", "mean")
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 30.0,
+        max_frame: int = protocol.DEFAULT_MAX_FRAME,
+    ) -> None:
+        self.max_frame = max_frame
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+
+    # ------------------------------------------------------------------ transport
+
+    def _recv_exactly(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = self._sock.recv(min(remaining, 1 << 20))
+            if not chunk:
+                raise ConnectionError("server closed the connection mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _roundtrip(self, request: Request, deadline_ms: int = 0) -> Reply:
+        payload = protocol.encode_request(request, deadline_ms)
+        self._sock.sendall(protocol.pack_frame(payload, self.max_frame))
+        header = self._recv_exactly(4)
+        length = protocol.split_frame(header, self.max_frame)
+        return _raise_for_status(protocol.decode_reply(self._recv_exactly(length)))
+
+    # ------------------------------------------------------------------ endpoints
+
+    def put(self, name: str, array: SZOpsCompressed | bytes) -> int:
+        """Store a compressed array; returns the assigned version."""
+        return self._roundtrip(PutRequest(name, _as_blob(array))).version
+
+    def get(self, name: str, version: int = -1) -> bytes:
+        """Fetch the serialized stream (latest version by default)."""
+        return self._roundtrip(GetRequest(name, version)).blob
+
+    def get_container(self, name: str, version: int = -1) -> SZOpsCompressed:
+        return SZOpsCompressed.from_bytes(self.get(name, version))
+
+    def op(
+        self,
+        name: str,
+        chain: Any,
+        version: int = -1,
+        result_name: str = "",
+        deadline_ms: int = 0,
+    ) -> bytes | int:
+        """Apply a pointwise chain; returns the blob, or the stored version."""
+        reply = self._roundtrip(
+            OpRequest(name, steps_from_chain(chain), version, result_name),
+            deadline_ms,
+        )
+        return reply.version if reply.kind is BodyKind.STORED else reply.blob
+
+    def reduce(
+        self,
+        name: str,
+        reduction: str,
+        chain: Any = (),
+        version: int = -1,
+        deadline_ms: int = 0,
+    ) -> float:
+        """Reduce (optionally after a pointwise prefix chain)."""
+        reply = self._roundtrip(
+            ReduceRequest(name, reduction, steps_from_chain(chain), version),
+            deadline_ms,
+        )
+        return reply.value
+
+    def stats(self) -> dict[str, Any]:
+        reply = self._roundtrip(StatsRequest())
+        return dict(json.loads(reply.json_text))
+
+    def health(self) -> dict[str, Any]:
+        reply = self._roundtrip(HealthRequest())
+        return dict(json.loads(reply.json_text))
+
+    # ------------------------------------------------------------------ raw access
+
+    def send_raw(self, data: bytes) -> None:
+        """Write raw bytes (malformed-input tests drive the server with this)."""
+        self._sock.sendall(data)
+
+    def recv_reply(self) -> Reply:
+        """Read one reply frame without raising on non-OK statuses."""
+        header = self._recv_exactly(4)
+        length = protocol.split_frame(header, self.max_frame)
+        return protocol.decode_reply(self._recv_exactly(length))
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            raise  # close failures are real; don't mask them
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._sock.close()
+
+
+class AsyncServiceClient:
+    """Asyncio client over one TCP connection (use :meth:`connect`)."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_frame: int = protocol.DEFAULT_MAX_FRAME,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.max_frame = max_frame
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        max_frame: int = protocol.DEFAULT_MAX_FRAME,
+    ) -> "AsyncServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, max_frame)
+
+    async def _roundtrip(self, request: Request, deadline_ms: int = 0) -> Reply:
+        payload = protocol.encode_request(request, deadline_ms)
+        self._writer.write(protocol.pack_frame(payload, self.max_frame))
+        await self._writer.drain()
+        header = await self._reader.readexactly(4)
+        length = protocol.split_frame(header, self.max_frame)
+        body = await self._reader.readexactly(length)
+        return _raise_for_status(protocol.decode_reply(body))
+
+    async def put(self, name: str, array: SZOpsCompressed | bytes) -> int:
+        return (await self._roundtrip(PutRequest(name, _as_blob(array)))).version
+
+    async def get(self, name: str, version: int = -1) -> bytes:
+        return (await self._roundtrip(GetRequest(name, version))).blob
+
+    async def op(
+        self,
+        name: str,
+        chain: Any,
+        version: int = -1,
+        result_name: str = "",
+        deadline_ms: int = 0,
+    ) -> bytes | int:
+        reply = await self._roundtrip(
+            OpRequest(name, steps_from_chain(chain), version, result_name),
+            deadline_ms,
+        )
+        return reply.version if reply.kind is BodyKind.STORED else reply.blob
+
+    async def reduce(
+        self,
+        name: str,
+        reduction: str,
+        chain: Any = (),
+        version: int = -1,
+        deadline_ms: int = 0,
+    ) -> float:
+        reply = await self._roundtrip(
+            ReduceRequest(name, reduction, steps_from_chain(chain), version),
+            deadline_ms,
+        )
+        return reply.value
+
+    async def stats(self) -> dict[str, Any]:
+        return dict(json.loads((await self._roundtrip(StatsRequest())).json_text))
+
+    async def health(self) -> dict[str, Any]:
+        return dict(json.loads((await self._roundtrip(HealthRequest())).json_text))
+
+    async def close(self) -> None:
+        self._writer.close()
+        await self._writer.wait_closed()
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+
+# `struct` is part of this module's documented surface for tests that
+# hand-craft malformed frames; keep the import referenced.
+_ = struct

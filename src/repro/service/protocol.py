@@ -1,0 +1,480 @@
+"""The ``repro.service`` wire protocol: length-prefixed binary frames.
+
+The server speaks a minimal binary protocol over TCP, designed for the
+same audience as the container format itself (:mod:`repro.core.format`):
+little-endian, explicit lengths everywhere, no implicit framing.  Every
+message — request or response — is one *frame*::
+
+    u32  payload length (little-endian, excludes these 4 bytes)
+    ...  payload
+
+A payload begins with a one-byte protocol version (currently 1) so that a
+server can reject a future client with a clean ``ERROR`` instead of a
+parse failure.  Requests follow with an opcode, a deadline, and an
+opcode-specific body; responses follow with a status and a typed body::
+
+    request  = u8 version | u8 opcode | u32 deadline_ms | body
+    response = u8 version | u8 status | u8 body_kind    | body
+
+``deadline_ms`` is the client's per-request deadline (0 = use the
+server's default); a request that cannot finish inside it gets a
+``TIMEOUT`` response.  All multi-byte integers are little-endian;
+strings are ``u16 length + UTF-8 bytes``; blobs are ``u32 length +
+bytes``.  Frames larger than the negotiated maximum
+(:data:`DEFAULT_MAX_FRAME`) are rejected before the payload is read —
+a hostile length prefix never allocates.
+
+Decoding is strict: every decoder consumes its exact byte budget and
+raises :class:`FrameError` on truncation, trailing bytes, unknown
+opcodes/statuses, or out-of-range counts.  The server converts
+``FrameError`` into an ``ERROR`` reply; it never kills the accept loop.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Union
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_FRAME",
+    "MAX_STEPS",
+    "Opcode",
+    "Status",
+    "BodyKind",
+    "FrameError",
+    "Step",
+    "PutRequest",
+    "GetRequest",
+    "OpRequest",
+    "ReduceRequest",
+    "StatsRequest",
+    "HealthRequest",
+    "Request",
+    "Reply",
+    "encode_request",
+    "decode_request",
+    "encode_reply",
+    "decode_reply",
+    "pack_frame",
+    "split_frame",
+]
+
+#: Version byte leading every payload.
+PROTOCOL_VERSION = 1
+
+#: Default cap on a single frame's payload (64 MiB).  Both sides enforce
+#: it: the reader rejects a larger declared length before allocating.
+DEFAULT_MAX_FRAME = 64 << 20
+
+#: Cap on the number of chain steps a single OP/REDUCE request may carry.
+MAX_STEPS = 256
+
+_LATEST_VERSION = -1  # sentinel: "the newest stored version"
+
+
+class Opcode(IntEnum):
+    """Request opcodes (the service's endpoint table)."""
+
+    PUT = 1
+    GET = 2
+    OP = 3
+    REDUCE = 4
+    STATS = 5
+    HEALTH = 6
+
+
+class Status(IntEnum):
+    """Response statuses."""
+
+    OK = 0
+    #: The request was understood but failed (bad stream, unknown array,
+    #: invalid chain, internal error).  Body: message string.
+    ERROR = 1
+    #: Load shed: the admission queue is full.  Body: message string.
+    BUSY = 2
+    #: The per-request deadline expired.  Body: message string.
+    TIMEOUT = 3
+
+
+class BodyKind(IntEnum):
+    """Typed OK-response bodies (self-describing, so clients need no
+    per-opcode decode table)."""
+
+    #: ``u32 version | u32 blob length | blob`` — a serialized stream.
+    BLOB = 0
+    #: ``u32 version`` — the version assigned to a stored result.
+    STORED = 1
+    #: ``f64`` — a reduction value.
+    VALUE = 2
+    #: ``u32 length | UTF-8 JSON`` — STATS / HEALTH documents.
+    JSON = 3
+    #: status != OK: ``u16 length | UTF-8 message``.
+    MESSAGE = 4
+
+
+class FrameError(ValueError):
+    """A frame or payload violates the wire protocol."""
+
+
+# ---------------------------------------------------------------------------
+# primitive (de)serializers
+# ---------------------------------------------------------------------------
+
+
+class _Reader:
+    """Bounds-checked sequential reader over one payload."""
+
+    def __init__(self, buf: bytes) -> None:
+        self._buf = buf
+        self._pos = 0
+
+    def take(self, n: int, what: str) -> bytes:
+        if n < 0 or self._pos + n > len(self._buf):
+            raise FrameError(
+                f"truncated payload: {what} needs {n} byte(s) at offset "
+                f"{self._pos}, {len(self._buf) - self._pos} remain"
+            )
+        out = self._buf[self._pos : self._pos + n]
+        self._pos += n
+        return out
+
+    def u8(self, what: str) -> int:
+        return self.take(1, what)[0]
+
+    def u16(self, what: str) -> int:
+        return int(struct.unpack("<H", self.take(2, what))[0])
+
+    def u32(self, what: str) -> int:
+        return int(struct.unpack("<I", self.take(4, what))[0])
+
+    def i32(self, what: str) -> int:
+        return int(struct.unpack("<i", self.take(4, what))[0])
+
+    def f64(self, what: str) -> float:
+        return float(struct.unpack("<d", self.take(8, what))[0])
+
+    def string(self, what: str) -> str:
+        n = self.u16(f"{what} length")
+        raw = self.take(n, what)
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise FrameError(f"{what} is not valid UTF-8: {exc}") from None
+
+    def blob(self, what: str) -> bytes:
+        n = self.u32(f"{what} length")
+        return self.take(n, what)
+
+    def expect_end(self) -> None:
+        if self._pos != len(self._buf):
+            raise FrameError(
+                f"{len(self._buf) - self._pos} trailing byte(s) after payload"
+            )
+
+
+def _put_str(out: bytearray, text: str) -> None:
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise FrameError(f"string field too long ({len(raw)} bytes)")
+    out += struct.pack("<H", len(raw))
+    out += raw
+
+
+def _put_blob(out: bytearray, blob: bytes) -> None:
+    out += struct.pack("<I", len(blob))
+    out += blob
+
+
+# ---------------------------------------------------------------------------
+# requests
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Step:
+    """One pointwise chain step: an operation name plus optional scalar."""
+
+    name: str
+    scalar: float | None = None
+
+    def as_pair(self) -> tuple[str, float | None]:
+        return (self.name, self.scalar)
+
+
+@dataclass(frozen=True)
+class PutRequest:
+    """Store a serialized stream under ``name`` (a new version)."""
+
+    name: str
+    blob: bytes
+    opcode = Opcode.PUT
+
+
+@dataclass(frozen=True)
+class GetRequest:
+    """Fetch the serialized stream ``name`` (version -1 = latest)."""
+
+    name: str
+    version: int = _LATEST_VERSION
+    opcode = Opcode.GET
+
+
+@dataclass(frozen=True)
+class OpRequest:
+    """Apply a pointwise chain to ``name``; return or store the result.
+
+    With ``result_name`` empty the new stream comes back in the reply
+    (``BLOB``); otherwise it is stored under ``result_name`` and only the
+    assigned version comes back (``STORED``).
+    """
+
+    name: str
+    steps: tuple[Step, ...]
+    version: int = _LATEST_VERSION
+    result_name: str = ""
+    opcode = Opcode.OP
+
+
+@dataclass(frozen=True)
+class ReduceRequest:
+    """Reduce ``name`` after an optional pointwise prefix chain."""
+
+    name: str
+    reduction: str
+    steps: tuple[Step, ...] = ()
+    version: int = _LATEST_VERSION
+    opcode = Opcode.REDUCE
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Fetch the telemetry snapshot (JSON)."""
+
+    opcode = Opcode.STATS
+
+
+@dataclass(frozen=True)
+class HealthRequest:
+    """Fetch the liveness/identity document (JSON)."""
+
+    opcode = Opcode.HEALTH
+
+
+Request = Union[
+    PutRequest, GetRequest, OpRequest, ReduceRequest, StatsRequest, HealthRequest
+]
+
+
+def _encode_steps(out: bytearray, steps: tuple[Step, ...]) -> None:
+    if len(steps) > MAX_STEPS:
+        raise FrameError(f"chain of {len(steps)} steps exceeds the cap of {MAX_STEPS}")
+    out += struct.pack("<H", len(steps))
+    for step in steps:
+        _put_str(out, step.name)
+        if step.scalar is None:
+            out += b"\x00"
+        else:
+            out += b"\x01"
+            out += struct.pack("<d", float(step.scalar))
+
+
+def _decode_steps(r: _Reader) -> tuple[Step, ...]:
+    count = r.u16("step count")
+    if count > MAX_STEPS:
+        raise FrameError(f"chain of {count} steps exceeds the cap of {MAX_STEPS}")
+    steps = []
+    for i in range(count):
+        name = r.string(f"step {i} name")
+        has_scalar = r.u8(f"step {i} scalar flag")
+        if has_scalar not in (0, 1):
+            raise FrameError(f"step {i} scalar flag must be 0/1, got {has_scalar}")
+        scalar = r.f64(f"step {i} scalar") if has_scalar else None
+        steps.append(Step(name, scalar))
+    return tuple(steps)
+
+
+def encode_request(req: Request, deadline_ms: int = 0) -> bytes:
+    """Serialize one request into a frame payload (no length prefix)."""
+    if not 0 <= deadline_ms <= 0xFFFFFFFF:
+        raise FrameError(f"deadline_ms out of range: {deadline_ms}")
+    out = bytearray()
+    out += struct.pack("<BBI", PROTOCOL_VERSION, int(req.opcode), deadline_ms)
+    if isinstance(req, PutRequest):
+        _put_str(out, req.name)
+        _put_blob(out, req.blob)
+    elif isinstance(req, GetRequest):
+        _put_str(out, req.name)
+        out += struct.pack("<i", req.version)
+    elif isinstance(req, OpRequest):
+        _put_str(out, req.name)
+        out += struct.pack("<i", req.version)
+        _encode_steps(out, req.steps)
+        _put_str(out, req.result_name)
+    elif isinstance(req, ReduceRequest):
+        _put_str(out, req.name)
+        out += struct.pack("<i", req.version)
+        _encode_steps(out, req.steps)
+        _put_str(out, req.reduction)
+    elif isinstance(req, (StatsRequest, HealthRequest)):
+        pass
+    else:  # pragma: no cover - exhaustive over the Request union
+        raise FrameError(f"unknown request type {type(req).__name__}")
+    return bytes(out)
+
+
+def decode_request(payload: bytes) -> tuple[Request, int]:
+    """Parse a request payload into ``(request, deadline_ms)``."""
+    r = _Reader(payload)
+    version = r.u8("protocol version")
+    if version != PROTOCOL_VERSION:
+        raise FrameError(f"unsupported protocol version {version}")
+    raw_op = r.u8("opcode")
+    try:
+        opcode = Opcode(raw_op)
+    except ValueError:
+        raise FrameError(f"unknown opcode {raw_op}") from None
+    deadline_ms = r.u32("deadline")
+    req: Request
+    if opcode is Opcode.PUT:
+        name = r.string("array name")
+        blob = r.blob("stream")
+        req = PutRequest(name, bytes(blob))
+    elif opcode is Opcode.GET:
+        req = GetRequest(r.string("array name"), r.i32("version"))
+    elif opcode is Opcode.OP:
+        name = r.string("array name")
+        version_no = r.i32("version")
+        steps = _decode_steps(r)
+        result_name = r.string("result name")
+        req = OpRequest(name, steps, version_no, result_name)
+    elif opcode is Opcode.REDUCE:
+        name = r.string("array name")
+        version_no = r.i32("version")
+        steps = _decode_steps(r)
+        reduction = r.string("reduction name")
+        req = ReduceRequest(name, reduction, steps, version_no)
+    elif opcode is Opcode.STATS:
+        req = StatsRequest()
+    else:
+        req = HealthRequest()
+    r.expect_end()
+    return req, deadline_ms
+
+
+# ---------------------------------------------------------------------------
+# replies
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Reply:
+    """One decoded response.
+
+    ``status`` is always set.  For ``OK`` exactly one of ``blob`` /
+    ``version`` / ``value`` / ``json_text`` is meaningful, per ``kind``;
+    for any other status ``message`` carries the server's diagnostic.
+    """
+
+    status: Status
+    kind: BodyKind
+    message: str = ""
+    version: int = 0
+    blob: bytes = b""
+    value: float = 0.0
+    json_text: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status is Status.OK
+
+
+def encode_reply(reply: Reply) -> bytes:
+    """Serialize one reply into a frame payload (no length prefix)."""
+    out = bytearray()
+    out += struct.pack("<BBB", PROTOCOL_VERSION, int(reply.status), int(reply.kind))
+    if reply.status is not Status.OK:
+        _put_str(out, reply.message)
+        return bytes(out)
+    if reply.kind is BodyKind.BLOB:
+        out += struct.pack("<I", reply.version)
+        _put_blob(out, reply.blob)
+    elif reply.kind is BodyKind.STORED:
+        out += struct.pack("<I", reply.version)
+    elif reply.kind is BodyKind.VALUE:
+        out += struct.pack("<d", reply.value)
+    elif reply.kind is BodyKind.JSON:
+        raw = reply.json_text.encode("utf-8")
+        _put_blob(out, raw)
+    else:
+        raise FrameError(f"OK reply cannot carry body kind {reply.kind!r}")
+    return bytes(out)
+
+
+def decode_reply(payload: bytes) -> Reply:
+    """Parse a reply payload."""
+    r = _Reader(payload)
+    version = r.u8("protocol version")
+    if version != PROTOCOL_VERSION:
+        raise FrameError(f"unsupported protocol version {version}")
+    raw_status = r.u8("status")
+    try:
+        status = Status(raw_status)
+    except ValueError:
+        raise FrameError(f"unknown status {raw_status}") from None
+    raw_kind = r.u8("body kind")
+    try:
+        kind = BodyKind(raw_kind)
+    except ValueError:
+        raise FrameError(f"unknown body kind {raw_kind}") from None
+    if status is not Status.OK:
+        message = r.string("message")
+        r.expect_end()
+        return Reply(status=status, kind=BodyKind.MESSAGE, message=message)
+    if kind is BodyKind.BLOB:
+        version_no = r.u32("version")
+        blob = r.blob("stream")
+        reply = Reply(status=status, kind=kind, version=version_no, blob=bytes(blob))
+    elif kind is BodyKind.STORED:
+        reply = Reply(status=status, kind=kind, version=r.u32("version"))
+    elif kind is BodyKind.VALUE:
+        reply = Reply(status=status, kind=kind, value=r.f64("value"))
+    elif kind is BodyKind.JSON:
+        raw = r.blob("json document")
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise FrameError(f"json document is not valid UTF-8: {exc}") from None
+        reply = Reply(status=status, kind=kind, json_text=text)
+    else:
+        raise FrameError(f"OK reply cannot carry body kind {kind!r}")
+    r.expect_end()
+    return reply
+
+
+# ---------------------------------------------------------------------------
+# framing
+# ---------------------------------------------------------------------------
+
+
+def pack_frame(payload: bytes, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Prefix a payload with its little-endian u32 length."""
+    if len(payload) > max_frame:
+        raise FrameError(
+            f"payload of {len(payload)} bytes exceeds the frame cap {max_frame}"
+        )
+    return struct.pack("<I", len(payload)) + payload
+
+
+def split_frame(header: bytes, max_frame: int = DEFAULT_MAX_FRAME) -> int:
+    """Validate a 4-byte length prefix; return the payload length."""
+    if len(header) != 4:
+        raise FrameError(f"frame header must be 4 bytes, got {len(header)}")
+    (length,) = struct.unpack("<I", header)
+    if length > max_frame:
+        raise FrameError(
+            f"declared payload of {length} bytes exceeds the frame cap {max_frame}"
+        )
+    return int(length)

@@ -1,0 +1,57 @@
+"""Fixtures for the service suite: streams, live servers, clients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SZOps
+from repro.core.format import SZOpsCompressed
+from repro.service import ServiceClient, ServiceConfig, ThreadedServer
+
+
+@pytest.fixture(scope="module")
+def compressed(rng_module) -> SZOpsCompressed:
+    """One modest compressed array shared by a module's tests."""
+    arr = np.cumsum(rng_module.normal(scale=5e-3, size=20_000)).astype(np.float32)
+    return SZOps(block_size=64).compress(arr, 1e-3)
+
+
+@pytest.fixture(scope="module")
+def rng_module() -> np.random.Generator:
+    return np.random.default_rng(20240624)
+
+
+@pytest.fixture(scope="module")
+def blob(compressed) -> bytes:
+    return compressed.to_bytes()
+
+
+@pytest.fixture
+def server_factory():
+    """Start ThreadedServers that are always stopped at test end."""
+    handles: list[ThreadedServer] = []
+
+    def start(**overrides) -> ThreadedServer:
+        handle = ThreadedServer(ServiceConfig(**overrides))
+        handles.append(handle)
+        return handle.start()
+
+    yield start
+    for handle in handles:
+        handle.stop()
+
+
+@pytest.fixture
+def live_server(server_factory, blob) -> ThreadedServer:
+    """A running server preloaded with array "U" (version 1)."""
+    handle = server_factory()
+    with ServiceClient(handle.host, handle.port) as client:
+        client.put("U", blob)
+    return handle
+
+
+@pytest.fixture
+def client(live_server):
+    with ServiceClient(live_server.host, live_server.port) as c:
+        yield c

@@ -1,0 +1,176 @@
+"""Micro-batcher unit tests: dedup, grouping, isolation, flush."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service.batching import MicroBatcher
+from repro.service.telemetry import Telemetry
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture
+def pool():
+    with ThreadPoolExecutor(max_workers=4) as executor:
+        yield executor
+
+
+def test_single_flight_dedup(pool):
+    """N concurrent submits with one key -> exactly one compute call."""
+    calls = []
+    lock = threading.Lock()
+
+    def compute():
+        with lock:
+            calls.append(1)
+        return "result"
+
+    async def scenario():
+        telemetry = Telemetry()
+        batcher = MicroBatcher(pool, window_s=0.005, telemetry=telemetry)
+        results = await asyncio.gather(
+            *(batcher.submit(("fp", "op"), "fp", compute) for _ in range(16))
+        )
+        return results, telemetry
+
+    results, telemetry = run(scenario())
+    assert results == ["result"] * 16
+    assert len(calls) == 1
+    assert telemetry.counter("batch_dedup_hits") == 15
+    assert telemetry.counter("batched_requests") == 16
+
+
+def test_distinct_keys_all_computed(pool):
+    async def scenario():
+        batcher = MicroBatcher(pool, window_s=0.005)
+        return await asyncio.gather(
+            *(batcher.submit(("fp", f"op{i}"), "fp", lambda i=i: i * i) for i in range(8))
+        )
+
+    assert run(scenario()) == [i * i for i in range(8)]
+
+
+def test_same_group_runs_in_one_executor_job(pool):
+    """Flights sharing a group execute back to back on one worker thread."""
+    threads: list[str] = []
+    lock = threading.Lock()
+
+    def make_compute(i):
+        def compute():
+            with lock:
+                threads.append(threading.current_thread().name)
+            return i
+
+        return compute
+
+    async def scenario():
+        batcher = MicroBatcher(pool, window_s=0.01)
+        return await asyncio.gather(
+            *(batcher.submit(("fp", f"c{i}"), "fp", make_compute(i)) for i in range(6))
+        )
+
+    assert run(scenario()) == list(range(6))
+    assert len(set(threads)) == 1  # one group -> one pool job
+
+
+def test_exception_isolated_to_its_flight(pool):
+    def boom():
+        raise RuntimeError("kernel exploded")
+
+    async def scenario():
+        batcher = MicroBatcher(pool, window_s=0.005)
+        ok_task = asyncio.ensure_future(batcher.submit(("fp", "good"), "fp", lambda: 42))
+        bad_task = asyncio.ensure_future(batcher.submit(("fp", "bad"), "fp", boom))
+        ok = await ok_task
+        with pytest.raises(RuntimeError, match="kernel exploded"):
+            await bad_task
+        return ok
+
+    assert run(scenario()) == 42
+
+
+def test_dedup_riders_share_the_failure(pool):
+    def boom():
+        raise ValueError("shared failure")
+
+    async def scenario():
+        batcher = MicroBatcher(pool, window_s=0.005)
+        tasks = [
+            asyncio.ensure_future(batcher.submit(("fp", "bad"), "fp", boom))
+            for _ in range(3)
+        ]
+        failures = 0
+        for task in tasks:
+            with pytest.raises(ValueError, match="shared failure"):
+                await task
+            failures += 1
+        return failures
+
+    assert run(scenario()) == 3
+
+
+def test_zero_window_still_works(pool):
+    async def scenario():
+        batcher = MicroBatcher(pool, window_s=0.0)
+        return await asyncio.gather(
+            *(batcher.submit(("fp", f"k{i}"), "fp", lambda i=i: i) for i in range(4))
+        )
+
+    assert run(scenario()) == [0, 1, 2, 3]
+
+
+def test_max_batch_rolls_excess_to_next_batch(pool):
+    telemetry = Telemetry()
+
+    async def scenario():
+        batcher = MicroBatcher(pool, window_s=0.002, max_batch=4, telemetry=telemetry)
+        return await asyncio.gather(
+            *(batcher.submit(("fp", f"k{i}"), "fp", lambda i=i: i) for i in range(10))
+        )
+
+    assert run(scenario()) == list(range(10))
+    assert telemetry.counter("batches") >= 3  # 10 flights / cap 4
+    assert telemetry.counter("batched_flights") == 10
+
+
+def test_flush_drains_everything_queued(pool):
+    async def scenario():
+        batcher = MicroBatcher(pool, window_s=0.05)  # long window
+        tasks = [
+            asyncio.ensure_future(batcher.submit(("fp", f"k{i}"), "fp", lambda i=i: i))
+            for i in range(4)
+        ]
+        await asyncio.sleep(0)  # let submits queue
+        await batcher.flush()
+        assert batcher.pending == 0
+        # flush resolved every flight future; the riders just need a loop
+        # turn to observe it (gather will not wait on the 50 ms window).
+        return await asyncio.wait_for(asyncio.gather(*tasks), timeout=1.0)
+
+    assert run(scenario()) == [0, 1, 2, 3]
+
+
+def test_constructor_validation(pool):
+    with pytest.raises(ValueError, match="non-negative"):
+        MicroBatcher(pool, window_s=-0.1)
+    with pytest.raises(ValueError, match="positive"):
+        MicroBatcher(pool, max_batch=0)
+
+
+def test_sequential_submits_reuse_drain_cycle(pool):
+    """Submits arriving after a drain start a fresh window (no lost flights)."""
+
+    async def scenario():
+        batcher = MicroBatcher(pool, window_s=0.001)
+        first = await batcher.submit(("fp", "a"), "fp", lambda: "a")
+        second = await batcher.submit(("fp", "b"), "fp", lambda: "b")
+        return first, second
+
+    assert run(scenario()) == ("a", "b")

@@ -1,0 +1,184 @@
+"""Wire-protocol unit tests: roundtrips and strict-decoder rejection."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.service import protocol
+from repro.service.protocol import (
+    MAX_STEPS,
+    PROTOCOL_VERSION,
+    BodyKind,
+    FrameError,
+    GetRequest,
+    HealthRequest,
+    OpRequest,
+    PutRequest,
+    ReduceRequest,
+    Reply,
+    StatsRequest,
+    Status,
+    Step,
+    decode_reply,
+    decode_request,
+    encode_reply,
+    encode_request,
+    pack_frame,
+    split_frame,
+)
+
+REQUESTS = [
+    PutRequest("U", b"\x00" * 37),
+    PutRequest("empty-blob", b""),
+    GetRequest("U"),
+    GetRequest("U", version=7),
+    OpRequest("U", (Step("negation"), Step("scalar_add", 0.25))),
+    OpRequest("U", (Step("scalar_multiply", -1.5),), version=3, result_name="V"),
+    ReduceRequest("U", "mean"),
+    ReduceRequest("U", "variance", (Step("negation"),), version=2),
+    StatsRequest(),
+    HealthRequest(),
+]
+
+
+@pytest.mark.parametrize("req", REQUESTS, ids=lambda r: type(r).__name__)
+@pytest.mark.parametrize("deadline_ms", [0, 1, 125_000])
+def test_request_roundtrip(req, deadline_ms):
+    decoded, decoded_deadline = decode_request(encode_request(req, deadline_ms))
+    assert decoded == req
+    assert decoded_deadline == deadline_ms
+
+
+REPLIES = [
+    Reply(status=Status.OK, kind=BodyKind.BLOB, version=4, blob=b"stream-bytes"),
+    Reply(status=Status.OK, kind=BodyKind.STORED, version=12),
+    Reply(status=Status.OK, kind=BodyKind.VALUE, value=-3.25),
+    Reply(status=Status.OK, kind=BodyKind.JSON, json_text='{"ok": true}'),
+    Reply(status=Status.ERROR, kind=BodyKind.MESSAGE, message="unknown array 'x'"),
+    Reply(status=Status.BUSY, kind=BodyKind.MESSAGE, message="queue full"),
+    Reply(status=Status.TIMEOUT, kind=BodyKind.MESSAGE, message="deadline"),
+]
+
+
+@pytest.mark.parametrize("reply", REPLIES, ids=lambda r: f"{r.status.name}-{r.kind.name}")
+def test_reply_roundtrip(reply):
+    assert decode_reply(encode_reply(reply)) == reply
+
+
+def test_frame_pack_split_roundtrip():
+    payload = b"x" * 1000
+    framed = pack_frame(payload)
+    assert split_frame(framed[:4]) == len(payload)
+    assert framed[4:] == payload
+
+
+# ---------------------------------------------------------------------------
+# strictness: every malformed shape is a FrameError, never a crash
+# ---------------------------------------------------------------------------
+
+
+def test_truncated_request_every_prefix_rejected():
+    payload = encode_request(OpRequest("U", (Step("scalar_add", 1.0),)), 500)
+    for cut in range(len(payload)):
+        with pytest.raises(FrameError):
+            decode_request(payload[:cut])
+
+
+def test_truncated_reply_every_prefix_rejected():
+    payload = encode_reply(
+        Reply(status=Status.OK, kind=BodyKind.BLOB, version=1, blob=b"abcdef")
+    )
+    for cut in range(len(payload)):
+        with pytest.raises(FrameError):
+            decode_reply(payload[:cut])
+
+
+def test_trailing_bytes_rejected():
+    payload = encode_request(GetRequest("U"))
+    with pytest.raises(FrameError, match="trailing"):
+        decode_request(payload + b"\x00")
+    with pytest.raises(FrameError, match="trailing"):
+        decode_reply(encode_reply(REPLIES[1]) + b"junk")
+
+
+def test_unknown_protocol_version_rejected():
+    payload = bytearray(encode_request(StatsRequest()))
+    payload[0] = PROTOCOL_VERSION + 1
+    with pytest.raises(FrameError, match="version"):
+        decode_request(bytes(payload))
+
+
+def test_unknown_opcode_and_status_rejected():
+    payload = bytearray(encode_request(StatsRequest()))
+    payload[1] = 200
+    with pytest.raises(FrameError, match="opcode"):
+        decode_request(bytes(payload))
+    reply = bytearray(encode_reply(REPLIES[1]))
+    reply[1] = 200
+    with pytest.raises(FrameError, match="status"):
+        decode_reply(bytes(reply))
+
+
+def test_bad_scalar_flag_rejected():
+    payload = bytearray(encode_request(OpRequest("U", (Step("negation"),))))
+    # The scalar-presence flag is the last byte before the result-name field.
+    flag_offset = len(payload) - 3  # u16 result-name length follows it
+    assert payload[flag_offset] == 0
+    payload[flag_offset] = 2
+    with pytest.raises(FrameError, match="scalar flag"):
+        decode_request(bytes(payload))
+
+
+def test_step_count_cap_enforced_both_sides():
+    too_many = tuple(Step("negation") for _ in range(MAX_STEPS + 1))
+    with pytest.raises(FrameError, match="cap"):
+        encode_request(OpRequest("U", too_many))
+    # Hand-craft a payload that *declares* too many steps.
+    out = bytearray(struct.pack("<BBI", PROTOCOL_VERSION, 3, 0))
+    out += struct.pack("<H", 1)  # name "U"
+    out += b"U"
+    out += struct.pack("<i", -1)
+    out += struct.pack("<H", MAX_STEPS + 1)
+    with pytest.raises(FrameError, match="cap"):
+        decode_request(bytes(out))
+
+
+def test_hostile_length_prefix_rejected_before_allocation():
+    huge = struct.pack("<I", protocol.DEFAULT_MAX_FRAME + 1)
+    with pytest.raises(FrameError, match="cap"):
+        split_frame(huge)
+    with pytest.raises(FrameError):
+        split_frame(b"\x01\x02")  # short header
+
+
+def test_oversized_payload_rejected_at_pack_time():
+    with pytest.raises(FrameError, match="cap"):
+        pack_frame(b"x" * 101, max_frame=100)
+
+
+def test_invalid_utf8_rejected():
+    out = bytearray(struct.pack("<BBI", PROTOCOL_VERSION, 2, 0))
+    out += struct.pack("<H", 2) + b"\xff\xfe"  # invalid UTF-8 name
+    out += struct.pack("<i", -1)
+    with pytest.raises(FrameError, match="UTF-8"):
+        decode_request(bytes(out))
+
+
+def test_deadline_out_of_range_rejected():
+    with pytest.raises(FrameError, match="deadline"):
+        encode_request(StatsRequest(), deadline_ms=-1)
+    with pytest.raises(FrameError, match="deadline"):
+        encode_request(StatsRequest(), deadline_ms=1 << 32)
+
+
+@given(st.binary(max_size=512))
+def test_garbage_never_crashes_decoders(data):
+    """Random bytes either decode cleanly or raise FrameError — nothing else."""
+    for decode in (decode_request, decode_reply):
+        try:
+            decode(data)
+        except FrameError:
+            pass

@@ -1,0 +1,211 @@
+"""Store unit tests: versioning, admission gating, LRU, RW locking."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.errors import FormatError
+from repro.service.store import CompressedArrayStore, StoreError, StoreMiss
+
+
+def make_store(**kw) -> CompressedArrayStore:
+    kw.setdefault("byte_budget", 64 << 20)
+    return CompressedArrayStore(**kw)
+
+
+# ---------------------------------------------------------------------------
+# versioning
+# ---------------------------------------------------------------------------
+
+
+def test_put_assigns_sequential_versions(blob):
+    store = make_store()
+    assert store.put("U", blob) == 1
+    assert store.put("U", blob) == 2
+    assert store.put("V", blob) == 1
+    assert store.get("U").version == 2
+    assert store.get("U", 1).version == 1
+    assert store.get("U", None).version == 2  # None = latest, like negative
+
+
+def test_entries_are_immutable_snapshots(blob, compressed):
+    store = make_store()
+    store.put("U", blob)
+    entry = store.get("U")
+    assert entry.blob == blob
+    assert entry.fingerprint == compressed.content_fingerprint()
+    # A later version does not disturb the old one.
+    store.put("U", blob)
+    assert store.get("U", 1).blob == blob
+
+
+def test_miss_distinguishes_unknown_name_and_version(blob):
+    store = make_store()
+    with pytest.raises(StoreMiss, match="unknown array"):
+        store.get("nope")
+    store.put("U", blob)
+    with pytest.raises(StoreMiss, match="version 9"):
+        store.get("U", 9)
+
+
+def test_introspection(blob):
+    store = make_store()
+    assert len(store) == 0 and store.bytes_used == 0
+    store.put("U", blob)
+    store.put("V", blob)
+    assert "U" in store and "W" not in store
+    assert store.names() == ["U", "V"]
+    assert store.bytes_used == 2 * len(blob)
+    snap = store.snapshot()
+    assert snap["arrays"] == 2 and snap["puts"] == 2
+
+
+# ---------------------------------------------------------------------------
+# admission gating
+# ---------------------------------------------------------------------------
+
+
+def test_empty_name_rejected(blob):
+    with pytest.raises(StoreError, match="non-empty"):
+        make_store().put("", blob)
+
+
+def test_garbage_rejected_cleanly():
+    store = make_store()
+    with pytest.raises(FormatError):
+        store.put("bad", b"not a stream at all")
+    assert len(store) == 0
+    assert store.snapshot()["rejects"] == 1
+
+
+def test_truncated_stream_rejected(blob):
+    store = make_store()
+    with pytest.raises(FormatError):
+        store.put("bad", blob[: len(blob) // 2])
+    assert "bad" not in store
+
+
+def test_corrupted_interior_rejected(blob):
+    # Flip bytes in the middle of the container (width plane / payload).
+    corrupt = bytearray(blob)
+    for i in range(len(blob) // 2, len(blob) // 2 + 8):
+        corrupt[i] ^= 0xFF
+    store = make_store()
+    try:
+        store.put("bad", bytes(corrupt))
+    except (FormatError, ValueError):
+        pass  # rejected at the door — the expected outcome
+    else:
+        # Corruption the static verifier provably cannot catch (e.g. bits
+        # inside the entropy payload) may be admitted; the entry must then
+        # still be a parseable container.
+        assert store.get("bad").container is not None
+
+
+def test_oversized_blob_rejected(blob):
+    store = CompressedArrayStore(byte_budget=len(blob) - 1)
+    with pytest.raises(StoreError, match="byte budget"):
+        store.put("U", blob)
+
+
+def test_verify_disabled_still_parses(blob):
+    store = make_store(verify=False)
+    store.put("U", blob)
+    with pytest.raises(Exception):  # from_bytes still gates garbage
+        store.put("bad", b"garbage")
+
+
+# ---------------------------------------------------------------------------
+# byte-budget LRU
+# ---------------------------------------------------------------------------
+
+
+def test_lru_evicts_oldest_first(blob):
+    store = CompressedArrayStore(byte_budget=3 * len(blob) + len(blob) // 2)
+    for name in ("a", "b", "c"):
+        store.put(name, blob)
+    store.put("d", blob)  # over budget: "a" (oldest) must go
+    with pytest.raises(StoreMiss) as excinfo:
+        store.get("a")
+    assert excinfo.value.evicted
+    assert "evicted" in str(excinfo.value)
+    for name in ("b", "c", "d"):
+        assert store.get(name).blob == blob
+    assert store.snapshot()["evictions"] == 1
+
+
+def test_get_touch_protects_from_eviction(blob):
+    store = CompressedArrayStore(byte_budget=3 * len(blob) + len(blob) // 2)
+    for name in ("a", "b", "c"):
+        store.put(name, blob)
+    store.get("a")  # bump "a" to most-recently-used
+    store.put("d", blob)  # now "b" is the LRU victim
+    assert store.get("a").blob == blob
+    with pytest.raises(StoreMiss):
+        store.get("b")
+
+
+def test_newest_insert_never_self_evicts(blob):
+    store = CompressedArrayStore(byte_budget=len(blob) + 1)
+    store.put("a", blob)
+    store.put("b", blob)  # evicts "a", never "b" itself
+    assert store.get("b").blob == blob
+    with pytest.raises(StoreMiss):
+        store.get("a")
+
+
+def test_eviction_tombstones_are_per_version(blob):
+    store = CompressedArrayStore(byte_budget=2 * len(blob) + 1)
+    store.put("U", blob)
+    store.put("U", blob)
+    store.put("U", blob)  # version 1 evicted
+    with pytest.raises(StoreMiss) as excinfo:
+        store.get("U", 1)
+    assert excinfo.value.evicted
+    assert store.get("U").version == 3
+
+
+# ---------------------------------------------------------------------------
+# concurrency
+# ---------------------------------------------------------------------------
+
+
+def test_concurrent_readers_and_writers(blob):
+    """Hammer one store from reader and writer threads; no lost updates."""
+    store = make_store()
+    store.put("U", blob)
+    n_writers, n_readers, per_thread = 4, 8, 25
+    errors: list[BaseException] = []
+    start = threading.Barrier(n_writers + n_readers)
+
+    def writer(i: int) -> None:
+        try:
+            start.wait()
+            for _ in range(per_thread):
+                store.put(f"w{i}", blob)
+        except BaseException as exc:
+            errors.append(exc)
+
+    def reader() -> None:
+        try:
+            start.wait()
+            for _ in range(per_thread):
+                assert store.get("U").blob == blob
+                store.names()
+                store.snapshot()
+        except BaseException as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(n_writers)]
+    threads += [threading.Thread(target=reader) for _ in range(n_readers)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    # Every writer's final version is exactly per_thread: no lost updates.
+    for i in range(n_writers):
+        assert store.get(f"w{i}").version == per_thread
+    assert store.snapshot()["puts"] == n_writers * per_thread + 1
