@@ -42,6 +42,40 @@ def szops_blob(szops_codec, hurricane_field, bench_cfg):
 
 
 @pytest.fixture(scope="session")
+def experiment_runs_root(tmp_path_factory):
+    """Artifact root + cross-run index shared by the engine-backed reports."""
+    return tmp_path_factory.mktemp("experiment-runs")
+
+
+@pytest.fixture(scope="session")
+def ops_matrix(bench_cfg, experiment_runs_root):
+    """Figure 5/6 measurement rows, via the experiment engine and its index.
+
+    The ops-matrix run table executes once per session; the figures then
+    read their cells back out of the SQLite index — the same store
+    ``repro experiment run`` feeds — rather than re-measuring per module.
+    """
+    from repro.harness.experiments import (
+        get_cells,
+        get_table,
+        latest_run_id,
+        open_index,
+        ops_matrix_from_cells,
+        run_experiment,
+    )
+
+    index_path = experiment_runs_root / "experiments.db"
+    table = get_table("ops-matrix", datasets=tuple(bench_cfg.datasets))
+    run_experiment(table, bench_cfg, experiment_runs_root, index_path=index_path)
+    conn = open_index(index_path)
+    try:
+        cells = get_cells(conn, latest_run_id(conn, "ops-matrix"))
+    finally:
+        conn.close()
+    return ops_matrix_from_cells(cells)
+
+
+@pytest.fixture(scope="session")
 def szp_codec():
     return make_codec("SZp")
 

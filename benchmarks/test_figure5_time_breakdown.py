@@ -8,7 +8,7 @@ annotating each SZOps bar with the percentage reduction.
 from __future__ import annotations
 
 from repro import ops
-from repro.harness import measure_ops_matrix, run_figure5
+from repro.harness import run_figure5
 from repro.workflow import run_traditional
 
 from conftest import emit
@@ -31,11 +31,9 @@ def test_szops_mean_kernel(benchmark, szops_blob):
     benchmark(ops.mean, szops_blob)
 
 
-def test_figure5_report(benchmark, bench_cfg):
-    """Regenerate Figure 5's data series and persist results/figure5.md."""
-    matrix = benchmark.pedantic(
-        measure_ops_matrix, args=(bench_cfg,), rounds=1, iterations=1
-    )
+def test_figure5_report(bench_cfg, ops_matrix):
+    """Regenerate Figure 5's data series from the indexed ops-matrix run."""
+    matrix = ops_matrix
     result = run_figure5(bench_cfg, matrix)
     emit(result)
     # Paper shape: the fully-compressed-space operations cut >90% of the

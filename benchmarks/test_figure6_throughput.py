@@ -12,7 +12,7 @@ import pytest
 
 from repro import ops
 from repro.core.ops.dispatch import OPERATIONS
-from repro.harness import DEFAULT_SCALAR, measure_ops_matrix, run_figure6
+from repro.harness import DEFAULT_SCALAR, run_figure6
 
 from conftest import emit
 
@@ -30,11 +30,9 @@ def test_szops_kernel_throughput(benchmark, szops_blob, op):
         benchmark(OPERATIONS[op].fn, szops_blob, scalar)
 
 
-def test_figure6_report(benchmark, bench_cfg):
-    """Regenerate Figure 6's data series and persist results/figure6.md."""
-    matrix = benchmark.pedantic(
-        measure_ops_matrix, args=(bench_cfg,), rounds=1, iterations=1
-    )
+def test_figure6_report(bench_cfg, ops_matrix):
+    """Regenerate Figure 6's data series from the indexed ops-matrix run."""
+    matrix = ops_matrix
     result = run_figure6(bench_cfg, matrix)
     emit(result)
 

@@ -13,10 +13,9 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro import lazy, ops
-from repro.harness import run_runtime_fusion, save_bench_json
+from repro.harness import save_bench_json
 from repro.runtime import cache_disabled, clear_cache
 
-from conftest import emit
 
 CHAIN = ["negation", "scalar_multiply=0.1", "mean"]
 
@@ -47,13 +46,24 @@ def test_fused_chain_warm(benchmark, szops_blob):
     benchmark(lambda b: lazy(b).negate().scalar_multiply(0.1).mean(), szops_blob)
 
 
-def test_runtime_fusion_report(benchmark, bench_cfg):
-    """Regenerate the fusion table and persist BENCH_runtime.json."""
-    result = benchmark.pedantic(
-        run_runtime_fusion, args=(bench_cfg,), rounds=1, iterations=1
+def test_runtime_fusion_report(bench_cfg, experiment_runs_root):
+    """Regenerate the fusion table through the engine; persist BENCH_runtime.json."""
+    from repro.harness.experiments import (
+        bench_runtime_payload,
+        get_table,
+        render_report_markdown,
+        run_experiment,
     )
-    emit(result)
-    bench = result.extras["bench"]
+
+    table = get_table("runtime-fusion")
+    result = run_experiment(
+        table,
+        bench_cfg,
+        experiment_runs_root,
+        index_path=experiment_runs_root / "experiments.db",
+    )
+    print(render_report_markdown(result.report))
+    bench = bench_runtime_payload(result.cells)
     save_bench_json(bench, Path(__file__).resolve().parent.parent / "BENCH_runtime.json")
     # ISSUE-1 acceptance: >= 2x on the largest dataset, identical results.
     assert bench["identical_results"], "fused chain diverged from eager ops"

@@ -24,7 +24,6 @@ from repro import SZOps
 from repro.datasets import generate_fields
 from repro.parallel.backends import available_backends
 
-from conftest import emit
 
 
 @pytest.fixture(scope="module")
@@ -58,16 +57,32 @@ def test_decompress_backend_scaling(benchmark, big_field, bench_cfg, backend, n_
     assert np.array_equal(out, SZOps(backend="serial").decompress(blob))
 
 
-def test_parallel_backends_report(bench_cfg):
-    from repro.harness import save_bench_json
-    from repro.harness.runner import run_parallel_backends
+def test_parallel_backends_report(bench_cfg, experiment_runs_root):
+    from repro.harness import load_bench_json, save_bench_json
+    from repro.harness.experiments import (
+        bench_parallel_payload,
+        get_table,
+        render_report_markdown,
+        run_experiment,
+    )
 
-    result = run_parallel_backends(bench_cfg, workers=(1, 2, 4, 8))
-    emit(result)
-    bench = result.extras["bench"]
-    save_bench_json(
+    table = get_table("parallel-backends", workers=(1, 2, 4, 8))
+    result = run_experiment(
+        table,
+        bench_cfg,
+        experiment_runs_root,
+        index_path=experiment_runs_root / "experiments.db",
+    )
+    print(render_report_markdown(result.report))
+    bench = bench_parallel_payload(result.manifest, result.cells)
+    out = save_bench_json(
         bench, Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
     )
+    # Round-trip through the tolerant loader: the snapshot must come back
+    # stamped with the current schema version and a concrete git SHA.
+    reloaded = load_bench_json(out)
+    assert reloaded["schema_version"] >= 2
+    assert reloaded["git_sha"]
 
     assert bench["all_identical"], "backends diverged — bit-identity broken"
     cells = {(c["backend"], c["workers"]): c for c in bench["cells"]}

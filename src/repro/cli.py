@@ -13,6 +13,9 @@ the decompressed array::
     python -m repro decompress K.szops K.f32
     python -m repro serve --port 7201
     python -m repro bench-serve -o BENCH_service.json
+    python -m repro experiment run perf-smoke --index runs/experiments.db
+    python -m repro experiment report --index runs/experiments.db
+    python -m repro experiment compare --index runs/experiments.db
 
 Input/output binary convention matches :mod:`repro.datasets.io`:
 little-endian float32 (or float64 with ``--dtype f64``), C order.
@@ -233,6 +236,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "experiment",
+        help="factorial experiment runner (run tables, index, regression gates)",
+        description=(
+            "Run factorial experiment tables through the engine in "
+            "repro.harness.experiments: execute cells across dataset x eps "
+            "x backend x workers x chain depth x client count, persist "
+            "per-run artifact directories, append to a cross-run SQLite "
+            "index, render reports, and gate regressions against indexed "
+            "baselines. See docs/EXPERIMENTS.md."
+        ),
+    )
+    esub = p.add_subparsers(dest="experiment_command", required=True)
+
+    pe = esub.add_parser("tables", help="list the predefined run tables")
+
+    pe = esub.add_parser("run", help="execute a predefined run table")
+    pe.add_argument("table", help="predefined table name (see `experiment tables`)")
+    pe.add_argument(
+        "--runs-dir", type=Path, default=Path("runs"),
+        help="artifact root; each run gets runs/<run_id>/ (default runs/)",
+    )
+    pe.add_argument(
+        "--index", type=Path, default=None,
+        help="cross-run SQLite index to append to "
+        "(default <runs-dir>/experiments.db; 'none' disables indexing)",
+    )
+    pe.add_argument(
+        "--resume", type=Path, default=None,
+        help="existing run directory: skip its completed cells, run the rest",
+    )
+    pe.add_argument("--scale", type=float, default=None, help="synthetic scale override")
+    pe.add_argument("--repeats", type=int, default=None, help="table repeat override")
+    pe.add_argument(
+        "--workers", default=None,
+        help="comma-separated worker counts (parallel-backends table only)",
+    )
+    pe.add_argument("--dataset", default=None, help="dataset override where supported")
+    pe.add_argument(
+        "--bench-json", type=Path, default=None,
+        help="also emit the legacy BENCH_*.json payload for this table",
+    )
+    pe.add_argument("-q", "--quiet", action="store_true", help="no per-cell progress")
+
+    pe = esub.add_parser("report", help="render report.json/report.md from the index")
+    pe.add_argument("--index", type=Path, required=True)
+    pe.add_argument("--run", default=None, help="run id (default: latest run)")
+    pe.add_argument(
+        "-o", "--output-dir", type=Path, default=None,
+        help="write report.json + report.md here instead of printing",
+    )
+    pe.add_argument(
+        "--json", action="store_true", help="print report.json instead of markdown"
+    )
+
+    pe = esub.add_parser(
+        "compare", help="gate a run against an indexed baseline (CI perf gate)"
+    )
+    pe.add_argument("--index", type=Path, required=True)
+    pe.add_argument(
+        "--baseline", default=None,
+        help="baseline run id (default: second-latest run of the current run's table)",
+    )
+    pe.add_argument("--current", default=None, help="current run id (default: latest)")
+    pe.add_argument(
+        "--max-regression-pct", type=float, default=20.0,
+        help="timing regression threshold in percent (default 20)",
+    )
+    pe.add_argument(
+        "--gate-timing", choices=("auto", "always", "never"), default="auto",
+        help="timing gate policy: auto = only with >= 4 CPUs (identity "
+        "checks always hard-fail regardless)",
+    )
+
+    p = sub.add_parser(
         "lint",
         help="run the static analysis passes (szops-lint + lockcheck)",
         description=(
@@ -433,32 +510,59 @@ def _cmd_chain(args) -> int:
     return 0
 
 
-def _cmd_bench(args) -> int:
-    from repro.harness import render_result, save_bench_json
-    from repro.harness.config import config_from_env
-    from repro.harness.runner import run_parallel_backends
-
+def _parse_workers(text: str) -> tuple[int, ...]:
     try:
-        workers = tuple(int(part) for part in args.workers.split(","))
+        workers = tuple(int(part) for part in text.split(","))
     except ValueError:
-        print(f"error: bad --workers {args.workers!r}; expected e.g. 1,2,4", file=sys.stderr)
-        return 2
+        raise ValueError(f"bad --workers {text!r}; expected e.g. 1,2,4") from None
     if not workers or any(w <= 0 for w in workers):
-        print("error: worker counts must be positive", file=sys.stderr)
-        return 2
+        raise ValueError("worker counts must be positive")
+    return workers
+
+
+def _bench_cfg(args):
     import dataclasses
 
+    from repro.harness.config import config_from_env
+
     cfg = config_from_env()
-    if args.scale is not None:
+    if getattr(args, "scale", None) is not None:
         cfg = dataclasses.replace(cfg, scale=args.scale)
-    if args.repeats is not None:
+    if getattr(args, "repeats", None) is not None:
         cfg = dataclasses.replace(cfg, repeats=args.repeats)
-    result = run_parallel_backends(cfg, workers=workers, dataset=args.dataset)
-    print(render_result(result))
+    return cfg
+
+
+def _cmd_bench(args) -> int:
+    """The BENCH_parallel.json producer, executed through the engine."""
+    import tempfile
+
+    from repro.harness import save_bench_json
+    from repro.harness.experiments import (
+        bench_parallel_payload,
+        get_table,
+        render_report_markdown,
+        run_experiment,
+    )
+
+    try:
+        workers = _parse_workers(args.workers)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cfg = _bench_cfg(args)
+    table = get_table("parallel-backends", workers=workers, dataset=args.dataset)
+    if args.repeats is not None:
+        import dataclasses
+
+        table = dataclasses.replace(table, repeats=args.repeats)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        result = run_experiment(table, cfg, tmp)
+    print(render_report_markdown(result.report))
     if args.output is not None:
-        save_bench_json(result.extras["bench"], args.output)
+        save_bench_json(bench_parallel_payload(result.manifest, result.cells), args.output)
         print(f"[bench JSON -> {args.output}]")
-    return 0 if result.extras["bench"]["all_identical"] else 1
+    return 0 if result.all_ok else 1
 
 
 def _cmd_serve(args) -> int:
@@ -501,18 +605,31 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_bench_serve(args) -> int:
-    from repro.harness import save_bench_json
-    from repro.service.bench import run_service_bench
+    """The BENCH_service.json producer, executed through the engine."""
+    import dataclasses
+    import tempfile
 
-    payload = run_service_bench(
+    from repro.harness import save_bench_json
+    from repro.harness.config import config_from_env
+    from repro.harness.experiments import (
+        bench_service_payload,
+        get_table,
+        run_experiment,
+    )
+
+    cfg = dataclasses.replace(config_from_env(), scale=args.scale)
+    table = get_table(
+        "service-batching",
         dataset=args.dataset,
-        scale=args.scale,
-        eps=args.eps,
-        n_clients=args.clients,
+        clients=args.clients,
         requests_per_client=args.requests,
+        eps=args.eps,
         backend=args.backend,
         n_workers=args.threads,
     )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        result = run_experiment(table, cfg, tmp)
+    payload = bench_service_payload(result.cells)
     for label in ("batched", "unbatched"):
         v = payload[label]
         print(
@@ -531,6 +648,165 @@ def _cmd_bench_serve(args) -> int:
     print(f"[bench JSON -> {args.output}]")
     ok = payload["total_errors"] == 0 and payload["bit_identical_to_eager"]
     return 0 if ok else 1
+
+
+def _cmd_experiment(args) -> int:
+    from repro.harness.experiments import ExperimentIndexError
+
+    handlers = {
+        "tables": _experiment_tables,
+        "run": _experiment_run,
+        "report": _experiment_report,
+        "compare": _experiment_compare,
+    }
+    try:
+        return handlers[args.experiment_command](args)
+    except ExperimentIndexError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _experiment_tables(args) -> int:
+    from repro.harness.experiments import get_table, table_names
+
+    for name in table_names():
+        table = get_table(name)
+        factors = " x ".join(
+            f"{k}[{len(v)}]" for k, v in table.factors.items()
+        )
+        print(f"{name:18} {table.workload:10} {table.n_cells:3} cell(s)  {factors}")
+        print(f"{'':18} {table.description}")
+    return 0
+
+
+def _experiment_run(args) -> int:
+    import dataclasses
+
+    from repro.harness import save_bench_json
+    from repro.harness.experiments import (
+        bench_parallel_payload,
+        bench_runtime_payload,
+        bench_service_payload,
+        get_table,
+        run_experiment,
+    )
+
+    kwargs = {}
+    if args.workers is not None:
+        kwargs["workers"] = _parse_workers(args.workers)
+    if args.dataset is not None:
+        kwargs["dataset"] = args.dataset
+    table = get_table(args.table, **kwargs)
+    if args.repeats is not None:
+        table = dataclasses.replace(table, repeats=args.repeats)
+    cfg = _bench_cfg(args)
+
+    index_path = args.index
+    if index_path is None:
+        index_path = args.runs_dir / "experiments.db"
+    elif str(index_path) == "none":
+        index_path = None
+
+    progress = None if args.quiet else print
+    result = run_experiment(
+        table,
+        cfg,
+        args.runs_dir,
+        index_path=index_path,
+        resume=args.resume,
+        progress=progress,
+    )
+    print(
+        f"run {result.run_id}: {result.executed} executed, "
+        f"{result.resumed} resumed, all_ok={result.all_ok}"
+    )
+    print(f"[artifacts -> {result.run_dir}]")
+
+    if args.bench_json is not None:
+        emitters = {
+            "parallel-backends": lambda: bench_parallel_payload(
+                result.manifest, result.cells
+            ),
+            "runtime-fusion": lambda: bench_runtime_payload(result.cells),
+            "service-batching": lambda: bench_service_payload(result.cells),
+        }
+        if args.table not in emitters:
+            print(
+                f"error: no legacy BENCH payload for table {args.table!r}",
+                file=sys.stderr,
+            )
+            return 2
+        save_bench_json(emitters[args.table](), args.bench_json)
+        print(f"[bench JSON -> {args.bench_json}]")
+    return 0 if result.all_ok else 1
+
+
+def _experiment_report(args) -> int:
+    from repro.harness.experiments import (
+        open_index,
+        render_report_json,
+        report_from_index,
+    )
+
+    conn = open_index(args.index)
+    try:
+        report, markdown = report_from_index(conn, args.run)
+    finally:
+        conn.close()
+    if args.output_dir is not None:
+        args.output_dir.mkdir(parents=True, exist_ok=True)
+        (args.output_dir / "report.json").write_text(render_report_json(report))
+        (args.output_dir / "report.md").write_text(markdown)
+        print(f"[report.json + report.md -> {args.output_dir}]")
+    elif args.json:
+        print(render_report_json(report), end="")
+    else:
+        print(markdown)
+    return 0
+
+
+def _experiment_compare(args) -> int:
+    from repro.harness.experiments import (
+        compare_runs,
+        get_run,
+        latest_run_id,
+        list_runs,
+        open_index,
+    )
+
+    conn = open_index(args.index)
+    try:
+        current = args.current or latest_run_id(conn)
+        baseline = args.baseline
+        if baseline is None:
+            table_name = get_run(conn, current)["table_name"]
+            prior = [
+                r["run_id"]
+                for r in list_runs(conn, table_name)
+                if r["run_id"] != current
+            ]
+            if not prior:
+                print(
+                    f"error: no baseline run for table {table_name!r} in the "
+                    "index (need at least two runs, or pass --baseline)",
+                    file=sys.stderr,
+                )
+                return 2
+            baseline = prior[-1]
+        result = compare_runs(
+            conn,
+            baseline,
+            current,
+            max_regression_pct=args.max_regression_pct,
+            gate_timing=args.gate_timing,
+        )
+    finally:
+        conn.close()
+    print(result.render())
+    return 0 if result.ok else 1
 
 
 def _render_findings(findings, fmt: str) -> str:
@@ -602,6 +878,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
+    "experiment": _cmd_experiment,
     "lint": _cmd_lint,
     "verify-stream": _cmd_verify_stream,
 }

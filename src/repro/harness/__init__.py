@@ -1,7 +1,13 @@
 """Experiment harness: drivers, rendering, and result persistence."""
 
 from repro.harness.config import BenchConfig, config_from_env
-from repro.harness.records import render_result, save_bench_json, save_result
+from repro.harness.records import (
+    BENCH_SCHEMA_VERSION,
+    load_bench_json,
+    render_result,
+    save_bench_json,
+    save_result,
+)
 from repro.harness.runner import (
     DEFAULT_SCALAR,
     ExperimentResult,
@@ -21,8 +27,10 @@ from repro.harness.runner import (
 from repro.harness.tables import render_table
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
     "BenchConfig",
     "config_from_env",
+    "load_bench_json",
     "render_result",
     "save_result",
     "save_bench_json",

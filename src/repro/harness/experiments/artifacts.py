@@ -1,0 +1,216 @@
+"""Per-run artifact directories: manifest, environment capture, raw cells.
+
+Every ``experiment run`` owns one directory under the runs root::
+
+    runs/<run_id>/
+        manifest.json       # table, config hash, git SHA, host, schema
+        environment.json    # python/numpy versions, REPRO_* env knobs
+        cells/<index>_<cell_id>.json   # one raw result per executed cell
+        report.json         # rendered after the last cell completes
+        report.md
+
+The manifest is written *before* the first cell executes, so a crashed or
+interrupted run still leaves enough context to resume: a later run with
+``--resume`` re-expands the same table, keeps every cell file whose
+``cell_id`` matches, and executes only the missing ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.harness.config import BenchConfig
+from repro.harness.experiments.runtable import Cell, RunTable
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "RunDir",
+    "capture_environment",
+    "git_sha",
+    "host_info",
+    "new_run_id",
+    "utc_now",
+]
+
+#: Bumped whenever the manifest / cell-file layout changes shape.
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+def utc_now() -> str:
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def git_sha(cwd: str | Path | None = None) -> str:
+    """The repository HEAD, or ``"unknown"`` outside a work tree."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def host_info() -> dict[str, Any]:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+        "hostname": platform.node(),
+    }
+
+
+def capture_environment() -> dict[str, Any]:
+    import numpy
+
+    return {
+        "python": sys.version,
+        "executable": sys.executable,
+        "numpy": numpy.__version__,
+        "env": {
+            k: v for k, v in sorted(os.environ.items()) if k.startswith("REPRO_")
+        },
+    }
+
+
+def new_run_id(table: RunTable, config_hash: str, when: str | None = None) -> str:
+    stamp = (when or utc_now()).replace(":", "").replace("-", "")
+    return f"{table.name}-{stamp}-{config_hash[:8]}"
+
+
+def _write_json(path: Path, doc: Mapping[str, Any]) -> None:
+    path.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+class RunDir:
+    """One run's artifact directory (see the module docstring for layout)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    @property
+    def run_id(self) -> str:
+        return self.path.name
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.path / "manifest.json"
+
+    @property
+    def cells_dir(self) -> Path:
+        return self.path / "cells"
+
+    @classmethod
+    def create(
+        cls,
+        root: str | Path,
+        table: RunTable,
+        cfg: BenchConfig,
+        run_id: str | None = None,
+    ) -> "RunDir":
+        config_hash = table.config_hash(cfg)
+        created = utc_now()
+        rid = run_id or new_run_id(table, config_hash, created)
+        # A fresh run must never adopt an existing directory: two runs of
+        # the same table in the same second would otherwise collide and
+        # the second would silently "resume" the first.
+        base_rid, n = rid, 1
+        while (Path(root) / rid).exists():
+            n += 1
+            rid = f"{base_rid}-{n}"
+        run_dir = cls(Path(root) / rid)
+        run_dir.cells_dir.mkdir(parents=True)
+        manifest = {
+            "schema_version": ARTIFACT_SCHEMA_VERSION,
+            "run_id": rid,
+            "created_utc": created,
+            "table": table.to_json(),
+            "config_hash": config_hash,
+            "git_sha": git_sha(),
+            "host": host_info(),
+            "bench_config": {
+                "scale": cfg.scale,
+                "seed": cfg.seed,
+                "max_fields": cfg.max_fields,
+                "repeats": cfg.repeats,
+            },
+            "n_cells": table.n_cells,
+        }
+        _write_json(run_dir.manifest_path, manifest)
+        _write_json(run_dir.path / "environment.json", capture_environment())
+        return run_dir
+
+    def manifest(self) -> dict[str, Any]:
+        try:
+            doc = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise FileNotFoundError(
+                f"{self.path} is not a run directory (no manifest.json)"
+            ) from None
+        if doc.get("schema_version") != ARTIFACT_SCHEMA_VERSION:
+            raise ValueError(
+                f"run manifest {self.manifest_path} has schema_version "
+                f"{doc.get('schema_version')!r}; this build expects "
+                f"{ARTIFACT_SCHEMA_VERSION}"
+            )
+        return doc
+
+    def cell_path(self, cell: Cell) -> Path:
+        return self.cells_dir / f"{cell.index:04d}_{cell.cell_id}.json"
+
+    def write_cell(self, cell: Cell, metrics: Mapping[str, Any], ok: bool) -> Path:
+        path = self.cell_path(cell)
+        _write_json(
+            path,
+            {
+                "schema_version": ARTIFACT_SCHEMA_VERSION,
+                "cell_index": cell.index,
+                "cell_id": cell.cell_id,
+                "workload": cell.workload,
+                "factors": dict(cell.factors),
+                "ok": bool(ok),
+                "metrics": dict(metrics),
+            },
+        )
+        return path
+
+    def completed_cells(self) -> dict[str, dict[str, Any]]:
+        """Map ``cell_id`` -> stored cell document for every finished cell.
+
+        Unreadable or wrong-schema cell files are ignored (they will simply
+        be re-executed on resume) — a torn write from a crashed run must
+        not poison the retry.
+        """
+        done: dict[str, dict[str, Any]] = {}
+        if not self.cells_dir.is_dir():
+            return done
+        for path in sorted(self.cells_dir.glob("*.json")):
+            try:
+                doc = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            if doc.get("schema_version") != ARTIFACT_SCHEMA_VERSION:
+                continue
+            if not isinstance(doc.get("cell_id"), str):
+                continue
+            done[doc["cell_id"]] = doc
+        return done
+
+    def write_report(self, report: Mapping[str, Any], markdown: str) -> None:
+        _write_json(self.path / "report.json", report)
+        (self.path / "report.md").write_text(markdown, encoding="utf-8")

@@ -1,0 +1,198 @@
+"""Cross-run comparison: the CI perf-regression gate.
+
+Two halves with different trust models:
+
+* **Identity checks always hard-fail.**  Every current cell whose ``ok``
+  flag is false (stream mismatch, reduction mismatch, chain/fusion
+  mismatch, service reply mismatch, error-bound violation) fails the
+  comparison unconditionally — correctness does not depend on the host.
+* **Timing gates are CPU-count-gated** (the PR-3 policy): wall-clock
+  regressions beyond ``max_regression_pct`` only fail when the host has
+  enough cores for timings to be meaningful (``os.cpu_count() >= 4`` by
+  default), because a 1-core CI container measures scheduler noise, not
+  kernels.  ``gate_timing="always"`` forces the gate on (used by the
+  gate's own tests), ``"never"`` reports regressions without failing.
+
+Cells are matched between runs by ``cell_id`` — the content hash of
+(workload, factor assignment) — so a reordered or extended table still
+compares the overlapping cells.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.harness.experiments import index as index_mod
+
+__all__ = ["CompareResult", "MIN_CPUS_FOR_TIMING_GATE", "compare_cells", "compare_runs"]
+
+#: The PR-3 policy: timing assertions only bind with this many cores.
+MIN_CPUS_FOR_TIMING_GATE = 4
+
+#: (metric key, direction) pairs the gate inspects per workload.  ``+``
+#: means higher-is-better (throughput), ``-`` lower-is-better (seconds).
+_GATED_METRICS: dict[str, tuple[tuple[str, str], ...]] = {
+    "pipeline": (
+        ("compress_throughput_mbs", "+"),
+        ("reduce_seconds", "-"),
+        ("chain_seconds", "-"),
+    ),
+    "ops_matrix": (("szops_kernel_seconds", "-"),),
+    "fusion": (("fused_seconds", "-"),),
+    "service": (("speedup_batched_vs_unbatched", "+"),),
+}
+
+
+@dataclass
+class CompareResult:
+    """Outcome of one baseline-vs-current comparison."""
+
+    baseline_run: str
+    current_run: str
+    max_regression_pct: float
+    timing_gate_active: bool
+    identity_failures: list[str] = field(default_factory=list)
+    regressions: list[str] = field(default_factory=list)
+    improvements: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    n_compared: int = 0
+
+    @property
+    def ok(self) -> bool:
+        if self.identity_failures:
+            return False
+        if self.timing_gate_active and self.regressions:
+            return False
+        return self.n_compared > 0
+
+    def render(self) -> str:
+        lines = [
+            f"compare: baseline {self.baseline_run} -> current {self.current_run}",
+            f"matched cells: {self.n_compared}; timing gate "
+            + (
+                f"ACTIVE (fail beyond {self.max_regression_pct:g}% regression)"
+                if self.timing_gate_active
+                else "inactive (informational only)"
+            ),
+        ]
+        for msg in self.identity_failures:
+            lines.append(f"IDENTITY FAIL: {msg}")
+        for msg in self.regressions:
+            prefix = "REGRESSION" if self.timing_gate_active else "regression (ungated)"
+            lines.append(f"{prefix}: {msg}")
+        for msg in self.improvements:
+            lines.append(f"improved: {msg}")
+        for msg in self.warnings:
+            lines.append(f"warning: {msg}")
+        lines.append("RESULT: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def _cell_metric(cell: Mapping[str, Any], key: str) -> float | None:
+    value = cell["metrics"].get(key)
+    if isinstance(value, (int, float)) and value > 0:
+        return float(value)
+    return None
+
+
+def _describe(cell: Mapping[str, Any]) -> str:
+    return " ".join(f"{k}={v}" for k, v in cell["factors"].items())
+
+
+def compare_cells(
+    workload: str,
+    baseline_cells: list[Mapping[str, Any]],
+    current_cells: list[Mapping[str, Any]],
+    *,
+    max_regression_pct: float = 20.0,
+    gate_timing: str = "auto",
+    cpu_count: int | None = None,
+    baseline_run: str = "baseline",
+    current_run: str = "current",
+) -> CompareResult:
+    """Gate the current cells against the baseline's matching cells."""
+    if gate_timing not in ("auto", "always", "never"):
+        raise ValueError(f"gate_timing must be auto/always/never, not {gate_timing!r}")
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    active = gate_timing == "always" or (
+        gate_timing == "auto" and cpus >= MIN_CPUS_FOR_TIMING_GATE
+    )
+    result = CompareResult(
+        baseline_run=baseline_run,
+        current_run=current_run,
+        max_regression_pct=max_regression_pct,
+        timing_gate_active=active,
+    )
+
+    by_id = {c["cell_id"]: c for c in baseline_cells}
+    for cell in current_cells:
+        desc = _describe(cell)
+        if not cell["ok"]:
+            result.identity_failures.append(f"cell {desc} has ok=false")
+        base = by_id.get(cell["cell_id"])
+        if base is None:
+            result.warnings.append(f"cell {desc} has no baseline counterpart")
+            continue
+        result.n_compared += 1
+        for key, direction in _GATED_METRICS.get(workload, ()):
+            cur = _cell_metric(cell, key)
+            ref = _cell_metric(base, key)
+            if cur is None or ref is None:
+                continue
+            # Positive pct = got worse, in either direction convention.
+            if direction == "+":
+                pct = 100.0 * (ref - cur) / ref
+            else:
+                pct = 100.0 * (cur - ref) / ref
+            msg = (
+                f"{key} on {desc}: baseline {ref:.6g} -> current {cur:.6g} "
+                f"({pct:+.1f}% {'worse' if pct > 0 else 'better'})"
+            )
+            if pct > max_regression_pct:
+                result.regressions.append(msg)
+            elif pct < -max_regression_pct:
+                result.improvements.append(msg)
+    if result.n_compared == 0:
+        result.warnings.append(
+            "no overlapping cells between baseline and current run"
+        )
+    return result
+
+
+def compare_runs(
+    conn: sqlite3.Connection,
+    baseline_run: str,
+    current_run: str,
+    *,
+    max_regression_pct: float = 20.0,
+    gate_timing: str = "auto",
+    cpu_count: int | None = None,
+) -> CompareResult:
+    """Compare two indexed runs (they must share a workload)."""
+    base = index_mod.get_run(conn, baseline_run)
+    cur = index_mod.get_run(conn, current_run)
+    if base["workload"] != cur["workload"]:
+        raise index_mod.ExperimentIndexError(
+            f"cannot compare workload {base['workload']!r} (baseline) against "
+            f"{cur['workload']!r} (current)"
+        )
+    result = compare_cells(
+        cur["workload"],
+        index_mod.get_cells(conn, baseline_run),
+        index_mod.get_cells(conn, current_run),
+        max_regression_pct=max_regression_pct,
+        gate_timing=gate_timing,
+        cpu_count=cpu_count,
+        baseline_run=baseline_run,
+        current_run=current_run,
+    )
+    if base["config_hash"] != cur["config_hash"]:
+        result.warnings.append(
+            "config hashes differ between runs "
+            f"({base['config_hash'][:8]} vs {cur['config_hash'][:8]}); "
+            "timing comparisons may not be like-for-like"
+        )
+    return result

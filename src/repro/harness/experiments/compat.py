@@ -1,0 +1,115 @@
+"""Legacy ``BENCH_*.json`` shapes emitted from engine runs.
+
+The three historical snapshot producers (``repro bench`` ->
+``BENCH_parallel.json``, the runtime-fusion benchmark ->
+``BENCH_runtime.json``, ``repro bench-serve`` -> ``BENCH_service.json``)
+now execute through the experiment engine; these adapters rebuild their
+documented payload shapes from engine cell documents so every downstream
+consumer keeps working while the engine's artifact/index representation
+stays canonical.
+
+The Figures 5/6 benchmarks consume the engine the other way around:
+:func:`ops_matrix_from_cells` lifts indexed ``ops_matrix`` cells back
+into the :class:`~repro.harness.runner.OpMeasurement` rows the figure
+renderers take.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.harness.runner import OpMeasurement
+
+__all__ = [
+    "bench_parallel_payload",
+    "bench_runtime_payload",
+    "bench_service_payload",
+    "ops_matrix_from_cells",
+]
+
+
+def bench_parallel_payload(
+    manifest: Mapping[str, Any], cells: list[Mapping[str, Any]]
+) -> dict[str, Any]:
+    """Rebuild the ``BENCH_parallel.json`` payload from pipeline cells."""
+    if not cells:
+        raise ValueError("cannot build a parallel bench payload from zero cells")
+    first = cells[0]["metrics"]
+    backends: list[str] = []
+    workers: list[int] = []
+    out_cells: list[dict[str, Any]] = []
+    all_identical = True
+    for cell in cells:
+        m = cell["metrics"]
+        if m["backend"] not in backends:
+            backends.append(m["backend"])
+        if m["workers"] not in workers:
+            workers.append(m["workers"])
+        all_identical = all_identical and bool(cell["ok"])
+        out_cells.append(
+            {
+                "backend": m["backend"],
+                "workers": m["workers"],
+                "compress_seconds": m["compress_seconds"],
+                "compress_stage_seconds": dict(m["compress_stage_seconds"]),
+                "decompress_seconds": m["decompress_seconds"],
+                "reduce_seconds": m["reduce_seconds"],
+                "mean": m["mean"],
+                "variance": m["variance"],
+                "stream_identical": m["stream_identical"],
+                "reductions_identical": m["reductions_identical"],
+            }
+        )
+    return {
+        "experiment": "parallel_backends",
+        "dataset": first["dataset"],
+        "field": first["field"],
+        "n_elements": first["n_elements"],
+        "bytes": first["bytes"],
+        "eps": first["eps"],
+        "block_size": first["block_size"],
+        "repeats": first["repeats"],
+        "workers": sorted(workers),
+        "backends": backends,
+        "cpus": int(manifest["host"]["cpu_count"]),
+        "all_identical": bool(all_identical),
+        "cells": out_cells,
+        "run_id": manifest["run_id"],
+    }
+
+
+def bench_runtime_payload(cells: list[Mapping[str, Any]]) -> dict[str, Any]:
+    """The ``BENCH_runtime.json`` payload (one fusion cell, passed through)."""
+    if len(cells) != 1:
+        raise ValueError(f"runtime-fusion runs hold one cell, got {len(cells)}")
+    payload = dict(cells[0]["metrics"])
+    payload.pop("ok", None)
+    return payload
+
+
+def bench_service_payload(cells: list[Mapping[str, Any]]) -> dict[str, Any]:
+    """The ``BENCH_service.json`` payload (one service cell, passed through)."""
+    if len(cells) != 1:
+        raise ValueError(f"service-batching runs hold one cell, got {len(cells)}")
+    payload = dict(cells[0]["metrics"])
+    payload.pop("ok", None)
+    return payload
+
+
+def ops_matrix_from_cells(cells: list[Mapping[str, Any]]) -> list[OpMeasurement]:
+    """Indexed ``ops_matrix`` cells -> Figure 5/6 measurement rows."""
+    out: list[OpMeasurement] = []
+    for cell in cells:
+        m = cell["metrics"]
+        out.append(
+            OpMeasurement(
+                dataset=m["dataset"],
+                op_name=m["op"],
+                bytes=int(m["bytes"]),
+                szp_decompress_s=float(m["szp_decompress_seconds"]),
+                szp_operate_s=float(m["szp_operate_seconds"]),
+                szp_compress_s=float(m["szp_compress_seconds"]),
+                szops_kernel_s=float(m["szops_kernel_seconds"]),
+            )
+        )
+    return out

@@ -1,0 +1,239 @@
+"""The cross-run SQLite index: longitudinal storage for experiment runs.
+
+One index file accumulates every run's manifest and raw cell metrics, so
+trajectory questions ("has compress throughput on the perf-smoke table
+moved since PR N?") are one SQL query instead of a directory crawl.
+
+Schema (version ``1``)::
+
+    meta(key TEXT PRIMARY KEY, value TEXT)          -- schema_version, ...
+    runs(run_id TEXT PRIMARY KEY, table_name, workload, config_hash,
+         git_sha, created_utc, host_json, n_cells)
+    cells(run_id, cell_index, cell_id, factors_json, metrics_json, ok,
+          PRIMARY KEY (run_id, cell_index))
+
+Opening is *strict*: a file that is not SQLite, lacks the ``meta`` table,
+or carries a different ``schema_version`` raises
+:class:`ExperimentIndexError` with a message that names what was found
+and what this build expects — a half-understood index must never feed
+the regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "INDEX_SCHEMA_VERSION",
+    "ExperimentIndexError",
+    "append_run",
+    "get_cells",
+    "get_run",
+    "latest_run_id",
+    "list_runs",
+    "open_index",
+]
+
+INDEX_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_id      TEXT PRIMARY KEY,
+    table_name  TEXT NOT NULL,
+    workload    TEXT NOT NULL,
+    config_hash TEXT NOT NULL,
+    git_sha     TEXT NOT NULL,
+    created_utc TEXT NOT NULL,
+    host_json   TEXT NOT NULL,
+    n_cells     INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS cells (
+    run_id       TEXT NOT NULL REFERENCES runs(run_id),
+    cell_index   INTEGER NOT NULL,
+    cell_id      TEXT NOT NULL,
+    factors_json TEXT NOT NULL,
+    metrics_json TEXT NOT NULL,
+    ok           INTEGER NOT NULL,
+    PRIMARY KEY (run_id, cell_index)
+);
+CREATE INDEX IF NOT EXISTS cells_by_cell_id ON cells(cell_id);
+CREATE INDEX IF NOT EXISTS runs_by_table ON runs(table_name, created_utc);
+"""
+
+
+class ExperimentIndexError(RuntimeError):
+    """The index file is corrupt, foreign, or from another schema version."""
+
+
+def open_index(path: str | Path, create: bool = False) -> sqlite3.Connection:
+    """Open (or with ``create=True`` initialize) an experiment index.
+
+    Raises :class:`ExperimentIndexError` on anything that is not a
+    readable index at exactly :data:`INDEX_SCHEMA_VERSION`.
+    """
+    path = Path(path)
+    if not create and not path.exists():
+        raise ExperimentIndexError(f"experiment index {path} does not exist")
+    fresh = create and (not path.exists() or path.stat().st_size == 0)
+    if create:
+        path.parent.mkdir(parents=True, exist_ok=True)
+    conn = sqlite3.connect(str(path))
+    conn.row_factory = sqlite3.Row
+    try:
+        if fresh:
+            conn.executescript(_SCHEMA)
+            conn.execute(
+                "INSERT OR REPLACE INTO meta(key, value) VALUES ('schema_version', ?)",
+                (str(INDEX_SCHEMA_VERSION),),
+            )
+            conn.commit()
+        _validate(conn, path)
+    except ExperimentIndexError:
+        conn.close()
+        raise
+    except sqlite3.DatabaseError as exc:
+        conn.close()
+        raise ExperimentIndexError(
+            f"{path} is not a valid experiment index (not a SQLite database: {exc})"
+        ) from exc
+    return conn
+
+
+def _validate(conn: sqlite3.Connection, path: Path) -> None:
+    try:
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+    except sqlite3.DatabaseError as exc:
+        raise ExperimentIndexError(
+            f"{path} is not a valid experiment index: {exc}"
+        ) from exc
+    if row is None:
+        raise ExperimentIndexError(
+            f"{path} has no schema_version in its meta table; it is not an "
+            "experiment index (or was truncated mid-write)"
+        )
+    found = row["value"]
+    if found != str(INDEX_SCHEMA_VERSION):
+        raise ExperimentIndexError(
+            f"{path} uses index schema version {found}; this build reads "
+            f"version {INDEX_SCHEMA_VERSION} only. Re-run `experiment run` "
+            "against a fresh index (old artifact directories can be "
+            "re-indexed) instead of mixing schema generations."
+        )
+
+
+def append_run(
+    conn: sqlite3.Connection,
+    manifest: Mapping[str, Any],
+    cells: Iterable[Mapping[str, Any]],
+) -> None:
+    """Insert one run and its cell documents (idempotent per run_id)."""
+    table = manifest["table"]
+    conn.execute(
+        "INSERT OR REPLACE INTO runs"
+        " (run_id, table_name, workload, config_hash, git_sha, created_utc,"
+        "  host_json, n_cells)"
+        " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+        (
+            manifest["run_id"],
+            table["name"],
+            table["workload"],
+            manifest["config_hash"],
+            manifest["git_sha"],
+            manifest["created_utc"],
+            json.dumps(manifest["host"], sort_keys=True),
+            int(manifest["n_cells"]),
+        ),
+    )
+    conn.execute("DELETE FROM cells WHERE run_id = ?", (manifest["run_id"],))
+    for cell in cells:
+        conn.execute(
+            "INSERT INTO cells"
+            " (run_id, cell_index, cell_id, factors_json, metrics_json, ok)"
+            " VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                manifest["run_id"],
+                int(cell["cell_index"]),
+                cell["cell_id"],
+                json.dumps(cell["factors"], sort_keys=True),
+                json.dumps(cell["metrics"], sort_keys=True),
+                1 if cell["ok"] else 0,
+            ),
+        )
+    conn.commit()
+
+
+def list_runs(
+    conn: sqlite3.Connection, table_name: str | None = None
+) -> list[dict[str, Any]]:
+    """Run summaries, oldest first."""
+    if table_name is None:
+        rows = conn.execute(
+            "SELECT * FROM runs ORDER BY created_utc, run_id"
+        ).fetchall()
+    else:
+        rows = conn.execute(
+            "SELECT * FROM runs WHERE table_name = ? ORDER BY created_utc, run_id",
+            (table_name,),
+        ).fetchall()
+    return [_run_row(r) for r in rows]
+
+
+def _run_row(row: sqlite3.Row) -> dict[str, Any]:
+    return {
+        "run_id": row["run_id"],
+        "table_name": row["table_name"],
+        "workload": row["workload"],
+        "config_hash": row["config_hash"],
+        "git_sha": row["git_sha"],
+        "created_utc": row["created_utc"],
+        "host": json.loads(row["host_json"]),
+        "n_cells": row["n_cells"],
+    }
+
+
+def get_run(conn: sqlite3.Connection, run_id: str) -> dict[str, Any]:
+    row = conn.execute("SELECT * FROM runs WHERE run_id = ?", (run_id,)).fetchone()
+    if row is None:
+        known = [r["run_id"] for r in list_runs(conn)]
+        raise ExperimentIndexError(
+            f"run {run_id!r} is not in the index; known runs: "
+            f"{', '.join(known) if known else '(none)'}"
+        )
+    return _run_row(row)
+
+
+def latest_run_id(
+    conn: sqlite3.Connection, table_name: str | None = None
+) -> str:
+    runs = list_runs(conn, table_name)
+    if not runs:
+        where = f" for table {table_name!r}" if table_name else ""
+        raise ExperimentIndexError(f"the index holds no runs{where}")
+    return runs[-1]["run_id"]
+
+
+def get_cells(conn: sqlite3.Connection, run_id: str) -> list[dict[str, Any]]:
+    """The run's cell documents in cell order (validates the run exists)."""
+    get_run(conn, run_id)
+    rows = conn.execute(
+        "SELECT * FROM cells WHERE run_id = ? ORDER BY cell_index", (run_id,)
+    ).fetchall()
+    return [
+        {
+            "cell_index": r["cell_index"],
+            "cell_id": r["cell_id"],
+            "factors": json.loads(r["factors_json"]),
+            "metrics": json.loads(r["metrics_json"]),
+            "ok": bool(r["ok"]),
+        }
+        for r in rows
+    ]

@@ -1,0 +1,166 @@
+"""Deterministic builder for the golden-file fixture index.
+
+``tests/harness/fixtures/fixture_index.db`` is a checked-in cross-run
+index holding two synthetic runs of a tiny pipeline table, with every
+host-dependent value pinned (timestamps, git SHAs, host info, metrics).
+The golden report files under ``tests/harness/golden/`` are the byte-
+exact rendering of the second run.
+
+Regenerate all three after an intentional schema or rendering change::
+
+    PYTHONPATH=src python tests/harness/fixture_builder.py
+
+The baseline run (``fixture-run-0001``) is deliberately doctored: its
+compress throughput is 10x the current run's, so comparing the two with
+the timing gate forced on must report a regression — the gate's own
+test data lives in the same fixture.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.harness.config import BenchConfig
+from repro.harness.experiments import RunTable, append_run, open_index
+
+FIXTURES_DIR = Path(__file__).resolve().parent / "fixtures"
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+BASELINE_RUN = "fixture-run-0001"
+CURRENT_RUN = "fixture-run-0002"
+
+_TABLE = RunTable(
+    name="fixture-smoke",
+    workload="pipeline",
+    factors={
+        "dataset": ("Miranda",),
+        "eps": (0.001,),
+        "backend": ("serial", "threads"),
+        "workers": (1, 2),
+        "chain_depth": (0,),
+        "clients": (0,),
+    },
+    repeats=3,
+    description="golden-file fixture table (synthetic metrics)",
+)
+
+_HOST = {
+    "platform": "Linux-fixture",
+    "machine": "x86_64",
+    "python": "3.12.0",
+    "cpu_count": 8,
+    "hostname": "fixture-host",
+}
+
+
+def _metrics(slot: int, throughput_scale: float) -> dict:
+    """Synthetic but plausible pipeline metrics, exactly reproducible."""
+    base = 0.010 + 0.002 * slot
+    compress_reps = [base, base * 1.25, base * 1.1]
+    reduce_reps = [0.004 + 0.001 * slot, 0.005 + 0.001 * slot, 0.0045 + 0.001 * slot]
+    return {
+        "dataset": "Miranda",
+        "field": "density",
+        "eps": 0.001,
+        "backend": ("serial", "serial", "threads", "threads")[slot],
+        "workers": (1, 2, 1, 2)[slot],
+        "chain_depth": 0,
+        "clients": 0,
+        "repeats": 3,
+        "n_elements": 13824,
+        "bytes": 55296,
+        "block_size": 64,
+        "compress_seconds": base,
+        "compress_seconds_reps": compress_reps,
+        "compress_stage_seconds": {
+            "QZ": base * 0.5,
+            "LZ": base * 0.2,
+            "BF": base * 0.25,
+        },
+        "compress_throughput_mbs": throughput_scale * (55296 / 1e6) / base,
+        "decompress_seconds": base * 0.6,
+        "decompress_seconds_reps": [base * 0.6, base * 0.7, base * 0.65],
+        "reduce_seconds": min(reduce_reps),
+        "reduce_seconds_reps": reduce_reps,
+        "mean": 0.125,
+        "variance": 0.0625,
+        "stream_identical": True,
+        "reductions_identical": True,
+        "roundtrip_ok": True,
+        "ok": True,
+    }
+
+
+def _manifest(run_id: str, created: str, sha: str) -> dict:
+    return {
+        "schema_version": 1,
+        "run_id": run_id,
+        "created_utc": created,
+        "table": _TABLE.to_json(),
+        "config_hash": _TABLE.config_hash(BenchConfig(scale=0.25)),
+        "git_sha": sha,
+        "host": _HOST,
+        "bench_config": {"scale": 0.25, "seed": 20240624, "max_fields": 4,
+                         "repeats": 1},
+        "n_cells": _TABLE.n_cells,
+    }
+
+
+def _cells(throughput_scale: float) -> list[dict]:
+    return [
+        {
+            "cell_index": cell.index,
+            "cell_id": cell.cell_id,
+            "factors": dict(cell.factors),
+            "metrics": _metrics(cell.index, throughput_scale),
+            "ok": True,
+        }
+        for cell in _TABLE.expand()
+    ]
+
+
+def build_fixture_db(path: Path) -> Path:
+    """Write the two-run fixture index at ``path`` (overwrites)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.exists():
+        path.unlink()
+    conn = open_index(path, create=True)
+    try:
+        append_run(
+            conn,
+            _manifest(BASELINE_RUN, "2026-01-05T09:00:00Z", "a" * 40),
+            _cells(throughput_scale=10.0),
+        )
+        append_run(
+            conn,
+            _manifest(CURRENT_RUN, "2026-01-06T09:00:00Z", "b" * 40),
+            _cells(throughput_scale=1.0),
+        )
+    finally:
+        conn.close()
+    return path
+
+
+def write_goldens() -> None:
+    """Regenerate fixture_index.db and the golden report files."""
+    from repro.harness.experiments import (
+        render_report_json,
+        report_from_index,
+    )
+
+    db = build_fixture_db(FIXTURES_DIR / "fixture_index.db")
+    conn = open_index(db)
+    try:
+        report, markdown = report_from_index(conn, CURRENT_RUN)
+    finally:
+        conn.close()
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    (GOLDEN_DIR / "fixture_report.json").write_text(render_report_json(report))
+    (GOLDEN_DIR / "fixture_report.md").write_text(markdown)
+    print(f"[fixture index -> {db}]")
+    print(f"[goldens -> {GOLDEN_DIR}]")
+
+
+if __name__ == "__main__":
+    sys.exit(write_goldens())

@@ -1,0 +1,207 @@
+"""Regression-gate tests: identity hard-fails, CPU-count-gated timing.
+
+The gate's two halves have different trust models (see
+:mod:`repro.harness.experiments.compare`): an ``ok=false`` cell fails the
+comparison on any host, while timing regressions only fail when the
+timing gate is active — ``always``, or ``auto`` with enough CPUs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.config import BenchConfig
+from repro.harness.experiments import (
+    MIN_CPUS_FOR_TIMING_GATE,
+    ExperimentIndexError,
+    RunTable,
+    append_run,
+    compare_cells,
+    compare_runs,
+    open_index,
+    run_experiment,
+)
+
+
+def make_cell(cell_id: str, *, throughput: float = 100.0, ok: bool = True,
+              reduce_s: float = 0.05) -> dict:
+    return {
+        "cell_index": 0,
+        "cell_id": cell_id,
+        "factors": {"backend": "serial", "workers": 1},
+        "metrics": {
+            "compress_throughput_mbs": throughput,
+            "reduce_seconds": reduce_s,
+        },
+        "ok": ok,
+    }
+
+
+def test_identical_runs_pass_under_any_gate():
+    base = [make_cell("a"), make_cell("b")]
+    for gate in ("auto", "always", "never"):
+        result = compare_cells("pipeline", base, base, gate_timing=gate)
+        assert result.ok, gate
+        assert result.n_compared == 2
+        assert not result.regressions
+
+
+def test_identity_failure_hard_fails_even_with_gate_off():
+    base = [make_cell("a")]
+    cur = [make_cell("a", ok=False)]
+    result = compare_cells(
+        "pipeline", base, cur, gate_timing="never", cpu_count=1
+    )
+    assert not result.ok
+    assert result.identity_failures
+
+
+def test_throughput_regression_fails_when_gate_forced_on():
+    base = [make_cell("a", throughput=100.0)]
+    cur = [make_cell("a", throughput=50.0)]  # 50% worse
+    result = compare_cells("pipeline", base, cur, gate_timing="always")
+    assert result.regressions and not result.ok
+    assert "compress_throughput_mbs" in result.regressions[0]
+
+
+def test_seconds_regression_uses_lower_is_better():
+    base = [make_cell("a", reduce_s=0.05)]
+    cur = [make_cell("a", reduce_s=0.10)]  # 100% slower
+    result = compare_cells("pipeline", base, cur, gate_timing="always")
+    assert result.regressions and not result.ok
+
+
+def test_auto_gate_follows_cpu_count():
+    base = [make_cell("a", throughput=100.0)]
+    cur = [make_cell("a", throughput=50.0)]
+    few = compare_cells(
+        "pipeline", base, cur, gate_timing="auto",
+        cpu_count=MIN_CPUS_FOR_TIMING_GATE - 1,
+    )
+    many = compare_cells(
+        "pipeline", base, cur, gate_timing="auto",
+        cpu_count=MIN_CPUS_FOR_TIMING_GATE,
+    )
+    # The regression is recorded either way; only the verdict differs.
+    assert few.regressions and few.ok and not few.timing_gate_active
+    assert many.regressions and not many.ok and many.timing_gate_active
+
+
+def test_regression_within_threshold_passes():
+    base = [make_cell("a", throughput=100.0)]
+    cur = [make_cell("a", throughput=90.0)]  # 10% worse, threshold 20%
+    result = compare_cells("pipeline", base, cur, gate_timing="always")
+    assert result.ok and not result.regressions
+
+
+def test_improvement_is_reported_not_failed():
+    base = [make_cell("a", throughput=50.0)]
+    cur = [make_cell("a", throughput=200.0)]
+    result = compare_cells("pipeline", base, cur, gate_timing="always")
+    assert result.ok
+    assert result.improvements
+
+
+def test_no_overlap_fails_with_warning():
+    result = compare_cells(
+        "pipeline", [make_cell("a")], [make_cell("b")], gate_timing="always"
+    )
+    assert result.n_compared == 0
+    assert not result.ok
+    assert any("no baseline counterpart" in w for w in result.warnings)
+
+
+def test_bad_gate_mode_rejected():
+    with pytest.raises(ValueError, match="gate_timing"):
+        compare_cells("pipeline", [], [], gate_timing="sometimes")
+
+
+# -- through the index ------------------------------------------------------
+
+
+def _indexed_pair(tmp_path, doctor=None):
+    """Two stub runs in one index; ``doctor`` edits the baseline metrics."""
+    table = RunTable(
+        name="gate-table",
+        workload="pipeline",
+        factors={"backend": ("serial",), "workers": (1, 2)},
+        repeats=1,
+    )
+    cfg = BenchConfig(scale=0.1)
+
+    def execute(cell, table, cfg, ctx):
+        return {
+            "compress_throughput_mbs": 100.0,
+            "reduce_seconds": 0.05,
+            "ok": True,
+        }
+
+    index_path = tmp_path / "experiments.db"
+    baseline = run_experiment(
+        table, cfg, tmp_path / "runs", index_path=index_path, execute=execute
+    )
+    current = run_experiment(
+        table, cfg, tmp_path / "runs", index_path=index_path, execute=execute
+    )
+    if doctor is not None:
+        conn = open_index(index_path)
+        try:
+            manifest = dict(baseline.manifest)
+            cells = [dict(c) for c in baseline.cells]
+            for cell in cells:
+                cell["metrics"] = doctor(dict(cell["metrics"]))
+            append_run(conn, manifest, cells)  # idempotent overwrite
+        finally:
+            conn.close()
+    return index_path, baseline.run_id, current.run_id
+
+
+def test_compare_runs_genuine_pair_passes(tmp_path):
+    index_path, base, cur = _indexed_pair(tmp_path)
+    conn = open_index(index_path)
+    try:
+        result = compare_runs(conn, base, cur, gate_timing="always")
+    finally:
+        conn.close()
+    assert result.ok
+    assert result.n_compared == 2
+    assert "PASS" in result.render()
+
+
+def test_compare_runs_doctored_baseline_fails(tmp_path):
+    def doctor(metrics):
+        metrics["compress_throughput_mbs"] *= 10.0  # current looks 90% worse
+        return metrics
+
+    index_path, base, cur = _indexed_pair(tmp_path, doctor=doctor)
+    conn = open_index(index_path)
+    try:
+        result = compare_runs(conn, base, cur, gate_timing="always")
+        ungated = compare_runs(
+            conn, base, cur, gate_timing="auto", cpu_count=1
+        )
+    finally:
+        conn.close()
+    assert not result.ok
+    assert len(result.regressions) == 2
+    assert "FAIL" in result.render()
+    # same data, inactive gate: recorded but not failed
+    assert ungated.regressions and ungated.ok
+
+
+def test_compare_runs_rejects_workload_mismatch(tmp_path):
+    index_path, base, cur = _indexed_pair(tmp_path)
+    fusion_table = RunTable(
+        name="other", workload="fusion", factors={"dataset": ("Miranda",)}
+    )
+    other = run_experiment(
+        fusion_table, BenchConfig(), tmp_path / "runs",
+        index_path=index_path,
+        execute=lambda *a: {"fused_seconds": 0.01, "ok": True},
+    )
+    conn = open_index(index_path)
+    try:
+        with pytest.raises(ExperimentIndexError, match="workload"):
+            compare_runs(conn, base, other.run_id)
+    finally:
+        conn.close()

@@ -1,0 +1,94 @@
+"""Strict-open behavior of the cross-run index.
+
+A half-understood index must never feed the regression gate, so
+:func:`open_index` rejects anything that is not a readable index at
+exactly the current schema version — with an error that says what was
+found and what this build expects.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.harness.experiments import (
+    INDEX_SCHEMA_VERSION,
+    ExperimentIndexError,
+    latest_run_id,
+    open_index,
+)
+
+
+def test_missing_file_rejected_without_create(tmp_path):
+    with pytest.raises(ExperimentIndexError, match="does not exist"):
+        open_index(tmp_path / "nope.db")
+
+
+def test_create_initializes_and_reopens(tmp_path):
+    path = tmp_path / "experiments.db"
+    open_index(path, create=True).close()
+    conn = open_index(path)  # second open validates, does not re-create
+    try:
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        assert row["value"] == str(INDEX_SCHEMA_VERSION)
+    finally:
+        conn.close()
+
+
+def test_non_sqlite_file_rejected_with_clear_error(tmp_path):
+    path = tmp_path / "junk.db"
+    path.write_text("this is not a sqlite database, not even close\n" * 20)
+    with pytest.raises(ExperimentIndexError, match="not a valid experiment index"):
+        open_index(path)
+
+
+def test_foreign_sqlite_db_rejected(tmp_path):
+    path = tmp_path / "other.db"
+    conn = sqlite3.connect(path)
+    conn.execute("CREATE TABLE users (id INTEGER PRIMARY KEY)")
+    conn.commit()
+    conn.close()
+    with pytest.raises(ExperimentIndexError, match="not a valid experiment index"):
+        open_index(path)
+
+
+def test_truncated_meta_rejected(tmp_path):
+    path = tmp_path / "torn.db"
+    open_index(path, create=True).close()
+    conn = sqlite3.connect(path)
+    conn.execute("DELETE FROM meta")
+    conn.commit()
+    conn.close()
+    with pytest.raises(ExperimentIndexError, match="no schema_version"):
+        open_index(path)
+
+
+@pytest.mark.parametrize("foreign_version", ["0", "99"])
+def test_other_schema_version_rejected_by_name(tmp_path, foreign_version):
+    path = tmp_path / "old.db"
+    open_index(path, create=True).close()
+    conn = sqlite3.connect(path)
+    conn.execute(
+        "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+        (foreign_version,),
+    )
+    conn.commit()
+    conn.close()
+    with pytest.raises(ExperimentIndexError) as err:
+        open_index(path)
+    # the message names both versions so the fix is obvious
+    assert foreign_version in str(err.value)
+    assert str(INDEX_SCHEMA_VERSION) in str(err.value)
+
+
+def test_empty_index_has_no_latest_run(tmp_path):
+    path = tmp_path / "empty.db"
+    conn = open_index(path, create=True)
+    try:
+        with pytest.raises(ExperimentIndexError, match="no runs"):
+            latest_run_id(conn)
+    finally:
+        conn.close()

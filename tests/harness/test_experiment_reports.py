@@ -1,0 +1,106 @@
+"""Golden-file tests for report rendering, on the checked-in fixture index.
+
+``fixtures/fixture_index.db`` holds two synthetic runs with every
+host-dependent value pinned (see ``fixture_builder.py``); the goldens
+under ``golden/`` are the byte-exact rendering of the current run.  A
+rendering change must bump ``REPORT_SCHEMA_VERSION`` and regenerate the
+goldens through the builder — it cannot drift silently past this suite.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.experiments import (
+    REPORT_SCHEMA_VERSION,
+    compare_runs,
+    confidence_interval,
+    open_index,
+    render_report_json,
+    report_from_index,
+)
+
+from tests.harness import fixture_builder
+
+FIXTURE_DB = fixture_builder.FIXTURES_DIR / "fixture_index.db"
+GOLDEN_JSON = fixture_builder.GOLDEN_DIR / "fixture_report.json"
+GOLDEN_MD = fixture_builder.GOLDEN_DIR / "fixture_report.md"
+
+
+@pytest.fixture(scope="module")
+def fixture_report():
+    conn = open_index(FIXTURE_DB)
+    try:
+        return report_from_index(conn, fixture_builder.CURRENT_RUN)
+    finally:
+        conn.close()
+
+
+def test_report_json_is_byte_stable_against_golden(fixture_report):
+    report, _ = fixture_report
+    assert render_report_json(report) == GOLDEN_JSON.read_text()
+
+
+def test_report_markdown_is_byte_stable_against_golden(fixture_report):
+    _, markdown = fixture_report
+    assert markdown == GOLDEN_MD.read_text()
+
+
+def test_golden_report_carries_schema_version():
+    doc = json.loads(GOLDEN_JSON.read_text())
+    assert doc["schema_version"] == REPORT_SCHEMA_VERSION
+    assert doc["summary"]["all_ok"] is True
+    assert doc["summary"]["n_cells"] == 4
+    # repetition statistics made it through with CIs attached
+    timing = doc["cells"][0]["timing"]["compress"]
+    assert timing["n"] == 3 and timing["ci95"] > 0
+
+
+def test_fixture_builder_reproduces_the_goldens(tmp_path):
+    """Regenerating the fixture DB from scratch yields identical bytes."""
+    db = fixture_builder.build_fixture_db(tmp_path / "rebuilt.db")
+    conn = open_index(db)
+    try:
+        report, markdown = report_from_index(conn, fixture_builder.CURRENT_RUN)
+    finally:
+        conn.close()
+    assert render_report_json(report) == GOLDEN_JSON.read_text()
+    assert markdown == GOLDEN_MD.read_text()
+
+
+def test_fixture_doctored_baseline_trips_the_gate():
+    """The fixture pair encodes a 90% throughput drop: gate must fail it."""
+    conn = open_index(FIXTURE_DB)
+    try:
+        gated = compare_runs(
+            conn,
+            fixture_builder.BASELINE_RUN,
+            fixture_builder.CURRENT_RUN,
+            gate_timing="always",
+        )
+        generous = compare_runs(
+            conn,
+            fixture_builder.BASELINE_RUN,
+            fixture_builder.CURRENT_RUN,
+            gate_timing="always",
+            max_regression_pct=95.0,
+        )
+    finally:
+        conn.close()
+    assert not gated.ok and len(gated.regressions) == 4
+    assert generous.ok  # same data clears a 95% threshold
+
+
+def test_confidence_interval_statistics():
+    assert confidence_interval([]) == {"n": 0, "mean": 0.0, "best": 0.0, "ci95": 0.0}
+    assert confidence_interval([0.5]) == {
+        "n": 1, "mean": 0.5, "best": 0.5, "ci95": 0.0,
+    }
+    stat = confidence_interval([1.0, 2.0, 3.0])
+    assert stat["n"] == 3
+    assert stat["mean"] == pytest.approx(2.0)
+    assert stat["best"] == 1.0
+    # t(0.975, df=2) = 4.303; sd = 1, so ci95 = 4.303 / sqrt(3)
+    assert stat["ci95"] == pytest.approx(4.303 / 3**0.5, rel=1e-6)

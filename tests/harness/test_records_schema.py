@@ -1,0 +1,70 @@
+"""BENCH_*.json schema stamping and the tolerant loader.
+
+Historical snapshots (schema version 1) carried no ``schema_version`` or
+``git_sha``; every new write is stamped with both.  The loader reads
+either shape and normalizes — old snapshots come back as version 1 with
+an ``"unknown"`` SHA — while refusing versions newer than this build.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness import BENCH_SCHEMA_VERSION, load_bench_json, save_bench_json
+
+
+def test_save_stamps_version_and_sha(tmp_path):
+    path = save_bench_json({"experiment": "x", "speedup": 2.5}, tmp_path / "b.json")
+    doc = json.loads(path.read_text())
+    assert doc["schema_version"] == BENCH_SCHEMA_VERSION
+    assert isinstance(doc["git_sha"], str) and doc["git_sha"]
+    assert doc["speedup"] == 2.5
+
+
+def test_save_respects_caller_stamps(tmp_path):
+    payload = {"schema_version": 2, "git_sha": "cafebabe", "x": 1}
+    path = save_bench_json(payload, tmp_path / "b.json")
+    doc = json.loads(path.read_text())
+    assert doc["git_sha"] == "cafebabe"
+    # and the caller's dict is not mutated
+    assert payload == {"schema_version": 2, "git_sha": "cafebabe", "x": 1}
+
+
+def test_load_new_shape_round_trips(tmp_path):
+    path = save_bench_json({"experiment": "x"}, tmp_path / "b.json")
+    doc = load_bench_json(path)
+    assert doc["schema_version"] == BENCH_SCHEMA_VERSION
+    assert doc["experiment"] == "x"
+
+
+def test_load_old_shape_is_normalized(tmp_path):
+    # a pre-stamping snapshot, written without save_bench_json
+    path = tmp_path / "old.json"
+    path.write_text(json.dumps({"experiment": "parallel_backends", "cells": []}))
+    doc = load_bench_json(path)
+    assert doc["schema_version"] == 1
+    assert doc["git_sha"] == "unknown"
+    assert doc["experiment"] == "parallel_backends"
+
+
+def test_load_rejects_newer_versions(tmp_path):
+    path = tmp_path / "future.json"
+    path.write_text(json.dumps({"schema_version": BENCH_SCHEMA_VERSION + 1}))
+    with pytest.raises(ValueError, match="schema version"):
+        load_bench_json(path)
+
+
+def test_load_rejects_malformed_version(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema_version": "two"}))
+    with pytest.raises(ValueError, match="malformed schema_version"):
+        load_bench_json(path)
+
+
+def test_load_rejects_non_object_documents(tmp_path):
+    path = tmp_path / "list.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(ValueError, match="JSON benchmark object"):
+        load_bench_json(path)
