@@ -28,6 +28,20 @@ it:
     tracks ``ShmArena`` / ``SharedMemory(create=True)`` segments through
     acquire, use and release along all paths *including exception edges*,
     flagging use-after-release and leak-on-raise/-on-return.
+``ASY001``–``ASY005`` (:mod:`~repro.analysis.dataflow.asyncsafety`)
+    async-safety for the service layer: the engine models every
+    ``await`` / ``async with`` / ``async for`` step as an interleaving
+    point, and the pass checks await-point atomicity of guarded
+    attributes, sync locks held across awaits, blocking calls on the
+    event-loop thread, dropped coroutine/task handles, and deadline
+    propagation (unbounded awaits outside ``asyncio.wait_for``).
+``TNT001`` / ``TNT002`` (:mod:`~repro.analysis.dataflow.taint`)
+    untrusted-input taint on ``wire``-tagged files: bytes read from the
+    network (and lengths/keys derived from them) are tainted until a
+    bounds check or membership/enum validation clears them; tainted
+    sizes reaching allocations and tainted keys reaching dispatch are
+    rejected — mechanically proving the protocol module's frame-cap and
+    MAX_STEPS discipline.
 
 All passes emit the shared :class:`~repro.analysis.findings.Finding`
 type, honor ``# szops: ignore[...]`` suppressions (applied by the linter
@@ -38,26 +52,44 @@ caveats (what the engine deliberately does not model) are documented in
 
 from __future__ import annotations
 
+from repro.analysis.dataflow.asyncsafety import asyncsafety_findings
 from repro.analysis.dataflow.errorprop import check_error_propagation
 from repro.analysis.dataflow.lattice import INT64_MAX, INT64_MIN, Interval, Value
 from repro.analysis.dataflow.lockorder import lockorder_findings
 from repro.analysis.dataflow.ranges import range_findings
 from repro.analysis.dataflow.shmlife import shm_findings
+from repro.analysis.dataflow.taint import taint_findings
 
 __all__ = [
     "INT64_MAX",
     "INT64_MIN",
     "Interval",
     "Value",
+    "asyncsafety_findings",
     "check_error_propagation",
     "lockorder_findings",
     "range_findings",
     "shm_findings",
+    "taint_findings",
     "DATAFLOW_RULES",
 ]
 
 #: Rule ids contributed by the dataflow suite (the driver uses this to
 #: compute the active-rule set for unused-suppression accounting).
 DATAFLOW_RULES = frozenset(
-    {"SZL101", "SZL102", "SZL103", "LCK002", "SHM001", "SHM002"}
+    {
+        "SZL101",
+        "SZL102",
+        "SZL103",
+        "LCK002",
+        "SHM001",
+        "SHM002",
+        "ASY001",
+        "ASY002",
+        "ASY003",
+        "ASY004",
+        "ASY005",
+        "TNT001",
+        "TNT002",
+    }
 )

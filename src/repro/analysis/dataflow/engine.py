@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field, replace
-from typing import Callable, Mapping, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence, Union
 
 from repro.analysis.dataflow.lattice import (
     KIND_BOOL,
@@ -114,20 +114,69 @@ def _dtype_kind_of(node: ast.expr) -> Optional[str]:
     return None
 
 
+def _annotation_ctor(ann: ast.expr) -> Optional[str]:
+    """Class name an attribute annotation types it as, or ``None``.
+
+    Understands ``X``, ``mod.X``, ``X | None`` / ``None | X`` and
+    ``Optional[X]``; builtin scalar annotations are handled separately
+    through ``class_field_kind``.
+    """
+    if isinstance(ann, ast.Name):
+        return None if ann.id in ("int", "float", "bool", "str", "bytes", "None") else ann.id
+    if isinstance(ann, ast.Attribute):
+        return ann.attr
+    if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+        return _annotation_ctor(ann.left) or _annotation_ctor(ann.right)
+    if isinstance(ann, ast.Subscript):
+        base = ann.value
+        name = base.id if isinstance(base, ast.Name) else (
+            base.attr if isinstance(base, ast.Attribute) else None
+        )
+        if name == "Optional" and isinstance(ann.slice, ast.expr):
+            return _annotation_ctor(ann.slice)
+        return None
+    if isinstance(ann, ast.Constant) and ann.value is None:
+        return None
+    return None
+
+
 # ---------------------------------------------------------------------------
 # module context: function / class indexes shared by every pass
 # ---------------------------------------------------------------------------
 
 
+#: Either flavour of function definition: the engine analyzes both, and
+#: the async-safety passes key on which one they are in.
+FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
 @dataclass
 class FuncInfo:
     qualname: str
-    node: ast.FunctionDef
+    node: FuncNode
     class_name: Optional[str] = None
 
     @property
     def is_private(self) -> bool:
         return self.node.name.startswith("_") and not self.node.name.startswith("__")
+
+    @property
+    def is_internal(self) -> bool:
+        """Private function, or any method of a module-private class.
+
+        Every call site of an internal function is visible in this
+        module, so round 2 may refine its parameters to the join of the
+        observed arguments (`_Reader.u16` sees the real wire taint).
+        """
+        return self.is_private or (
+            self.class_name is not None
+            and self.class_name.startswith("_")
+            and not self.node.name.startswith("__")
+        )
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
 
 
 @dataclass
@@ -148,14 +197,13 @@ class ModuleContext:
         ctx = ModuleContext(path=path, tree=tree)
         for node in tree.body:
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                if isinstance(node, ast.FunctionDef):
-                    ctx.functions[node.name] = FuncInfo(node.name, node)
+                ctx.functions[node.name] = FuncInfo(node.name, node)
             elif isinstance(node, ast.ClassDef):
                 ctx.classes[node.name] = node
                 ctors: dict[str, str] = {}
                 kinds: dict[str, str] = {}
                 for item in node.body:
-                    if isinstance(item, ast.FunctionDef):
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
                         qn = f"{node.name}.{item.name}"
                         ctx.functions[qn] = FuncInfo(qn, item, class_name=node.name)
                     elif isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
@@ -185,6 +233,18 @@ class ModuleContext:
                             )
                             if cname:
                                 ctors[stmt.targets[0].attr] = cname
+                        elif (
+                            isinstance(stmt, ast.AnnAssign)
+                            and isinstance(stmt.target, ast.Attribute)
+                            and isinstance(stmt.target.value, ast.Name)
+                            and stmt.target.value.id == "self"
+                        ):
+                            # `self.backend: ExecutionBackend | None = ...`
+                            # types the attribute even when the assigned
+                            # expression is conditional
+                            cname = _annotation_ctor(stmt.annotation)
+                            if cname and stmt.target.attr not in ctors:
+                                ctors[stmt.target.attr] = cname
                 ctx.class_attr_ctor[node.name] = ctors
                 ctx.class_field_kind[node.name] = kinds
         return ctx
@@ -247,11 +307,12 @@ class _TryFrame:
 
 
 class _WithFrame:
-    __slots__ = ("node", "bound")
+    __slots__ = ("node", "bound", "is_async")
 
-    def __init__(self, node: ast.With, bound: list[str]) -> None:
+    def __init__(self, node: Union[ast.With, ast.AsyncWith], bound: list[str]) -> None:
         self.node = node
         self.bound = bound
+        self.is_async = isinstance(node, ast.AsyncWith)
 
 
 class Interpreter:
@@ -276,6 +337,9 @@ class Interpreter:
         self._break_states: list[list[State]] = []
         self._returns: list[Value] = []
         self._reported_sites: set[tuple[str, int, int]] = set()
+        #: ids of Call nodes that are the direct operand of an ``await``
+        #: (so ``on_call`` can tell an awaited call from a bare one)
+        self._awaited_calls: set[int] = set()
 
     # ------------------------------------------------------------------ hooks
 
@@ -340,11 +404,27 @@ class Interpreter:
     def on_with_enter(self, item: ast.withitem, value: Value, path: Optional[str], state: State) -> None:
         """Called when a with-item context is entered."""
 
-    def on_with_exit(self, node: ast.With, state: State) -> None:
+    def on_with_exit(self, node: Union[ast.With, ast.AsyncWith], state: State) -> None:
         """Called when a with-block exits normally."""
 
     def on_raise(self, stmt: ast.Raise, state: State) -> None:
         """Called at explicit raise statements."""
+
+    def on_await(self, node: ast.AST, value: Optional[Value], state: State) -> None:
+        """Called at every await point — an ``await`` expression, an
+        ``async with`` enter/exit, or an ``async for`` iteration step.
+
+        Every await is an interleaving point: any other coroutine on the
+        event loop (and, through ``run_in_executor`` hand-offs, any pool
+        thread) may run before control returns.  The async-safety passes
+        key their atomicity and lock-discipline checks on this hook.
+        """
+
+    def check_slice(self, node: ast.Subscript, bounds: list[Value], state: State) -> None:
+        """Called for every slice expression with its bound values (taint)."""
+
+    def check_index(self, node: ast.Subscript, index: Value, state: State) -> None:
+        """Called for every non-slice subscript with its index value (taint)."""
 
     # ------------------------------------------------------------------ report
 
@@ -422,8 +502,10 @@ class Interpreter:
         return state
 
     def _note_raise_point(self, stmt: ast.stmt, state: State) -> None:
+        # Awaits may raise even without a call operand (CancelledError,
+        # or the awaited task's stored exception).
         may_raise = isinstance(stmt, ast.Raise) or any(
-            isinstance(n, (ast.Call, ast.Subscript)) for n in ast.walk(stmt)
+            isinstance(n, (ast.Call, ast.Subscript, ast.Await)) for n in ast.walk(stmt)
         )
         if not may_raise:
             return
@@ -464,9 +546,9 @@ class Interpreter:
             return self.join_states(t, f)
         if isinstance(stmt, ast.While):
             return self._exec_loop(stmt, state, test=stmt.test)
-        if isinstance(stmt, ast.For):
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
             return self._exec_loop(stmt, state, for_node=stmt)
-        if isinstance(stmt, ast.With):
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
             return self._exec_with(stmt, state)
         if isinstance(stmt, ast.Try):
             return self._exec_try(stmt, state)
@@ -528,7 +610,10 @@ class Interpreter:
             if isinstance(value_node, (ast.Tuple, ast.List)) and len(value_node.elts) == len(target.elts):
                 elts_vals = [self.eval(e, state) for e in value_node.elts]
             else:
-                elts_vals = [Value.obj()] * len(target.elts)
+                # elements of a tainted aggregate are tainted
+                # (`(length,) = struct.unpack("<I", header)`)
+                elt = Value(tainted=value.tainted)
+                elts_vals = [elt] * len(target.elts)
             for sub, sv in zip(target.elts, elts_vals):
                 self.assign_target(sub, sv, None, stmt, state)
             return
@@ -564,7 +649,7 @@ class Interpreter:
         stmt: ast.stmt,
         state: State,
         test: Optional[ast.expr] = None,
-        for_node: Optional[ast.For] = None,
+        for_node: Optional[Union[ast.For, ast.AsyncFor]] = None,
     ) -> State:
         body = stmt.body  # type: ignore[attr-defined]
         orelse = stmt.orelse  # type: ignore[attr-defined]
@@ -584,6 +669,10 @@ class Interpreter:
             body_in = st.copy()
             if for_node is not None:
                 self.assign_target(for_node.target, elem, None, stmt, body_in)
+                if isinstance(for_node, ast.AsyncFor):
+                    # each __anext__ is an await: an interleaving point at
+                    # the top of every iteration
+                    self.on_await(stmt, None, body_in)
             elif test is not None:
                 body_in = self.refine(body_in, test, True)
             body_out = self.exec_block(body, body_in)
@@ -601,7 +690,8 @@ class Interpreter:
             exit_state = self.exec_block(orelse, exit_state)
         return exit_state
 
-    def _exec_with(self, stmt: ast.With, state: State) -> State:
+    def _exec_with(self, stmt: Union[ast.With, ast.AsyncWith], state: State) -> State:
+        is_async = isinstance(stmt, ast.AsyncWith)
         bound: list[str] = []
         for item in stmt.items:
             v = self.eval(item.context_expr, state)
@@ -616,10 +706,16 @@ class Interpreter:
             if p:
                 bound.append(p)
             self.on_with_enter(item, v, p, state)
+        if is_async:
+            # __aenter__ awaits *before* this frame's context is held
+            self.on_await(stmt, None, state)
         frame = _WithFrame(stmt, bound)
         self.frames.append(frame)
         out = self.exec_block(stmt.body, state)
         self.frames.pop()
+        if is_async and out.reachable:
+            # __aexit__ awaits after the frame's own context is released
+            self.on_await(stmt, None, out)
         self.on_with_exit(stmt, out)
         return out
 
@@ -726,16 +822,27 @@ class Interpreter:
             self.eval(node.value, state)
             return Value.obj()
         if isinstance(node, ast.Subscript):
-            if isinstance(node.slice, ast.expr):
-                self.eval(node.slice, state)
+            if isinstance(node.slice, ast.Slice):
+                sbounds = [
+                    self.eval(b, state)
+                    for b in (node.slice.lower, node.slice.upper)
+                    if b is not None
+                ]
+                if node.slice.step is not None:
+                    self.eval(node.slice.step, state)
+                self.check_slice(node, sbounds, state)
+            elif isinstance(node.slice, ast.expr):
+                idx = self.eval(node.slice, state)
+                self.check_index(node, idx, state)
             p = path_of(node)
             if p is not None:
                 # Evaluate the base too so attribute-load hooks see it
                 # (`shm.buf[0]` must still count as a read of shm.buf).
                 self.eval(node.value, state)
                 return self._load_path(p, state)
-            self.eval(node.value, state)
-            return Value.obj()
+            bv = self.eval(node.value, state)
+            # an element of tainted bytes is tainted
+            return Value(KIND_OBJ, Interval.top(), tainted=bv.tainted)
         if isinstance(node, ast.UnaryOp):
             v = self.eval(node.operand, state)
             if isinstance(node.op, ast.USub):
@@ -765,6 +872,13 @@ class Interpreter:
             return t.join(f)
         if isinstance(node, ast.Call):
             return self.eval_call(node, state)
+        if isinstance(node, ast.Await):
+            inner = node.value
+            if isinstance(inner, ast.Call):
+                self._awaited_calls.add(id(inner))
+            v = self.eval(inner, state)
+            self.on_await(node, v, state)
+            return v
         if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
             for e in node.elts:
                 self.eval(e, state)
@@ -810,7 +924,13 @@ class Interpreter:
             if not itv.fits_int64():
                 itv = Interval.top()  # the concrete op wraps
         origin = self._abssum_origin(op, lv, rv, lpath, rpath)
-        return Value(kind=kind, itv=itv, quantized=quantized, origin=origin)
+        return Value(
+            kind=kind,
+            itv=itv,
+            quantized=quantized,
+            origin=origin,
+            tainted=lv.tainted or rv.tainted,
+        )
 
     @staticmethod
     def _abssum_origin(
@@ -892,11 +1012,17 @@ class Interpreter:
         # ---- builtins -------------------------------------------------
         if fp == "int" and args:
             a = args[0]
-            return Value(KIND_PYINT, a.itv, quantized=a.quantized, origin=a.origin or self._arg_id(node, 0))
+            return Value(
+                KIND_PYINT,
+                a.itv,
+                quantized=a.quantized,
+                origin=a.origin or self._arg_id(node, 0),
+                tainted=a.tainted,
+            )
         if fp == "float" and args:
             a = args[0]
             finite = a.kind in (KIND_PYINT, KIND_I64, KIND_BOOL) or a.finite
-            return Value(KIND_FLOAT, a.itv, quantized=a.quantized, finite=finite, origin=a.origin)
+            return Value(KIND_FLOAT, a.itv, quantized=a.quantized, finite=finite, origin=a.origin, tainted=a.tainted)
         if fp == "abs" and args:
             a = args[0]
             origin = None
@@ -905,7 +1031,7 @@ class Interpreter:
             src = self._arg_id(node, 0) or a.origin
             if src and src[0] == "id":
                 origin = ("abs", src[1])
-            return Value(a.kind if a.kind != KIND_BOOL else KIND_PYINT, a.itv.abs(), quantized=a.quantized, origin=origin)
+            return Value(a.kind if a.kind != KIND_BOOL else KIND_PYINT, a.itv.abs(), quantized=a.quantized, origin=origin, tainted=a.tainted)
         if fp == "len" and node.args:
             p = path_of(node.args[0])
             return Value(KIND_PYINT, Interval(0, None), origin=("size", p) if p else None)
@@ -918,6 +1044,13 @@ class Interpreter:
             return out.with_origin(None)
         if fp in ("range", "enumerate", "zip", "sorted", "list", "tuple", "dict", "set", "isinstance", "print", "repr", "str", "format", "getattr", "hasattr"):
             return Value.obj()
+
+        # ---- struct: unpacking tainted bytes yields tainted numbers ---
+        if root == "struct" and leaf in ("unpack", "unpack_from"):
+            tainted = any(a.tainted for a in args) or any(
+                v.tainted for v in kwargs.values()
+            )
+            return Value(KIND_OBJ, Interval.top(), tainted=tainted)
 
         # ---- numpy / math --------------------------------------------
         if root in _NUMPY_ROOTS:
@@ -1138,6 +1271,16 @@ class Interpreter:
                 self._havoc_args(node, state)
                 summary = self.summaries.get(qn)
                 return summary if summary is not None else Value.obj()
+        # ctor-typed receiver → method of that module-local class
+        # (`r = _Reader(buf); r.u16(...)` resolves to `_Reader.u16`)
+        if recv.ctor is not None and recv_path != "self":
+            qn = f"{recv.ctor}.{meth}"
+            callee = self.ctx.functions.get(qn)
+            if callee is not None:
+                self.call_args.setdefault(qn, []).append((args, kwargs))
+                self._havoc_args(node, state)
+                summary = self.summaries.get(qn)
+                return summary if summary is not None else Value.obj()
         return None
 
     def _resolve_local(self, fp: str) -> Optional[FuncInfo]:
@@ -1207,13 +1350,41 @@ class Interpreter:
         left, right = test.left, test.comparators[0]
         lv = self.eval(left, state.copy())
         rv = self.eval(right, state.copy())
+        if isinstance(op, (ast.In, ast.NotIn)):
+            # membership in a known table is a validation fact
+            if branch == isinstance(op, ast.In):
+                self._clear_taint(state, left)
+            return state
         lc = self._const_of(lv)
         rc = self._const_of(rv)
         if rc is not None and lc is None:
             self._refine_against_const(state, left, lv, op, rc, branch, mirrored=False)
         elif lc is not None and rc is None:
             self._refine_against_const(state, right, rv, op, lc, branch, mirrored=True)
+        else:
+            # No interval information without a constant side, but an
+            # upper-bound comparison against *anything* (`n <= max_frame`,
+            # `pos + n > len(buf)` on the false edge) still counts as a
+            # bounds check: the guarded side stops being tainted.
+            opname = type(op).__name__
+            if not branch:
+                opname = {"Lt": "GtE", "LtE": "Gt", "Gt": "LtE", "GtE": "Lt"}.get(opname, "skip")
+            if opname in ("Lt", "LtE"):
+                self._clear_taint(state, left)
+            elif opname in ("Gt", "GtE"):
+                self._clear_taint(state, right)
         return state
+
+    def _clear_taint(self, state: State, node: ast.expr) -> None:
+        """Clear the taint bit on every pathed load inside ``node``."""
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Name, ast.Attribute, ast.Subscript)):
+                p = path_of(sub)
+                if p is None:
+                    continue
+                v = state.env.get(p)
+                if v is not None and v.tainted:
+                    state.env[p] = v.with_tainted(False)
 
     @staticmethod
     def _const_of(v: Value) -> Optional[float]:
@@ -1255,7 +1426,15 @@ class Interpreter:
         p = path_of(node)
         if p:
             pv = state.env.get(p, self.seed(p))
-            state.env[p] = pv.with_itv(pv.itv.meet(upper))
+            pv = pv.with_itv(pv.itv.meet(upper))
+            if opname in ("Lt", "LtE", "Eq") and pv.tainted:
+                # a finite upper bound is a bounds-check guard fact
+                pv = pv.with_tainted(False)
+            state.env[p] = pv
+        elif opname in ("Lt", "LtE", "Eq"):
+            # compound left side (`pos + n < limit`): no single binding to
+            # narrow, but the upper bound still sanitizes its operands
+            self._clear_taint(state, node)
         # 2) origin-directed effects
         origin = val.origin
         if origin is None:
@@ -1296,6 +1475,7 @@ def analyze_module(
     source_path: str,
     tree: ast.Module,
     make_interp: Callable[[ModuleContext, Mapping[str, Value]], Interpreter],
+    ctx: Optional[ModuleContext] = None,
 ) -> tuple[list[Finding], dict[str, FunctionResult]]:
     """Run a pass over every function with two-round call summaries.
 
@@ -1304,8 +1484,13 @@ def analyze_module(
     re-analyzes everything with the full summary table, refining private
     functions' parameters to the join of their observed arguments.
     Findings are taken from round 2 only.
+
+    ``ctx`` lets the driver share one :class:`ModuleContext` (and the
+    parse it indexes) across every pass over the same file; the context
+    is read-only during analysis.
     """
-    ctx = ModuleContext.build(source_path, tree)
+    if ctx is None:
+        ctx = ModuleContext.build(source_path, tree)
     summaries: dict[str, Value] = {}
     observed: dict[str, list[tuple[list[Value], dict[str, Value]]]] = {}
     for qn, fn in ctx.functions.items():
@@ -1318,7 +1503,7 @@ def analyze_module(
     findings: list[Finding] = []
     results: dict[str, FunctionResult] = {}
     for qn, fn in ctx.functions.items():
-        params = _observed_params(fn, observed.get(qn)) if fn.is_private else None
+        params = _observed_params(fn, observed.get(qn)) if fn.is_internal else None
         interp = make_interp(ctx, summaries)
         res = interp.run(fn, params=params)
         findings.extend(res.findings)

@@ -190,12 +190,20 @@ def _resolve_kernel(
     return None
 
 
-def check_error_propagation(source_path: str, source: str) -> list[Finding]:
-    """Run the SZL103 declaration cross-check over one module."""
-    try:
-        tree = ast.parse(source, filename=source_path)
-    except SyntaxError:
-        return []
+def check_error_propagation(
+    source_path: str,
+    source: str,
+    tree: Optional[ast.Module] = None,
+) -> list[Finding]:
+    """Run the SZL103 declaration cross-check over one module.
+
+    ``tree`` lets the driver share one parse across every pass.
+    """
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=source_path)
+        except SyntaxError:
+            return []
     parsed = _literal_propagation(tree)
     if parsed is None:
         return []

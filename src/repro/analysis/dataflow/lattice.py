@@ -14,6 +14,8 @@ Two layers:
     taint (this value carries quantization bins whose overflow would be
     silent data corruption), a finiteness fact for floats, a symbolic
     *origin* (``('absmax', path)`` etc.) that branch refinement keys on,
+    an untrusted-input ``tainted`` bit (wire bytes and anything derived
+    from them, cleared by bounds-check refinement — the TNT passes),
     and an optional constructor class name (used by the lock-order and
     shm-lifetime passes to type objects).
 
@@ -224,6 +226,12 @@ class Value:
     #: Class name when this value is a freshly constructed instance of a
     #: class known to the current pass (lock-order / shm-lifetime typing).
     ctor: Optional[str] = None
+    #: Untrusted-input taint: this value is wire bytes (or a length/index
+    #: arithmetically derived from them) that no bounds check has
+    #: validated yet.  Set by the taint pass's sources, propagated by the
+    #: engine through arithmetic/casts/subscripts, cleared by comparison
+    #: refinement (an upper-bound guard is a validation fact).
+    tainted: bool = False
 
     # -------------------------------------------------------------- factories
 
@@ -262,6 +270,7 @@ class Value:
             and (other.finite or other.itv.empty),
             origin=self.origin if self.origin == other.origin else None,
             ctor=self.ctor if self.ctor == other.ctor else None,
+            tainted=self.tainted or other.tainted,
         )
 
     def with_itv(self, itv: Interval) -> "Value":
@@ -269,6 +278,9 @@ class Value:
 
     def with_origin(self, origin: Optional[tuple[str, ...]]) -> "Value":
         return replace(self, origin=origin)
+
+    def with_tainted(self, tainted: bool) -> "Value":
+        return replace(self, tainted=tainted)
 
 
 def _join_kind(a: str, b: str) -> str:

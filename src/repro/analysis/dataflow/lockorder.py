@@ -351,14 +351,23 @@ class _LockOrderPass:
         return "<unknown>"
 
 
-def lockorder_findings(sources: Mapping[str, str]) -> list[Finding]:
-    """Run the lock-order pass over a set of modules (path → source)."""
+def lockorder_findings(
+    sources: Mapping[str, str],
+    trees: Optional[Mapping[str, ast.Module]] = None,
+) -> list[Finding]:
+    """Run the lock-order pass over a set of modules (path → source).
+
+    ``trees`` supplies already-parsed modules keyed by the same paths so
+    the driver's single parse is shared; missing entries are parsed here.
+    """
     pass_ = _LockOrderPass()
     for path, source in sources.items():
-        try:
-            tree = ast.parse(source, filename=path)
-        except SyntaxError:
-            continue
+        tree = trees.get(path) if trees is not None else None
+        if tree is None:
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError:
+                continue
         pass_.add_module(path, tree)
     pass_.analyze()
     return pass_.findings

@@ -355,15 +355,25 @@ class ShmLifePass(Interpreter):
             )
 
 
-def shm_findings(source_path: str, source: str) -> list[Finding]:
-    """Run the shm-lifetime pass over one module's source."""
-    try:
-        tree = ast.parse(source, filename=source_path)
-    except SyntaxError:
-        return []
+def shm_findings(
+    source_path: str,
+    source: str,
+    tree: Optional[ast.Module] = None,
+    ctx: Optional[ModuleContext] = None,
+) -> list[Finding]:
+    """Run the shm-lifetime pass over one module's source.
 
-    def make(ctx: ModuleContext, summaries: Mapping[str, Value]) -> Interpreter:
-        return ShmLifePass(ctx, summaries, source_path=source_path)
+    ``tree``/``ctx`` let the driver share one parse and one module index
+    across every pass over the same file.
+    """
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=source_path)
+        except SyntaxError:
+            return []
 
-    findings, _ = analyze_module(source_path, tree, make)
+    def make(c: ModuleContext, summaries: Mapping[str, Value]) -> Interpreter:
+        return ShmLifePass(c, summaries, source_path=source_path)
+
+    findings, _ = analyze_module(source_path, tree, make, ctx=ctx)
     return findings

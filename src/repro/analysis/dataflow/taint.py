@@ -1,0 +1,310 @@
+"""TNT001/TNT002: untrusted-input taint tracking for wire-facing code.
+
+Frame payloads arrive from the network: every byte a peer sends — and
+every length, count, opcode or key decoded from those bytes — is
+attacker-controlled until a bounds check validates it.  The protocol
+module's documented discipline ("a hostile length prefix never
+allocates", the 64 MiB ``DEFAULT_MAX_FRAME`` cap, the ``MAX_STEPS``
+chain cap) is exactly a taint property, so this pass proves it
+mechanically instead of trusting the docstring.
+
+Sources (set the :attr:`Value.tainted` bit):
+
+* parameters named like wire buffers (``payload``, ``buf``, ``header``,
+  ``blob``, ``frame``, ``raw``, ``packet``, ``body``, ``wire``) and
+  ``self.*`` fields initialized from them;
+* results of stream reads: ``reader.readexactly`` / ``read`` /
+  ``readuntil`` / ``readline`` / ``recv``;
+* anything the engine derives from a tainted value: arithmetic,
+  ``int()``/``float()`` casts, ``struct.unpack`` of tainted bytes,
+  subscripts of tainted buffers.
+
+Sanitizers (clear the bit — handled inside the engine's branch
+refinement, so guards in either ``if ok: use`` or ``if bad: raise``
+polarity count):
+
+* a finite upper-bound comparison (``n <= 64``, ``count > MAX_STEPS``
+  on the raise edge, ``pos + n > len(buf)`` on the raise edge);
+* membership in a known table (``op in HANDLERS``);
+* constructing a module-local class from the value — ``Opcode(raw)``
+  either validates or raises, so enum dispatch sanitizes naturally.
+
+Sinks:
+
+``TNT001`` — a tainted *integer* reaching an allocation-sized operation:
+    ``bytearray(n)`` / ``bytes(n)``, ``np.empty``/``zeros``/``ones``/
+    ``full``/``frombuffer(count=)``/``fromiter``, a slice bound, or the
+    byte count of a further ``readexactly``/``read``.  Tainted *bytes*
+    flowing into ``bytes(blob)`` are fine — only sizes allocate.
+``TNT002`` — a tainted value used as a dispatch or store key without
+    validation: subscripting a handler/dispatch/registry table (or an
+    ALL-CAPS module table), ``getattr`` with a tainted name, or a
+    ``get``/``pop``/``put`` keyed into a store-like receiver.
+
+The pass only runs on files tagged ``wire`` (the ``repro.service``
+tree, loose fixture files, or anything opting in with a
+``# szops-lint-scope: wire`` header): taint names like ``buf`` are
+meaningful at trust boundaries, noise in a kernel.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Mapping, Optional
+
+from repro.analysis.dataflow.engine import (
+    Interpreter,
+    ModuleContext,
+    State,
+    analyze_module,
+    path_of,
+    terminal_name,
+)
+from repro.analysis.dataflow.lattice import (
+    KIND_I64,
+    KIND_PYINT,
+    Interval,
+    Value,
+)
+from repro.analysis.findings import Finding
+
+__all__ = ["taint_findings", "TaintPass"]
+
+_INT_KINDS = (KIND_PYINT, KIND_I64)
+
+#: Parameter names treated as wire input at function entry.
+_TAINT_PARAMS = frozenset(
+    {"payload", "blob", "buf", "frame", "header", "raw", "packet", "body", "wire"}
+)
+#: Stream-read methods whose *result* is wire bytes (and whose size
+#: argument is itself a TNT001 sink).
+_SOURCE_METHS = frozenset({"readexactly", "readuntil", "readline", "read", "recv"})
+_NP_ALLOC = frozenset({"empty", "zeros", "ones", "full", "frombuffer", "fromiter"})
+_NUMPY_ROOTS = frozenset({"np", "numpy"})
+_DISPATCH_HINTS = ("handler", "dispatch", "registry", "route", "table", "vtable")
+_STORE_HINTS = ("store", "registry", "cache")
+_STORE_KEY_METHS = frozenset({"get", "pop", "delete", "remove", "fetch", "put"})
+#: Methods whose result is *derived from* the receiver's bytes: taint
+#: flows through (``payload[4:].decode()`` is still wire input).
+_DERIVE_METHS = frozenset(
+    {"decode", "strip", "lstrip", "rstrip", "lower", "upper", "split", "hex", "tobytes"}
+)
+
+
+def _dispatchish(path: str) -> bool:
+    t = terminal_name(path)
+    return t.isupper() or any(h in t.lower() for h in _DISPATCH_HINTS)
+
+
+def _storeish(path: str) -> bool:
+    t = terminal_name(path).lower()
+    return any(h in t for h in _STORE_HINTS)
+
+
+def _tainted_fields(ctx: ModuleContext) -> dict[str, frozenset[str]]:
+    """Per class: ``self.<attr>`` fields initialized from wire params."""
+    out: dict[str, frozenset[str]] = {}
+    for cname, cls in ctx.classes.items():
+        init = next(
+            (
+                i
+                for i in cls.body
+                if isinstance(i, ast.FunctionDef) and i.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            continue
+        fields = set()
+        for stmt in ast.walk(init):
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Attribute)
+                and isinstance(stmt.targets[0].value, ast.Name)
+                and stmt.targets[0].value.id == "self"
+                and any(
+                    isinstance(n, ast.Name) and n.id in _TAINT_PARAMS
+                    for n in ast.walk(stmt.value)
+                )
+            ):
+                fields.add(stmt.targets[0].attr)
+        if fields:
+            out[cname] = frozenset(fields)
+    return out
+
+
+class TaintPass(Interpreter):
+    """TNT001/TNT002 over one wire-tagged module."""
+
+    def __init__(
+        self,
+        ctx: ModuleContext,
+        summaries: Optional[Mapping[str, Value]] = None,
+        source_path: str = "<module>",
+    ) -> None:
+        super().__init__(ctx, summaries, source_path=source_path)
+        self._fields = _tainted_fields(ctx)
+
+    # ------------------------------------------------------------------ sources
+
+    def seed(self, path: str) -> Value:
+        v = super().seed(path)
+        if "." not in path and "[" not in path and path in _TAINT_PARAMS:
+            return v.with_tainted(True)
+        if (
+            path.startswith("self.")
+            and self.current is not None
+            and self.current.class_name
+        ):
+            attr = path[len("self.") :]
+            if attr in self._fields.get(self.current.class_name, frozenset()):
+                return v.with_tainted(True)
+        return v
+
+    # ------------------------------------------------------------------ sinks
+
+    def on_call(
+        self,
+        node: ast.Call,
+        func_path: Optional[str],
+        args: list[Value],
+        kwargs: dict[str, Value],
+        state: State,
+    ) -> Optional[Value]:
+        meth = node.func.attr if isinstance(node.func, ast.Attribute) else ""
+
+        if func_path in ("bytearray", "bytes") and args:
+            self._check_size(node, args[0], f"{func_path}()")
+        if meth in _SOURCE_METHS and args:
+            self._check_size(node, args[0], f".{meth}() byte count")
+        if func_path is not None:
+            root = func_path.split(".", 1)[0]
+            leaf = func_path.rsplit(".", 1)[-1]
+            if root in _NUMPY_ROOTS and leaf in _NP_ALLOC:
+                if args:
+                    self._check_size(node, args[0], f"np.{leaf}() shape")
+                count = kwargs.get("count")
+                if count is not None:
+                    self._check_size(node, count, f"np.{leaf}(count=)")
+        if func_path == "getattr" and len(args) >= 2 and args[1].tainted:
+            self.report(
+                "TNT002",
+                node,
+                "attacker-controlled attribute name reaches getattr() "
+                "without validation: a hostile frame selects which "
+                "attribute the server resolves",
+                hint="validate the name against an explicit allow-list "
+                "(membership in a known table clears the taint)",
+            )
+        if (
+            meth in _STORE_KEY_METHS
+            and args
+            and args[0].tainted
+            and args[0].kind not in _INT_KINDS
+        ):
+            recv = path_of(node.func.value) if isinstance(node.func, ast.Attribute) else None
+            if recv is not None and _storeish(recv):
+                self.report(
+                    "TNT002",
+                    node,
+                    f"attacker-controlled key reaches `{recv}.{meth}()` "
+                    "without validation: a hostile frame addresses "
+                    "arbitrary store entries",
+                    hint="validate the key (length/charset or membership) "
+                    "before using it to address the store",
+                )
+
+        if meth in _SOURCE_METHS:
+            # the bytes read from the stream are wire input
+            return Value(tainted=True)
+        if meth in _DERIVE_METHS and isinstance(node.func, ast.Attribute):
+            rp = path_of(node.func.value)
+            rv = state.env.get(rp) if rp is not None else None
+            if rv is not None and rv.tainted:
+                return Value(tainted=True)
+        return None
+
+    def _check_size(self, node: ast.Call, size: Value, what: str) -> None:
+        if size.tainted and size.kind in _INT_KINDS:
+            self.report(
+                "TNT001",
+                node,
+                f"attacker-controlled size reaches {what} with no bounds "
+                "check on any path: a hostile length prefix drives the "
+                "allocation directly",
+                hint="compare the value against an explicit cap (e.g. "
+                "DEFAULT_MAX_FRAME) before allocating; the guard may "
+                "raise or branch, either polarity counts",
+            )
+
+    def check_slice(self, node: ast.Subscript, bounds: list[Value], state: State) -> None:
+        # no int-kind gate here: slice bounds are integers by
+        # construction, so any tainted bound is a tainted size even when
+        # the kind lattice has lost precision (e.g. joined with OBJ).
+        for b in bounds:
+            if b.tainted:
+                self.report(
+                    "TNT001",
+                    node,
+                    "attacker-controlled slice bound with no bounds check "
+                    "on any path: a hostile length walks past the intended "
+                    "byte budget",
+                    hint="guard the bound against the buffer length (e.g. "
+                    "`if pos + n > len(buf): raise`) before slicing",
+                )
+                return
+
+    def check_index(self, node: ast.Subscript, index: Value, state: State) -> None:
+        if not index.tainted:
+            return
+        base = path_of(node.value)
+        if base is not None and _dispatchish(base):
+            self.report(
+                "TNT002",
+                node,
+                f"attacker-controlled value indexes the dispatch table "
+                f"`{base}` without validation: an unknown opcode must be "
+                "rejected, not looked up",
+                hint="validate first — enum construction (`Opcode(raw)`) "
+                "or membership (`raw in TABLE`) both clear the taint",
+            )
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def taint_findings(
+    source_path: str,
+    source: str,
+    tree: Optional[ast.Module] = None,
+    ctx: Optional[ModuleContext] = None,
+    wire: Optional[bool] = None,
+) -> list[Finding]:
+    """Run the taint pass (TNT001/TNT002) over one module.
+
+    ``wire`` overrides the scope-tag gate; when ``None`` the file's scope
+    tags decide (only ``wire``-tagged files are analyzed).
+    """
+    if wire is None:
+        from repro.analysis.linter import scope_tags
+
+        wire = "wire" in scope_tags(Path(source_path), source)
+    if not wire:
+        return []
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=source_path)
+        except SyntaxError:
+            return []
+    if ctx is None:
+        ctx = ModuleContext.build(source_path, tree)
+
+    def make(c: ModuleContext, summaries: Mapping[str, Value]) -> Interpreter:
+        return TaintPass(c, summaries, source_path=source_path)
+
+    findings, _ = analyze_module(source_path, tree, make, ctx=ctx)
+    return findings

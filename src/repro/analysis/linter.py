@@ -44,10 +44,13 @@ _SCOPE_MARKER_RE = re.compile(r"#\s*szops-lint-scope:[ \t]*(?P<tags>[\w, \t-]+)"
 #: ad-hoc targets): all expression-level scopes, but not the module
 #: convention scope — a loose file must opt into ``ops-module`` with a
 #: ``# szops-lint-scope: ops-module`` marker.
-_LOOSE_FILE_TAGS = frozenset({"ops", "codec", "runtime"})
+_LOOSE_FILE_TAGS = frozenset({"ops", "codec", "runtime", "wire"})
 
 _CODEC_DIRS = {"core", "bitstream", "encoding", "baselines", "transforms"}
 _RUNTIME_DIRS = {"runtime", "parallel", "service"}
+#: Directories whose files sit on the network trust boundary: the taint
+#: pass (TNT001/TNT002) only runs on ``wire``-tagged files.
+_WIRE_DIRS = {"service"}
 
 
 def default_target() -> Path:
@@ -91,6 +94,8 @@ def scope_tags(path: Path, source: str) -> frozenset[str]:
         tags.add("codec")
     elif rel and rel[0] in _RUNTIME_DIRS:
         tags.add("runtime")
+    if rel and rel[0] in _WIRE_DIRS:
+        tags.add("wire")
     return frozenset(tags)
 
 
@@ -159,23 +164,30 @@ def _lint_file_raw(
     path: Path,
     select: Sequence[str] | None = None,
     tags: frozenset[str] | None = None,
+    tree: ast.Module | None = None,
 ) -> list[Finding]:
-    """File-level rule findings with no suppression applied."""
+    """File-level rule findings with no suppression applied.
+
+    ``tree`` lets the caller share one parse across every pass over the
+    same file (the ``analyze_paths`` driver parses each file exactly
+    once).
+    """
     if tags is None:
         tags = scope_tags(path, source)
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [
-            Finding(
-                rule="SZL000",
-                path=str(path),
-                line=exc.lineno or 0,
-                message=f"file does not parse: {exc.msg}",
-                hint="fix the syntax error; unparseable files cannot be "
-                "checked against any invariant",
-            )
-        ]
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    rule="SZL000",
+                    path=str(path),
+                    line=exc.lineno or 0,
+                    message=f"file does not parse: {exc.msg}",
+                    hint="fix the syntax error; unparseable files cannot be "
+                    "checked against any invariant",
+                )
+            ]
     ctx = RuleContext(path=path, source=source, tree=tree, tags=tags)
     findings: list[Finding] = []
     for rule in _selected(all_rules(), select):
@@ -298,15 +310,19 @@ def analyze_paths(
         # Local import: plain lint must not pay for the abstract
         # interpreter (or fail if it ever grows optional deps).
         from repro.analysis.dataflow import (
+            asyncsafety_findings,
             check_error_propagation,
             lockorder_findings,
             range_findings,
             shm_findings,
+            taint_findings,
         )
+        from repro.analysis.dataflow.engine import ModuleContext
 
     def _want(f: Finding) -> bool:
         return wanted is None or f.rule in wanted
 
+    trees: dict[str, ast.Module] = {}
     for path in targets:
         try:
             source = path.read_text()
@@ -321,21 +337,43 @@ def analyze_paths(
             )
             continue
         sources[path] = source
-        raw = _lint_file_raw(source, path, select=select)
+        # One parse per file, shared by the syntactic rules and every
+        # dataflow pass (each pass used to re-parse and re-index the
+        # module on its own — pure duplicated work).
+        tags = scope_tags(path, source)
+        tree: ast.Module | None
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            tree = None
+        raw = _lint_file_raw(source, path, select=select, tags=tags, tree=tree)
         if dataflow:
             shadow_by_path[str(path)] = [
                 f for f in raw if f.rule in _SHADOWED_IN_DATAFLOW
             ]
             raw = [f for f in raw if f.rule not in _SHADOWED_IN_DATAFLOW]
-            raw.extend(
-                f
-                for f in (
-                    range_findings(str(path), source)
-                    + check_error_propagation(str(path), source)
-                    + shm_findings(str(path), source)
+            if tree is not None:
+                trees[str(path)] = tree
+                ctx = ModuleContext.build(str(path), tree)
+                raw.extend(
+                    f
+                    for f in (
+                        range_findings(str(path), source, tree=tree, ctx=ctx)
+                        + check_error_propagation(str(path), source, tree=tree)
+                        + shm_findings(str(path), source, tree=tree, ctx=ctx)
+                        + asyncsafety_findings(
+                            str(path), source, tree=tree, ctx=ctx
+                        )
+                        + taint_findings(
+                            str(path),
+                            source,
+                            tree=tree,
+                            ctx=ctx,
+                            wire="wire" in tags,
+                        )
+                    )
+                    if _want(f)
                 )
-                if _want(f)
-            )
         if run_lockcheck and (wanted is None or "LCK001" in wanted):
             from repro.analysis.lockcheck import lockcheck_source
 
@@ -348,7 +386,9 @@ def analyze_paths(
             for f in rule.project_checker(project_ctx):
                 raw_by_path.setdefault(f.path, []).append(f)
     if dataflow:
-        for f in lockorder_findings({str(p): s for p, s in sources.items()}):
+        for f in lockorder_findings(
+            {str(p): s for p, s in sources.items()}, trees=trees
+        ):
             if _want(f):
                 raw_by_path.setdefault(f.path, []).append(f)
 

@@ -14,6 +14,7 @@ block geometry (64-element blocks, Table VI).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -486,8 +487,10 @@ def run_runtime_fusion(
     chain = [("negation", None), ("scalar_multiply", scalar), ("mean", None)]
     reps = max(cfg.repeats, min_repeats)
 
-    def best(fn, prepare=None) -> tuple[float, float]:
-        best_s, value = float("inf"), None
+    def best(
+        fn: Callable[[], float], prepare: Callable[[], object] | None = None
+    ) -> tuple[float, float]:
+        best_s, value = float("inf"), float("nan")
         for _ in range(reps):
             if prepare is not None:
                 prepare()

@@ -7,7 +7,7 @@ from typing import Sequence
 __all__ = ["render_table", "format_value"]
 
 
-def format_value(value) -> str:
+def format_value(value: object) -> str:
     """Human-friendly cell formatting (3 significant-ish digits)."""
     if isinstance(value, float):
         if value == 0:
@@ -30,7 +30,7 @@ def render_table(
         for i, h in enumerate(headers)
     ]
 
-    def fmt_row(values) -> str:
+    def fmt_row(values: Sequence[object]) -> str:
         return "| " + " | ".join(str(v).ljust(w) for v, w in zip(values, widths)) + " |"
 
     lines = []

@@ -105,6 +105,10 @@ class ServiceConfig:
     verify_streams: bool = True
     #: How long shutdown waits for in-flight requests to finish.
     drain_timeout_s: float = 10.0
+    #: Cap on one reply write's ``drain()``: a peer that stops reading
+    #: (zero receive window) otherwise parks the sending coroutine —
+    #: and the connection's request slot — forever.
+    send_timeout_s: float = 30.0
     #: Ops/test knob: artificial kernel delay per OP/REDUCE, for load and
     #: drain drills (exposed as ``repro serve --debug-delay-s``).
     debug_delay_s: float = 0.0
@@ -218,9 +222,13 @@ class ServiceServer:
             )
             for task in pending:
                 task.cancel()
-        self.pool.shutdown(wait=True)
+        # Pool/backend teardown joins worker threads: blocking calls that
+        # must not run on the event loop (a sibling server on the same
+        # loop would stall mid-request).  to_thread, not run_in_executor
+        # on self.pool — the pool cannot run the job that joins itself.
+        await asyncio.to_thread(self.pool.shutdown, True)
         if self.backend is not None:
-            self.backend.close()
+            await asyncio.to_thread(self.backend.close)
 
     # ------------------------------------------------------------------ connection loop
 
@@ -278,7 +286,13 @@ class ServiceServer:
                     protocol.encode_reply(reply), self.config.max_frame
                 )
             )
-            await writer.drain()
+            # drain() has no intrinsic bound: a peer advertising a zero
+            # receive window parks this coroutine (and the connection's
+            # serve slot) forever, escaping the request deadline.
+            await asyncio.wait_for(writer.drain(), self.config.send_timeout_s)
+        except asyncio.TimeoutError:
+            self.telemetry.increment("send_timeouts")
+            writer.close()  # byte sync is gone; the reader loop unwinds
         except (ConnectionError, OSError):
             self.telemetry.increment("send_failures")  # peer went away
 

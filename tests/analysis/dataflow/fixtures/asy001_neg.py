@@ -1,0 +1,43 @@
+"""Negative ASY001 fixture: await-point atomicity is preserved.
+
+``add`` holds the asyncio lock across the whole read-modify-write, so no
+other coroutine can interleave; ``bump`` re-reads after the await so the
+write-back is derived from fresh state; ``Plain`` declares no
+``_GUARDED_ATTRS`` contract, so its attributes are not checked.
+"""
+
+import asyncio
+
+
+class Counter:
+    _GUARDED_ATTRS = ("_total", "_count")
+
+    def __init__(self) -> None:
+        self._total = 0
+        self._count = 0
+        self._lock = asyncio.Lock()
+
+    async def _fetch_delta(self) -> int:
+        await asyncio.sleep(0)
+        return 1
+
+    async def add(self, delta: int) -> None:
+        async with self._lock:
+            snapshot = self._total
+            extra = await self._fetch_delta()
+            self._total = snapshot + delta + extra  # lock held: atomic
+
+    async def bump(self) -> None:
+        await asyncio.sleep(0)
+        base = self._count  # fresh read, no await before the write
+        self._count = base + 1
+
+
+class Plain:
+    def __init__(self) -> None:
+        self._total = 0
+
+    async def add(self) -> None:
+        snapshot = self._total
+        await asyncio.sleep(0)
+        self._total = snapshot + 1  # no _GUARDED_ATTRS contract

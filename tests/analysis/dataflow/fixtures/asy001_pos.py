@@ -1,0 +1,34 @@
+"""Positive ASY001 fixture: guarded-attribute RMWs straddling an await.
+
+Both methods read a ``_GUARDED_ATTRS`` attribute, hit an interleaving
+point, then write back a value derived from the stale read — another
+coroutine may have updated the attribute in between, so the write-back
+loses its update.
+"""
+
+import asyncio
+
+
+class Counter:
+    _GUARDED_ATTRS = ("_total", "_count")
+
+    def __init__(self) -> None:
+        self._total = 0
+        self._count = 0
+
+    async def _fetch_delta(self) -> int:
+        await asyncio.sleep(0)
+        return 1
+
+    async def add(self, delta: int) -> None:
+        snapshot = self._total
+        extra = await self._fetch_delta()
+        self._total = snapshot + delta + extra  # stale write-back
+
+    async def bump(self) -> None:
+        base = self._count
+        await asyncio.sleep(0)
+        self._count = base + 1  # stale write-back
+
+    async def augment(self) -> None:
+        self._total += await self._fetch_delta()  # RMW spans the await

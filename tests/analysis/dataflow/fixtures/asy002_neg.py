@@ -1,0 +1,30 @@
+"""Negative ASY002 fixture: locks and awaits kept apart.
+
+``refresh`` uses an *asyncio* lock, which suspends instead of blocking;
+``publish`` releases the sync lock before awaiting; ``snapshot`` holds
+the sync lock but never awaits inside it.
+"""
+
+import asyncio
+import threading
+
+
+class Cache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._alock = asyncio.Lock()
+        self._data = {}
+
+    async def refresh(self) -> None:
+        async with self._alock:
+            await asyncio.sleep(0.1)  # asyncio lock: suspending, fine
+
+    async def publish(self) -> None:
+        self._lock.acquire()
+        items = dict(self._data)
+        self._lock.release()
+        await asyncio.sleep(0.1)  # lock already released
+
+    async def snapshot(self) -> dict:
+        with self._lock:
+            return dict(self._data)  # no await while held

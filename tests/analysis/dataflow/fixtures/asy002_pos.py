@@ -1,0 +1,24 @@
+"""Positive ASY002 fixture: a synchronous lock held across an await.
+
+While the coroutine is parked at the await, the thread's lock stays
+held — any other coroutine (or thread) that needs it deadlocks the
+event loop.  Both the ``with`` form and an explicit ``acquire()`` are
+covered.
+"""
+
+import asyncio
+import threading
+
+
+class Cache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    async def refresh(self) -> None:
+        with self._lock:
+            await asyncio.sleep(0.1)  # sync lock held across await
+
+    async def publish(self) -> None:
+        self._lock.acquire()
+        await asyncio.sleep(0.1)  # explicit acquire, still held
+        self._lock.release()

@@ -1,0 +1,30 @@
+"""Negative ASY003 fixture: blocking work is handed off, not run inline.
+
+The blocking callables are *passed* to an executor / ``to_thread``
+rather than called on the loop; sync functions may block freely; and
+``asyncio.sleep`` suspends instead of blocking.
+"""
+
+import asyncio
+import time
+
+
+def _crunch() -> None:
+    time.sleep(1.0)
+
+
+class Worker:
+    async def tick(self) -> None:
+        await asyncio.sleep(0.5)  # suspends, does not block
+
+    async def offload(self) -> None:
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, time.sleep, 0.5)  # handed off
+
+    async def crunch(self) -> None:
+        await asyncio.to_thread(_crunch)  # handed off
+
+
+def batch() -> None:
+    time.sleep(1.0)  # sync context: blocking is fine
+    _crunch()

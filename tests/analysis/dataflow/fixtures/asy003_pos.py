@@ -1,0 +1,25 @@
+"""Positive ASY003 fixture: blocking calls on the event-loop thread.
+
+Each call parks the whole event loop, not just the calling coroutine:
+``time.sleep`` directly, ``open``/``read`` doing filesystem I/O, and a
+synchronous helper that blocks one level down the call chain.
+"""
+
+import time
+
+
+class Worker:
+    async def tick(self) -> None:
+        time.sleep(0.5)  # blocks the loop
+
+    async def load(self, path: str) -> bytes:
+        with open(path, "rb") as fh:  # filesystem I/O on the loop
+            return fh.read()
+
+
+def _crunch() -> None:
+    time.sleep(1.0)
+
+
+async def pipeline() -> None:
+    _crunch()  # blocks transitively via the sync helper

@@ -1,0 +1,34 @@
+"""Negative ASY004 fixture: every task handle is retired.
+
+Awaiting the task, registering a done-callback after transferring
+ownership to a live set, passing handles into ``gather``, and returning
+the task to the caller all count as retirement.
+"""
+
+import asyncio
+
+
+async def _job() -> None:
+    await asyncio.sleep(0)
+
+
+async def awaited_task() -> None:
+    task = asyncio.create_task(_job())
+    await task
+
+
+async def stored_with_callback(active: set) -> None:
+    task = asyncio.ensure_future(_job())
+    active.add(task)  # ownership escapes to the caller's registry
+    task.add_done_callback(active.discard)
+
+
+async def gathered() -> None:
+    first = asyncio.create_task(_job())
+    second = asyncio.create_task(_job())
+    await asyncio.gather(first, second)
+
+
+async def handed_back() -> "asyncio.Task":
+    task = asyncio.create_task(_job())
+    return task  # caller takes ownership

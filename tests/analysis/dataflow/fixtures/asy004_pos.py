@@ -1,0 +1,26 @@
+"""Positive ASY004 fixture: dropped coroutine and task handles.
+
+A bare coroutine call never runs; a task whose handle is discarded (or
+falls out of scope without an await, a done-callback, or an ownership
+transfer) can be garbage-collected mid-flight and its exceptions are
+silently lost.
+"""
+
+import asyncio
+
+
+async def _job() -> None:
+    await asyncio.sleep(0)
+
+
+async def fire_and_forget() -> None:
+    asyncio.ensure_future(_job())  # handle discarded immediately
+
+
+async def leak_handle() -> None:
+    task = asyncio.create_task(_job())  # never awaited or stored
+    return None
+
+
+async def never_awaited() -> None:
+    _job()  # bare coroutine: never runs at all

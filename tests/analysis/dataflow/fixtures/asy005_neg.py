@@ -1,0 +1,26 @@
+"""Negative ASY005 fixture: deadlines cover every unbounded await.
+
+``serve`` wraps each peer-controlled wait in ``asyncio.wait_for``;
+``accept_loop`` has unbounded awaits but no ``wait_for`` anywhere, so it
+expresses no deadline intent and is out of scope; ``settle`` passes an
+explicit timeout to ``.wait()``.
+"""
+
+import asyncio
+
+
+class Conn:
+    async def serve(self, reader, writer) -> None:
+        payload = await asyncio.wait_for(reader.readexactly(4), 1.0)
+        writer.write(payload)
+        await asyncio.wait_for(writer.drain(), 5.0)
+
+    async def accept_loop(self, reader) -> None:
+        while True:
+            chunk = await reader.read(4096)  # no deadline intent here
+            if not chunk:
+                return
+
+    async def settle(self, done: "asyncio.Event") -> None:
+        await asyncio.wait_for(asyncio.sleep(0), 1.0)
+        await done.wait(timeout=2.0)  # bounded by explicit timeout

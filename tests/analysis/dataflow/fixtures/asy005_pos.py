@@ -1,0 +1,25 @@
+"""Positive ASY005 fixture: deadline intent without deadline coverage.
+
+Each function shows it *has* a deadline discipline (it uses
+``asyncio.wait_for`` somewhere) but still awaits an unbounded operation
+outside it — directly (``drain``, ``read``) or transitively through a
+local coroutine that drains without a timeout.
+"""
+
+import asyncio
+
+
+class Conn:
+    async def _push(self, writer) -> None:
+        writer.write(b"x")
+        await writer.drain()  # unbounded, but _push has no deadline intent
+
+    async def serve(self, reader, writer) -> None:
+        payload = await asyncio.wait_for(reader.readexactly(4), 1.0)
+        await self._push(writer)  # transitively unbounded
+        await writer.drain()  # directly unbounded
+
+
+async def fetch(reader) -> bytes:
+    header = await asyncio.wait_for(reader.readexactly(4), 1.0)
+    return await reader.read(100)  # peer controls how long this waits

@@ -1,0 +1,46 @@
+"""Negative TNT001 fixture: every wire-derived size is bounds-checked.
+
+The same shapes as the positive fixture, but each decoded length passes
+an explicit cap (raise polarity) or buffer-length guard before reaching
+the allocation, so the taint is cleared on the surviving path.
+"""
+
+import struct
+
+MAX_FRAME = 1 << 16
+
+
+def read_frame(header: bytes) -> bytearray:
+    (length,) = struct.unpack("<I", header)
+    n = int(length)
+    if n > MAX_FRAME:
+        raise ValueError("oversized frame")
+    return bytearray(n)  # capped
+
+
+class _Reader:
+    def __init__(self, buf: bytes) -> None:
+        self._buf = buf
+        self._pos = 0
+
+    def take(self, n: int) -> bytes:
+        if n < 0 or self._pos + n > len(self._buf):
+            raise ValueError("truncated buffer")
+        out = self._buf[self._pos : self._pos + n]  # guarded
+        self._pos += n
+        return out
+
+    def u32(self) -> int:
+        return int(struct.unpack("<I", self.take(4))[0])
+
+    def blob(self) -> bytes:
+        return self.take(self.u32())
+
+
+async def read_payload(reader) -> bytes:
+    header = await reader.readexactly(4)
+    (raw,) = struct.unpack("<I", header)
+    n = int(raw)
+    if n > MAX_FRAME:
+        raise ValueError("oversized payload")
+    return await reader.readexactly(n)  # capped

@@ -1,0 +1,37 @@
+"""Positive TNT001 fixture: wire-derived sizes reach allocations unchecked.
+
+A length prefix decoded from peer bytes drives ``bytearray``, a slice
+bound, and a further ``readexactly`` byte count with no cap on any
+path — a hostile peer picks the allocation size.
+"""
+
+import struct
+
+
+def read_frame(header: bytes) -> bytearray:
+    (length,) = struct.unpack("<I", header)
+    n = int(length)
+    return bytearray(n)  # no cap: peer-sized allocation
+
+
+class _Reader:
+    def __init__(self, buf: bytes) -> None:
+        self._buf = buf
+        self._pos = 0
+
+    def take(self, n: int) -> bytes:
+        out = self._buf[self._pos : self._pos + n]  # unguarded slice bound
+        self._pos += n
+        return out
+
+    def u32(self) -> int:
+        return int(struct.unpack("<I", self.take(4))[0])
+
+    def blob(self) -> bytes:
+        return self.take(self.u32())
+
+
+async def read_payload(reader) -> bytes:
+    header = await reader.readexactly(4)
+    (n,) = struct.unpack("<I", header)
+    return await reader.readexactly(int(n))  # peer-sized read

@@ -1,0 +1,47 @@
+"""Negative TNT002 fixture: dispatch inputs are validated first.
+
+Membership checks (either polarity), enum construction, and an
+allow-list gate all clear the taint before the value is used to
+dispatch.
+"""
+
+import enum
+
+HANDLERS = {1: "put", 2: "get"}
+OP_TABLE = {0: "nop", 1: "add"}
+
+
+class Opcode(enum.IntEnum):
+    PUT = 1
+    GET = 2
+
+
+def dispatch(payload: bytes) -> str:
+    op = payload[0]
+    if op not in HANDLERS:
+        raise ValueError("unknown opcode")
+    return HANDLERS[op]  # validated by membership
+
+
+def dispatch_enum(payload: bytes) -> str:
+    raw = payload[0]
+    op = Opcode(raw)  # enum construction validates or raises
+    return OP_TABLE[int(op) - 1]
+
+
+class Router:
+    def __init__(self) -> None:
+        self.store = {}
+        self._allowed = frozenset({"status", "version"})
+
+    def route(self, payload: bytes) -> object:
+        name = payload[1:].decode("utf-8", "ignore")
+        if name in self._allowed:
+            return getattr(self, name)  # allow-listed
+        raise ValueError("unknown route")
+
+    def lookup(self, payload: bytes) -> object:
+        key = payload[4:].decode("utf-8", "ignore")
+        if key not in self.store:
+            raise KeyError("unknown entry")
+        return self.store.get(key)

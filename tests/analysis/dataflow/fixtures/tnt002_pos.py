@@ -1,0 +1,26 @@
+"""Positive TNT002 fixture: wire-derived values reach dispatch unvalidated.
+
+A raw opcode byte indexes the handler table, a peer-supplied name
+reaches ``getattr``, and a peer-supplied key addresses the store — all
+without any membership or enum validation.
+"""
+
+HANDLERS = {1: "put", 2: "get"}
+
+
+def dispatch(payload: bytes) -> str:
+    op = payload[0]
+    return HANDLERS[op]  # unknown opcode looked up, not rejected
+
+
+class Router:
+    def __init__(self) -> None:
+        self.store = {}
+
+    def route(self, payload: bytes) -> object:
+        name = payload[1:].decode("utf-8", "ignore")
+        return getattr(self, name)  # peer selects the attribute
+
+    def lookup(self, payload: bytes) -> object:
+        key = payload[4:].decode("utf-8", "ignore")
+        return self.store.get(key)  # peer addresses the store

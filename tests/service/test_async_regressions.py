@@ -1,0 +1,94 @@
+"""Event-loop-safety regressions surfaced by the ASY dataflow pass.
+
+Two defects the async-safety analysis found in the server (and this PR
+fixed) are pinned here so they cannot regress:
+
+* ``shutdown`` used to join the kernel pool (and close the backend)
+  *on the event loop* — a blocking call (ASY003) that froze every other
+  coroutine on the loop for as long as the slowest in-flight kernel.
+* ``_send`` used to await ``writer.drain()`` with no deadline (ASY005) —
+  a peer advertising a zero receive window parked the sending coroutine,
+  and its connection slot, forever.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from contextlib import suppress
+
+from repro.service import ServiceConfig
+from repro.service.protocol import BodyKind, Reply, Status
+from repro.service.server import ServiceServer
+
+
+def test_shutdown_keeps_event_loop_responsive() -> None:
+    """Joining the pool must happen off-loop: other coroutines keep running."""
+
+    async def main() -> None:
+        server = ServiceServer(ServiceConfig(drain_timeout_s=1.0))
+        release = threading.Event()
+        server.pool.submit(release.wait, 5.0)  # a slow in-flight kernel job
+        threading.Timer(0.4, release.set).start()
+
+        ticks = 0
+
+        async def heartbeat() -> None:
+            nonlocal ticks
+            while True:
+                await asyncio.sleep(0.02)
+                ticks += 1
+
+        hb = asyncio.create_task(heartbeat())
+        t0 = time.perf_counter()
+        await server.shutdown()
+        elapsed = time.perf_counter() - t0
+        hb.cancel()
+        with suppress(asyncio.CancelledError):
+            await hb
+        # shutdown genuinely waited for the pool job ...
+        assert elapsed >= 0.3
+        # ... and the loop stayed live the whole time (pre-fix: 0 ticks,
+        # because pool.shutdown(wait=True) ran on the loop thread).
+        assert ticks >= 5
+
+    asyncio.run(main())
+
+
+class _StalledWriter:
+    """A peer that accepts bytes but never makes progress on drain()."""
+
+    def __init__(self) -> None:
+        self.closed = False
+        self.written = b""
+
+    def write(self, data: bytes) -> None:
+        self.written += data
+
+    async def drain(self) -> None:
+        await asyncio.Event().wait()  # never set: zero receive window
+
+    def close(self) -> None:
+        self.closed = True
+
+
+def test_send_applies_deadline_to_stalled_peer() -> None:
+    """A zero-window peer costs at most send_timeout_s, not forever."""
+
+    async def main() -> None:
+        server = ServiceServer(ServiceConfig(send_timeout_s=0.1))
+        try:
+            writer = _StalledWriter()
+            reply = Reply(
+                status=Status.ERROR, kind=BodyKind.MESSAGE, message="pong"
+            )
+            # Pre-fix this await never returned; the outer wait_for is the
+            # test's own safety net, not part of the contract.
+            await asyncio.wait_for(server._send(writer, reply), timeout=5.0)
+            assert writer.closed  # byte sync is gone, connection torn down
+            assert server.telemetry.counter("send_timeouts") == 1
+        finally:
+            await server.shutdown()
+
+    asyncio.run(main())
