@@ -52,12 +52,15 @@ def bit_width(values: npt.ArrayLike) -> npt.NDArray[np.uint8]:
         if v.size and int(v.min()) < 0:
             raise ValueError("bit_width expects non-negative values")
         v = v.astype(np.uint64)
+    if v.size == 1:
+        # Scalar fast path: the per-block width scan calls this with single
+        # maxima; int.bit_length beats six whole-array rounds by ~20x.
+        return np.full(v.shape, int(v.reshape(-1)[0]).bit_length(), dtype=np.uint8)
     out = np.zeros(v.shape, dtype=np.uint8)
     work = v.astype(np.uint64, copy=True)
     # Branch-free bit-length: repeatedly shift and accumulate.  At most 64
     # iterations of whole-array ops; in practice the loop exits after
     # ceil(log2(max)) rounds because all lanes hit zero together.
-    shift = np.uint64(32)
     for step in (32, 16, 8, 4, 2, 1):
         shift = np.uint64(step)
         mask = work >= (np.uint64(1) << shift)
@@ -163,7 +166,13 @@ def unpack_bits(
         )
     window = np.unpackbits(raw[first_byte:last_byte])
     start = bit_offset - first_byte * 8
-    return window[start : start + nbits]
+    out = window[start : start + nbits]
+    if not out.flags.writeable:
+        # Guarantee a mutable result even when the expansion is elided for a
+        # bytes-backed (read-only) buffer; callers mutate decoded windows
+        # in place.
+        out = out.copy()
+    return out
 
 
 def pack_uints(values: npt.ArrayLike, width: int) -> npt.NDArray[np.uint8]:

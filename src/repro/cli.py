@@ -153,6 +153,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", type=Path, default=None, help="write bench JSON here")
 
     p = sub.add_parser(
+        "bench-bitpack",
+        help="microbenchmark the bitpack kernel variants (kernel x width)",
+        description=(
+            "Run the bitpack-kernels table through the experiment engine: "
+            "pack/unpack throughput for every registered kernel variant at "
+            "each bit width over a fixed random lane array, asserting "
+            "payload byte-identity against the bitarray reference and exact "
+            "round-trips. See docs/KERNELS.md."
+        ),
+    )
+    p.add_argument(
+        "--widths",
+        default=None,
+        help="comma-separated bit widths (default 1,2,3,4,5,8,11,12,16,24,32)",
+    )
+    p.add_argument(
+        "--size",
+        type=int,
+        default=1 << 20,
+        help="lanes per cell (default 1048576)",
+    )
+    p.add_argument("--repeats", type=int, default=None, help="repeat count override")
+    p.add_argument(
+        "-o", "--output", type=Path, default=None, help="write the cell JSON here"
+    )
+
+    p = sub.add_parser(
         "serve",
         help="run the compressed-array op server",
         description=(
@@ -565,6 +592,51 @@ def _cmd_bench(args) -> int:
     return 0 if result.all_ok else 1
 
 
+def _cmd_bench_bitpack(args) -> int:
+    """The bitpack-kernels microbenchmark, executed through the engine."""
+    import json
+    import tempfile
+
+    from repro.harness.experiments import (
+        get_table,
+        render_report_markdown,
+        run_experiment,
+    )
+
+    kwargs: dict = {"size": args.size}
+    if args.widths is not None:
+        try:
+            widths = tuple(int(part) for part in args.widths.split(","))
+        except ValueError:
+            print(f"error: bad --widths {args.widths!r}", file=sys.stderr)
+            return 2
+        if not widths or any(w < 0 or w > 64 for w in widths):
+            print("error: widths must be in [0, 64]", file=sys.stderr)
+            return 2
+        kwargs["widths"] = widths
+    table = get_table("bitpack-kernels", **kwargs)
+    if args.repeats is not None:
+        import dataclasses
+
+        table = dataclasses.replace(table, repeats=args.repeats)
+    cfg = _bench_cfg(args)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-bitpack-") as tmp:
+        result = run_experiment(table, cfg, tmp)
+    print(render_report_markdown(result.report))
+    if args.output is not None:
+        cells = [dict(cell["metrics"]) for cell in result.cells]
+        payload = {
+            "experiment": "bitpack_kernels",
+            "size": args.size,
+            "all_identical": bool(result.all_ok),
+            "cells": cells,
+            "run_id": result.manifest["run_id"],
+        }
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"[bench JSON -> {args.output}]")
+    return 0 if result.all_ok else 1
+
+
 def _cmd_serve(args) -> int:
     import asyncio
     import signal
@@ -876,6 +948,7 @@ _COMMANDS = {
     "op": _cmd_op,
     "chain": _cmd_chain,
     "bench": _cmd_bench,
+    "bench-bitpack": _cmd_bench_bitpack,
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
     "experiment": _cmd_experiment,

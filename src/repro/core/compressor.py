@@ -175,8 +175,15 @@ class SZOps:
         t0 = perf_counter()
         deltas, outliers = lorenzo_forward(q, layout)
         signs = (deltas < 0).view(np.uint8)
-        mags = np.abs(deltas).astype(np.uint64)
-        widths = block_widths(mags, lens)
+        mags_i = np.abs(deltas)
+        widths = block_widths(mags_i.view(np.uint64), lens)
+        if int(widths.max(initial=0)) <= 32:
+            # Narrow magnitudes: every block width fits uint32, so the BF
+            # stage gathers half the bytes and the wordpack kernel merges
+            # in uint32 lanes end to end (same bit stream either way).
+            mags = mags_i.astype(np.uint32)
+        else:
+            mags = mags_i.view(np.uint64)
         if timings is not None:
             timings["lorenzo_s"] = timings.get("lorenzo_s", 0.0) + (
                 perf_counter() - t0
@@ -185,7 +192,9 @@ class SZOps:
         t0 = perf_counter()
         chunks = self._chunks(q.size)
         if len(chunks) == 1:
-            sign_bytes, payload_bytes = encode_block_sections(mags, signs, widths, lens)
+            sign_bytes, payload_bytes = encode_block_sections(
+                mags, signs, widths, lens, kernel=self.config.bitpack_kernel
+            )
         else:
             sign_bytes, payload_bytes = self._encode_chunked(
                 mags, signs, widths, lens, chunks
@@ -237,6 +246,7 @@ class SZOps:
                 "elem_hi": c.elem_hi,
                 "sign_off": int(sign_bit_off[c.block_lo]) // 8,
                 "payload_off": int(payload_bit_off[c.block_lo]) // 8,
+                "kernel": self.config.bitpack_kernel,
             }
             for c in chunks
         ]
@@ -270,7 +280,13 @@ class SZOps:
         lens, sign_bit_off, payload_bit_off = self._section_offsets(c)
         chunks = self._chunks(layout.n_elements)
         if len(chunks) == 1:
-            return decode_block_sections(c.sign_bytes, c.payload_bytes, c.widths, lens)
+            return decode_block_sections(
+                c.sign_bytes,
+                c.payload_bytes,
+                c.widths,
+                lens,
+                kernel=self.config.bitpack_kernel,
+            )
 
         stored_lens = lens * (c.widths > 0)
         sign_total = int(stored_lens.sum())
@@ -291,6 +307,7 @@ class SZOps:
                 "payload_b1": (
                     end_bits(payload_bit_off, payload_total, ch.block_hi) + 7
                 ) // 8,
+                "kernel": self.config.bitpack_kernel,
             }
             for ch in chunks
         ]

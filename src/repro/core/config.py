@@ -18,6 +18,7 @@ __all__ = [
     "ErrorBoundMode",
     "resolve_error_bound",
     "VALID_BACKENDS",
+    "VALID_BITPACK_KERNELS",
 ]
 
 #: Execution-backend names accepted by ``SZOpsConfig.backend`` (the
@@ -25,6 +26,13 @@ __all__ = [
 #: tuple is duplicated here as a literal so the config layer stays free
 #: of parallel-layer imports).
 VALID_BACKENDS = ("serial", "threads", "processes")
+
+#: Bitpack-kernel names accepted by ``SZOpsConfig.bitpack_kernel`` (the
+#: constructible registry lives in :mod:`repro.bitstream.kernels`; same
+#: literal-duplication rationale as ``VALID_BACKENDS``).  ``"auto"``
+#: dispatches on width/size; ``"numba"`` falls back to ``"wordpack"``
+#: when the optional dependency is missing.
+VALID_BITPACK_KERNELS = ("auto", "bitarray", "wordpack", "numba")
 
 
 #: Error-bound interpretation, matching SDRBench / SZ conventions:
@@ -84,11 +92,18 @@ class SZOpsConfig:
         pool with shared-memory zero-copy block transport — wins when the
         Python-level encode/decode group loops dominate).  All backends
         produce bit-identical streams; see ``docs/PARALLEL.md``.
+    bitpack_kernel:
+        Bitpack kernel variant for the BF stage: ``"auto"`` (dispatch on
+        width/size), ``"bitarray"`` (per-bit reference), ``"wordpack"``
+        (word-level shift-or), or ``"numba"`` (JIT, requires the
+        ``[speed]`` extra; silently falls back to ``wordpack``).  All
+        kernels produce bit-identical streams; see ``docs/KERNELS.md``.
     """
 
     block_size: int = 64
     n_threads: int = 1
     backend: str = "threads"
+    bitpack_kernel: str = "auto"
     #: Reserved for forward compatibility; containers record it.
     format_version: int = field(default=1, repr=False)
 
@@ -105,4 +120,9 @@ class SZOpsConfig:
         if self.backend not in VALID_BACKENDS:
             raise ConfigError(
                 f"backend must be one of {VALID_BACKENDS}, got {self.backend!r}"
+            )
+        if self.bitpack_kernel not in VALID_BITPACK_KERNELS:
+            raise ConfigError(
+                f"bitpack_kernel must be one of {VALID_BITPACK_KERNELS}, "
+                f"got {self.bitpack_kernel!r}"
             )

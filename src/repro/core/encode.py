@@ -35,12 +35,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bitstream import (
+    AUTO_KERNEL,
+    BitpackKernel,
     bit_width,
-    bits_of,
     exclusive_cumsum,
     pack_bits,
     ragged_arange,
-    uints_from_bits,
+    resolve_kernel,
     unpack_bits,
 )
 
@@ -110,19 +111,62 @@ def decode_signs(sign_bytes: np.ndarray, n_bits: int) -> np.ndarray:
 def _grouped_blocks(widths: np.ndarray, lens: np.ndarray):
     """Stable-sort blocks by (width, length) and expose contiguous groups.
 
-    Returns (order, perm_elems, group_bounds) where ``perm_elems`` maps the
-    sorted element stream back to positions in the original concatenated
-    element stream, and ``group_bounds`` delimits equal-(width, length) runs
-    of ``order``.
+    Returns (order, group_bounds) where ``group_bounds`` delimits
+    equal-(width, length) runs of ``order``.  Every block inside a group
+    shares one width *and one length*, which is what lets the callers
+    gather/scatter whole rows instead of building a per-element
+    permutation of the concatenated stream (the former ``ragged_arange``
+    path cost more than the packing itself on megascale inputs).
     """
-    key = widths * (int(lens.max(initial=0)) + 1) + lens
+    max_len = int(lens.max(initial=0))
+    key = widths * (max_len + 1) + lens
+    if 64 * (max_len + 1) + max_len <= np.iinfo(np.uint16).max:
+        # Narrow keys sort ~3x faster and cover every in-tree geometry
+        # (widths <= 64; block sizes far below 1000).
+        key = key.astype(np.uint16)
     order = np.argsort(key, kind="stable")
-    elem_starts = exclusive_cumsum(lens)
-    perm_elems = ragged_arange(lens[order], elem_starts[order])
     sorted_key = key[order]
     bounds = np.flatnonzero(np.diff(sorted_key)) + 1
     group_bounds = np.concatenate(([0], bounds, [order.size]))
-    return order, perm_elems, group_bounds
+    return order, group_bounds
+
+
+def _group_element_index(
+    elem_starts: np.ndarray, bsel: np.ndarray, blen: int
+) -> np.ndarray:
+    """Element indices of a group's blocks (each ``blen`` long) in the stream."""
+    return (
+        elem_starts[bsel][:, None] + np.arange(blen, dtype=np.int64)[None, :]
+    ).reshape(-1)
+
+
+def _row_byte_index(byte_starts: np.ndarray, row_bytes: int) -> np.ndarray:
+    """Byte indices of per-block payload rows; int32 keeps the scatter cheap."""
+    if byte_starts.size and int(byte_starts.max()) + row_bytes < 2**31:
+        return (
+            byte_starts.astype(np.int32)[:, None]
+            + np.arange(row_bytes, dtype=np.int32)[None, :]
+        ).reshape(-1)
+    return (
+        byte_starts[:, None] + np.arange(row_bytes, dtype=np.int64)[None, :]
+    ).reshape(-1)
+
+
+def _as_unsigned_magnitudes(mags: np.ndarray) -> np.ndarray:
+    """Contiguous unsigned view of the magnitudes, copy-free where possible.
+
+    ``uint32`` magnitudes (the compressor's narrow representation when every
+    block width fits 32 bits) pass through untouched — the kernels accept
+    them natively and the halved element size halves the group gathers.
+    Signed 64-bit input reinterprets as ``uint64`` (magnitudes are
+    non-negative by contract); anything else converts.
+    """
+    arr = np.ascontiguousarray(mags)
+    if arr.dtype == np.uint32 or arr.dtype == np.uint64:
+        return arr
+    if arr.dtype == np.int64:
+        return arr.view(np.uint64)
+    return arr.astype(np.uint64)
 
 
 def _byte_path_ok(block_bits: np.ndarray) -> bool:
@@ -133,7 +177,11 @@ def _byte_path_ok(block_bits: np.ndarray) -> bool:
 
 
 def encode_magnitudes(
-    mags: np.ndarray, widths: np.ndarray, lens: np.ndarray, align_bits: int = 1
+    mags: np.ndarray,
+    widths: np.ndarray,
+    lens: np.ndarray,
+    align_bits: int = 1,
+    kernel: str | BitpackKernel = AUTO_KERNEL,
 ) -> tuple[np.ndarray, int]:
     """Pack block delta magnitudes at per-block fixed widths.
 
@@ -144,6 +192,8 @@ def encode_magnitudes(
         must have all-zero magnitudes).
     lens : per-block element counts.
     align_bits : round each block's payload up to this many bits.
+    kernel : bitpack kernel variant (name or instance) for the per-group
+        packing; all variants produce bit-identical streams.
 
     Returns
     -------
@@ -156,14 +206,21 @@ def encode_magnitudes(
     total_bits = int(block_bits.sum())
     if widths64.size == 0 or total_bits == 0:
         return np.zeros(0, dtype=np.uint8), total_bits
+    kern = resolve_kernel(kernel, size=int(lens64.sum()))
     if not _byte_path_ok(block_bits):
-        return _encode_magnitudes_bits(mags, widths64, lens64, block_bits)
+        return _encode_magnitudes_bits(mags, widths64, lens64, block_bits, kern)
 
     offsets = exclusive_cumsum(block_bits)
-    out = np.zeros((total_bits + 7) // 8, dtype=np.uint8)
-    order, perm_elems, bounds = _grouped_blocks(widths64, lens64)
-    vals_sorted = np.asarray(mags, dtype=np.uint64)[perm_elems]
-    epos = 0
+    total_bytes = (total_bits + 7) // 8
+    # Word-padded allocation so whole-word payload rows (the common
+    # block-size-multiple-of-8 geometry) scatter as uint64 lanes.
+    out_words = np.zeros((total_bytes + 7) // 8, dtype=np.uint64)
+    out = out_words.view(np.uint8)[:total_bytes]
+    order, bounds = _grouped_blocks(widths64, lens64)
+    mags_arr = _as_unsigned_magnitudes(mags)
+    uniform = int(lens64.min()) == int(lens64.max())
+    mags_rows = mags_arr.reshape(lens64.size, -1) if uniform else None
+    elem_starts = None if uniform else exclusive_cumsum(lens64)
     for g in range(bounds.size - 1):
         g0, g1 = int(bounds[g]), int(bounds[g + 1])
         bsel = order[g0:g1]
@@ -171,30 +228,46 @@ def encode_magnitudes(
         blen = int(lens64[bsel[0]])
         nblk = g1 - g0
         n_e = nblk * blen
-        vals = vals_sorted[epos : epos + n_e]
-        epos += n_e
         if w == 0 or n_e == 0:
             continue
+        # Whole rows: blocks of one group share (width, length), so the
+        # group's elements gather as rows — a reshaped row take when every
+        # block has the same length, a broadcast index otherwise.
+        if mags_rows is not None:
+            vals = mags_rows[bsel].reshape(-1)
+        else:
+            vals = mags_arr[_group_element_index(elem_starts, bsel, blen)]
         row_bits = blen * w
         row_bytes = (row_bits + 7) // 8
-        bits = bits_of(vals, w).reshape(nblk, row_bits)
-        if row_bits % 8:
+        if row_bits % 8 == 0 or nblk == 1:
+            # Rows are whole bytes (or there is a single ragged row, whose
+            # kernel output is already zero-padded to whole bytes): the
+            # group packs as one contiguous kernel call.
+            packed = kern.pack_uints(vals, w)
+        else:
+            # Ragged rows under align_bits > 1: pad each row's bit image to
+            # whole bytes before packing.
+            bits = kern.bits_of(vals, w).reshape(nblk, row_bits)
             padded = np.zeros((nblk, row_bytes * 8), dtype=np.uint8)
             padded[:, :row_bits] = bits
-            bits = padded
-        # Flat packbits (rows are whole bytes after padding) — much faster
-        # than packbits(axis=1).
-        packed = np.packbits(np.ascontiguousarray(bits).reshape(-1)).reshape(
-            nblk, row_bytes
-        )
-        idx = offsets[bsel] // 8
-        idx = (idx[:, None] + np.arange(row_bytes, dtype=np.int64)[None, :]).reshape(-1)
-        out[idx] = packed.reshape(-1)
+            packed = pack_bits(np.ascontiguousarray(padded).reshape(-1))
+        off_bytes = offsets[bsel] >> 3
+        flat = packed.reshape(-1)
+        if row_bytes % 8 == 0 and not (off_bytes & 7).any():
+            out_words[_row_byte_index(off_bytes >> 3, row_bytes >> 3)] = flat.view(
+                np.uint64
+            )
+        else:
+            out[_row_byte_index(off_bytes, row_bytes)] = flat
     return out, total_bits
 
 
 def decode_magnitudes(
-    payload_bytes: np.ndarray, widths: np.ndarray, lens: np.ndarray, align_bits: int = 1
+    payload_bytes: np.ndarray,
+    widths: np.ndarray,
+    lens: np.ndarray,
+    align_bits: int = 1,
+    kernel: str | BitpackKernel = AUTO_KERNEL,
 ) -> np.ndarray:
     """Inverse of :func:`encode_magnitudes`.
 
@@ -209,8 +282,9 @@ def decode_magnitudes(
     total_bits = int(block_bits.sum())
     if total_bits == 0:
         return out
+    kern = resolve_kernel(kernel, size=n_elems)
     if not _byte_path_ok(block_bits):
-        return _decode_magnitudes_bits(payload_bytes, widths64, lens64, block_bits)
+        return _decode_magnitudes_bits(payload_bytes, widths64, lens64, block_bits, kern)
 
     buf = (
         np.frombuffer(payload_bytes, dtype=np.uint8)
@@ -223,8 +297,17 @@ def decode_magnitudes(
             f"implies ({(total_bits + 7) // 8} bytes)"
         )
     offsets = exclusive_cumsum(block_bits)
-    order, perm_elems, bounds = _grouped_blocks(widths64, lens64)
-    epos = 0
+    # Whole-word row gather mirror of the encode-side scatter; only usable
+    # when the buffer splits into uint64 lanes exactly.
+    buf_words = (
+        buf.view(np.uint64)
+        if buf.size % 8 == 0 and buf.flags.c_contiguous
+        else None
+    )
+    order, bounds = _grouped_blocks(widths64, lens64)
+    uniform = int(lens64.min()) == int(lens64.max())
+    out_rows = out.reshape(lens64.size, -1) if uniform else None
+    elem_starts = None if uniform else exclusive_cumsum(lens64)
     for g in range(bounds.size - 1):
         g0, g1 = int(bounds[g]), int(bounds[g + 1])
         bsel = order[g0:g1]
@@ -232,17 +315,27 @@ def decode_magnitudes(
         blen = int(lens64[bsel[0]])
         nblk = g1 - g0
         n_e = nblk * blen
-        dst = perm_elems[epos : epos + n_e]
-        epos += n_e
         if w == 0 or n_e == 0:
             continue
         row_bits = blen * w
         row_bytes = (row_bits + 7) // 8
-        idx = offsets[bsel] // 8
-        idx = (idx[:, None] + np.arange(row_bytes, dtype=np.int64)[None, :]).reshape(-1)
-        rows = buf[idx]
-        bits = np.unpackbits(rows).reshape(nblk, row_bytes * 8)[:, :row_bits]
-        out[dst] = uints_from_bits(np.ascontiguousarray(bits).reshape(-1), w)
+        off_bytes = offsets[bsel] >> 3
+        if buf_words is not None and row_bytes % 8 == 0 and not (off_bytes & 7).any():
+            rows = buf_words[_row_byte_index(off_bytes >> 3, row_bytes >> 3)].view(
+                np.uint8
+            )
+        else:
+            rows = buf[_row_byte_index(off_bytes, row_bytes)]
+        if row_bits % 8 == 0 or nblk == 1:
+            vals = kern.unpack_uints(rows, n_e, w)
+        else:
+            bits = np.unpackbits(rows).reshape(nblk, row_bytes * 8)[:, :row_bits]
+            vals = kern.uints_from_bits(np.ascontiguousarray(bits).reshape(-1), w)
+        # Mirror of the encode-side row gather: scatter whole rows back.
+        if out_rows is not None:
+            out_rows[bsel] = vals.reshape(nblk, blen)
+        else:
+            out[_group_element_index(elem_starts, bsel, blen)] = vals
     return out
 
 
@@ -262,7 +355,11 @@ def _element_geometry(widths: np.ndarray, lens: np.ndarray, block_bits: np.ndarr
 
 
 def _encode_magnitudes_bits(
-    mags: np.ndarray, widths: np.ndarray, lens: np.ndarray, block_bits: np.ndarray
+    mags: np.ndarray,
+    widths: np.ndarray,
+    lens: np.ndarray,
+    block_bits: np.ndarray,
+    kern: BitpackKernel,
 ) -> tuple[np.ndarray, int]:
     elem_w, elem_off = _element_geometry(widths, lens, block_bits)
     total_bits = int(block_bits.sum())
@@ -275,7 +372,7 @@ def _encode_magnitudes_bits(
         vals = np.asarray(mags)[sel]
         if vals.size == 0:
             continue
-        group_bits = bits_of(vals, w).reshape(vals.size, w)
+        group_bits = kern.bits_of(vals, w).reshape(vals.size, w)
         idx = (elem_off[sel][:, None] + np.arange(w, dtype=np.int64)[None, :]).ravel()
         bits[idx] = group_bits.ravel()
     return pack_bits(bits), total_bits
@@ -286,6 +383,7 @@ def _decode_magnitudes_bits(
     widths: np.ndarray,
     lens: np.ndarray,
     block_bits: np.ndarray,
+    kern: BitpackKernel,
 ) -> np.ndarray:
     elem_w, elem_off = _element_geometry(widths, lens, block_bits)
     total_bits = int(block_bits.sum())
@@ -299,7 +397,7 @@ def _decode_magnitudes_bits(
         if not sel.any():
             continue
         idx = (elem_off[sel][:, None] + np.arange(w, dtype=np.int64)[None, :]).ravel()
-        out[sel] = uints_from_bits(bits[idx], w)
+        out[sel] = kern.uints_from_bits(bits[idx], w)
     return out
 
 
@@ -309,7 +407,11 @@ def _decode_magnitudes_bits(
 
 
 def encode_block_sections(
-    mags: np.ndarray, signs: np.ndarray, widths: np.ndarray, lens: np.ndarray
+    mags: np.ndarray,
+    signs: np.ndarray,
+    widths: np.ndarray,
+    lens: np.ndarray,
+    kernel: str | BitpackKernel = AUTO_KERNEL,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Encode the sign + payload sections for a contiguous run of blocks.
 
@@ -318,16 +420,30 @@ def encode_block_sections(
     stream format.
     """
     stored = widths > 0
+    lens64 = np.asarray(lens, dtype=np.int64)
     if stored.all():
-        elem_mask: slice | np.ndarray = slice(None)
-        stored_widths, stored_lens = widths, lens
+        stored_signs: np.ndarray = np.asarray(signs, dtype=np.uint8)
     else:
-        elem_mask = np.repeat(stored, lens)
-        stored_widths, stored_lens = widths[stored], lens[stored]
-    sign_bytes = encode_signs(np.asarray(signs, dtype=np.uint8)[elem_mask])
-    payload_bytes, _ = encode_magnitudes(
-        np.asarray(mags)[elem_mask], stored_widths, stored_lens
-    )
+        uniform = (
+            lens64.size > 0
+            and int(lens64[0]) > 0
+            and int(lens64.min()) == int(lens64.max())
+        )
+        if uniform:
+            # All blocks share one length: drop constant blocks with a row
+            # take instead of a per-element boolean mask.
+            stored_signs = (
+                np.ascontiguousarray(signs, dtype=np.uint8)
+                .reshape(lens64.size, -1)[stored]
+                .reshape(-1)
+            )
+        else:
+            stored_signs = np.asarray(signs, dtype=np.uint8)[np.repeat(stored, lens64)]
+    sign_bytes = encode_signs(stored_signs)
+    # The magnitudes need no such filtering: zero-width blocks contribute
+    # zero payload bits, so packing the full selection yields the identical
+    # stream without materializing a compacted copy of ``mags``.
+    payload_bytes, _ = encode_magnitudes(mags, widths, lens64, kernel=kernel)
     return sign_bytes, payload_bytes
 
 
@@ -336,6 +452,7 @@ def decode_block_sections(
     payload_bytes: np.ndarray,
     widths: np.ndarray,
     lens: np.ndarray,
+    kernel: str | BitpackKernel = AUTO_KERNEL,
 ) -> np.ndarray:
     """Decode a run of blocks back to signed deltas (constant blocks -> 0)."""
     stored = widths > 0
@@ -346,14 +463,24 @@ def decode_block_sections(
     stored_lens = np.asarray(lens, dtype=np.int64)[stored]
     n_stored_elems = int(stored_lens.sum())
     signs = decode_signs(sign_bytes, n_stored_elems)
-    mags = decode_magnitudes(payload_bytes, widths[stored], stored_lens).astype(
-        np.int64
-    )
+    mags = decode_magnitudes(
+        payload_bytes, widths[stored], stored_lens, kernel=kernel
+    ).astype(np.int64)
     signed = np.where(signs.astype(bool), -mags, mags)
     if stored.all():
         deltas[:] = signed
     else:
-        deltas[np.repeat(stored, lens)] = signed
+        lens64 = np.asarray(lens, dtype=np.int64)
+        uniform = (
+            lens64.size > 0
+            and int(lens64[0]) > 0
+            and int(lens64.min()) == int(lens64.max())
+        )
+        if uniform:
+            blen = int(lens64[0])
+            deltas.reshape(lens64.size, blen)[stored] = signed.reshape(-1, blen)
+        else:
+            deltas[np.repeat(stored, lens64)] = signed
     return deltas
 
 
@@ -362,6 +489,7 @@ def decode_stored_deltas(
     payload_bytes: np.ndarray,
     stored_widths: np.ndarray,
     stored_lens: np.ndarray,
+    kernel: str | BitpackKernel = AUTO_KERNEL,
 ) -> np.ndarray:
     """Decode only the stored (non-constant) blocks, leaving them compacted.
 
@@ -375,7 +503,7 @@ def decode_stored_deltas(
     if n_stored_elems == 0:
         return np.zeros(0, dtype=np.int64)
     signs = decode_signs(sign_bytes, n_stored_elems)
-    mags = decode_magnitudes(payload_bytes, stored_widths, stored_lens).astype(
-        np.int64
-    )
+    mags = decode_magnitudes(
+        payload_bytes, stored_widths, stored_lens, kernel=kernel
+    ).astype(np.int64)
     return np.where(signs.astype(bool), -mags, mags)

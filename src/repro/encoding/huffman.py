@@ -28,7 +28,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.bitstream import bits_of, exclusive_cumsum, pack_bits
+from repro.bitstream import (
+    AUTO_KERNEL,
+    BitpackKernel,
+    exclusive_cumsum,
+    pack_bits,
+    resolve_kernel,
+)
 
 __all__ = ["MAX_CODE_LENGTH", "HuffmanCodebook", "huffman_encode", "huffman_decode"]
 
@@ -135,10 +141,15 @@ class HuffmanCodebook:
         return lut_sym, lut_len
 
 
-def huffman_encode(symbols: np.ndarray, book: HuffmanCodebook) -> tuple[bytes, int]:
+def huffman_encode(
+    symbols: np.ndarray,
+    book: HuffmanCodebook,
+    kernel: str | BitpackKernel = AUTO_KERNEL,
+) -> tuple[bytes, int]:
     """Encode a symbol stream; returns (payload bytes, total bits).
 
-    Vectorized: one scatter per distinct code length.
+    Vectorized: one scatter per distinct code length, with the per-length
+    bit expansion routed through the configured bitpack kernel.
     """
     syms = np.asarray(symbols, dtype=np.int64)
     if syms.size == 0:
@@ -147,6 +158,7 @@ def huffman_encode(symbols: np.ndarray, book: HuffmanCodebook) -> tuple[bytes, i
     if int(lens.min(initial=1)) == 0:
         bad = int(syms[lens == 0][0])
         raise ValueError(f"symbol {bad} has no code (zero frequency at build time)")
+    kern = resolve_kernel(kernel, size=syms.size)
     offsets = exclusive_cumsum(lens)
     total = int(lens.sum())
     bits = np.zeros(total, dtype=np.uint8)
@@ -154,7 +166,7 @@ def huffman_encode(symbols: np.ndarray, book: HuffmanCodebook) -> tuple[bytes, i
     for clen in np.unique(lens):
         clen = int(clen)
         sel = lens == clen
-        group = bits_of(code_vals[sel], clen).reshape(-1, clen)
+        group = kern.bits_of(code_vals[sel], clen).reshape(-1, clen)
         idx = (offsets[sel][:, None] + np.arange(clen, dtype=np.int64)[None, :]).ravel()
         bits[idx] = group.ravel()
     return pack_bits(bits).tobytes(), total

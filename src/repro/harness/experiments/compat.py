@@ -37,6 +37,7 @@ def bench_parallel_payload(
     first = cells[0]["metrics"]
     backends: list[str] = []
     workers: list[int] = []
+    kernels: list[str] = []
     out_cells: list[dict[str, Any]] = []
     all_identical = True
     for cell in cells:
@@ -45,11 +46,14 @@ def bench_parallel_payload(
             backends.append(m["backend"])
         if m["workers"] not in workers:
             workers.append(m["workers"])
+        if m.get("kernel", "auto") not in kernels:
+            kernels.append(m.get("kernel", "auto"))
         all_identical = all_identical and bool(cell["ok"])
         out_cells.append(
             {
                 "backend": m["backend"],
                 "workers": m["workers"],
+                "kernel": m.get("kernel", "auto"),
                 "compress_seconds": m["compress_seconds"],
                 "compress_stage_seconds": dict(m["compress_stage_seconds"]),
                 "decompress_seconds": m["decompress_seconds"],
@@ -71,6 +75,7 @@ def bench_parallel_payload(
         "repeats": first["repeats"],
         "workers": sorted(workers),
         "backends": backends,
+        "kernels": kernels,
         "cpus": int(manifest["host"]["cpu_count"]),
         "all_identical": bool(all_identical),
         "cells": out_cells,

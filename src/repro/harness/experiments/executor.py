@@ -1,18 +1,28 @@
 """Cell execution: one factor assignment in, one metrics document out.
 
-Four workloads, all routed through the *existing* layers (nothing here
+Five workloads, all routed through the *existing* layers (nothing here
 re-implements a kernel):
 
 ``pipeline``
     The tentpole factorial: compress the dataset's lead field through the
     chosen :mod:`repro.parallel.backends` execution backend (QZ/LZ/BF
-    stage split recorded), decompress, run the backend-routed
-    mean/variance reductions, optionally time a fused operation chain of
-    the requested depth (``chain_depth``), and optionally drive a real
+    stage split recorded) with the chosen bitpack ``kernel`` variant,
+    decompress, run the backend-routed mean/variance reductions,
+    optionally time a fused operation chain of the requested depth
+    (``chain_depth``), and optionally drive a real
     :class:`repro.service.server.ThreadedServer` with ``clients``
     closed-loop clients.  Streams, reductions, chain results, and service
     replies are all checked against serial references — the identity
-    flags are the regression gate's unconditional half.
+    flags are the regression gate's unconditional half.  Because the
+    serial reference stream is compressed with the default kernel, the
+    ``stream_identical`` flag doubles as the cross-kernel bit-identity
+    proof.
+
+``bitpack``
+    The ``szops bench-bitpack`` microbenchmark: per (kernel, width) cell,
+    pack/unpack throughput over a fixed random lane array, with payload
+    byte-identity vs the ``bitarray`` reference kernel and exact
+    round-trip asserted.
 
 ``ops_matrix``
     The Figures 5/6 substrate: for one (dataset, op), the SZp traditional
@@ -206,6 +216,7 @@ def _run_pipeline_cell(
     workers = int(f["workers"])
     chain_depth = int(f.get("chain_depth", 0))
     clients = int(f.get("clients", 0))
+    kernel = str(f.get("kernel", "auto"))
     repeats = max(table.repeats, 1)
 
     fname, arr = ctx.lead_field(dataset)
@@ -219,13 +230,23 @@ def _run_pipeline_cell(
         "workers": workers,
         "chain_depth": chain_depth,
         "clients": clients,
+        "kernel": kernel,
         "repeats": repeats,
         "n_elements": int(arr.size),
         "bytes": int(arr.nbytes),
         "block_size": _BLOCK_SIZE,
     }
 
-    codec = SZOps(block_size=_BLOCK_SIZE, n_threads=workers, backend=backend)
+    from repro.core.config import SZOpsConfig
+
+    codec = SZOps(
+        config=SZOpsConfig(
+            block_size=_BLOCK_SIZE,
+            n_threads=workers,
+            backend=backend,
+            bitpack_kernel=kernel,
+        )
+    )
     try:
         best_c = float("inf")
         stages: dict[str, float] = {}
@@ -463,6 +484,67 @@ def _run_ops_matrix_cell(
 
 
 # --------------------------------------------------------------------------
+# Workload: bitpack (kernel microbenchmark, the bench-bitpack substrate)
+# --------------------------------------------------------------------------
+
+
+def _run_bitpack_cell(
+    cell: Cell, table: RunTable, cfg: BenchConfig, ctx: ExecutionContext
+) -> dict[str, Any]:
+    from repro.bitstream import get_kernel
+
+    f = cell.factors
+    kernel_name = str(f["kernel"])
+    width = int(f["width"])
+    repeats = max(table.repeats, 1)
+    size = int(table.options.get("size", 1 << 20))
+
+    # Deterministic lanes per width, shared by every kernel level so the
+    # byte-identity comparison is apples-to-apples.
+    rng = np.random.default_rng(cfg.seed + width)
+    if width == 0:
+        values = np.zeros(size, dtype=np.uint64)
+    else:
+        values = rng.integers(0, 1 << min(width, 63), size=size, dtype=np.uint64)
+        if width == 64:
+            values |= rng.integers(0, 2, size=size, dtype=np.uint64) << np.uint64(63)
+
+    kern = get_kernel(kernel_name)
+    ref = get_kernel("bitarray")
+
+    best_pack, pack_reps, packed = _best_and_reps(
+        lambda: kern.pack_uints(values, width), repeats
+    )
+    assert packed is not None
+    best_unpack, unpack_reps, out = _best_and_reps(
+        lambda: kern.unpack_uints(packed, values.size, width), repeats
+    )
+
+    identical = packed.tobytes() == ref.pack_uints(values, width).tobytes()
+    roundtrip_ok = bool(np.array_equal(out, values))
+    return {
+        "kernel": kernel_name,
+        "width": width,
+        "size": int(values.size),
+        "repeats": repeats,
+        "payload_bytes": int(packed.size),
+        "pack_seconds": best_pack,
+        "pack_seconds_reps": pack_reps,
+        "unpack_seconds": best_unpack,
+        "unpack_seconds_reps": unpack_reps,
+        "pack_mlanes_per_s": (
+            values.size / 1e6 / best_pack if best_pack > 0 else 0.0
+        ),
+        "unpack_mlanes_per_s": (
+            values.size / 1e6 / best_unpack if best_unpack > 0 else 0.0
+        ),
+        "identical_to_bitarray": bool(identical),
+        "roundtrip_ok": roundtrip_ok,
+        "ok": bool(identical and roundtrip_ok),
+    }
+
+
+# --------------------------------------------------------------------------
 # Workloads: fusion / service (the wrapped legacy BENCH producers)
 # --------------------------------------------------------------------------
 
@@ -510,6 +592,7 @@ def _run_service_cell(
 
 WORKLOADS: dict[str, Callable[..., dict[str, Any]]] = {
     "pipeline": _run_pipeline_cell,
+    "bitpack": _run_bitpack_cell,
     "ops_matrix": _run_ops_matrix_cell,
     "fusion": _run_fusion_cell,
     "service": _run_service_cell,

@@ -101,6 +101,8 @@ def _cell_entry(cell: Mapping[str, Any]) -> dict[str, Any]:
         }
     for scalar_key in (
         "compress_throughput_mbs",
+        "pack_mlanes_per_s",
+        "unpack_mlanes_per_s",
         "speedup",
         "speedup_fused_vs_eager",
         "speedup_batched_vs_unbatched",

@@ -175,12 +175,14 @@ def _parallel_backends_table(
             "workers": workers,
             "chain_depth": (0,),
             "clients": (0,),
+            "kernel": ("bitarray", "wordpack"),
         },
         repeats=3,
         description=(
             "BENCH_parallel.json through the engine: compress (QZ/LZ/BF "
             "split), decompress, and backend-routed mean/variance for every "
-            "backend x worker count, bit-identity asserted per cell."
+            "backend x worker count x bitpack kernel, bit-identity asserted "
+            "per cell."
         ),
     )
 
@@ -261,18 +263,44 @@ def _perf_smoke_table() -> RunTable:
             "workers": (1, 2),
             "chain_depth": (0, 3),
             "clients": (0,),
+            "kernel": ("bitarray", "wordpack"),
         },
         repeats=3,
         description=(
-            "CI gate: 2x2x2 pipeline table (backend x workers x chain "
-            "depth). Identity flags hard-fail; timing regressions gate "
-            "behind the CPU-count policy."
+            "CI gate: 2x2x2x2 pipeline table (backend x workers x chain "
+            "depth x bitpack kernel). Identity flags hard-fail; timing "
+            "regressions gate behind the CPU-count policy."
         ),
+    )
+
+
+def _bitpack_kernels_table(
+    widths: tuple[int, ...] = (1, 2, 3, 4, 5, 8, 11, 12, 16, 24, 32),
+    size: int = 1 << 20,
+) -> RunTable:
+    from repro.bitstream import available_kernels
+
+    return RunTable(
+        name="bitpack-kernels",
+        workload="bitpack",
+        factors={
+            "kernel": tuple(available_kernels()),
+            "width": widths,
+        },
+        repeats=3,
+        description=(
+            "Bitpack kernel microbenchmark (szops bench-bitpack): pack and "
+            "unpack throughput per (kernel, width) over a fixed random lane "
+            "array, payload byte-identity vs the bitarray reference and "
+            "exact round-trip asserted per cell."
+        ),
+        options={"size": size},
     )
 
 
 PREDEFINED_TABLES: dict[str, Any] = {
     "parallel-backends": _parallel_backends_table,
+    "bitpack-kernels": _bitpack_kernels_table,
     "runtime-fusion": _runtime_fusion_table,
     "service-batching": _service_batching_table,
     "ops-matrix": _ops_matrix_table,

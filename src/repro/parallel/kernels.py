@@ -20,6 +20,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.bitstream import BitpackKernel, resolve_kernel
 from repro.core.encode import decode_block_sections, encode_block_sections
 
 __all__ = [
@@ -30,6 +31,21 @@ __all__ = [
     "reduce_extreme_chunk",
     "compress_field_chunk",
 ]
+
+
+#: Lazy per-worker bitpack-kernel cache, keyed by requested kernel name.
+#: Pool workers are long-lived, so each resolves its kernel variant once
+#: and reuses the instance across chunks — for the numba variant this is
+#: what keeps the JIT compilation a one-time per-worker cost.
+_BITPACK_KERNELS: dict[str, BitpackKernel] = {}
+
+
+def _bitpack_kernel(name: str) -> BitpackKernel:
+    kern = _BITPACK_KERNELS.get(name)
+    if kern is None:
+        kern = resolve_kernel(name)
+        _BITPACK_KERNELS[name] = kern
+    return kern
 
 
 # ---------------------------------------------------------------------------
@@ -54,6 +70,7 @@ def encode_chunk(arrays: dict[str, np.ndarray], chunk: dict[str, Any]) -> tuple[
         arrays["signs"][elo:ehi],
         arrays["widths"][lo:hi],
         arrays["lens"][lo:hi],
+        kernel=_bitpack_kernel(chunk.get("kernel", "auto")),
     )
     so, po = chunk["sign_off"], chunk["payload_off"]
     arrays["sign_out"][so : so + sign_bytes.size] = sign_bytes
@@ -76,6 +93,7 @@ def decode_chunk(arrays: dict[str, np.ndarray], chunk: dict[str, Any]) -> int:
         arrays["payload_bytes"][chunk["payload_b0"] : chunk["payload_b1"]],
         arrays["widths"][lo:hi],
         arrays["lens"][lo:hi],
+        kernel=_bitpack_kernel(chunk.get("kernel", "auto")),
     )
     arrays["deltas_out"][elo:ehi] = deltas
     return ehi - elo

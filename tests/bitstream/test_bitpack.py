@@ -45,6 +45,21 @@ class TestBitWidth:
     def test_empty(self):
         assert bit_width(np.array([], dtype=np.uint64)).size == 0
 
+    def test_scalar_fast_path_matches_bit_length(self):
+        """Size-1 inputs take the int.bit_length fast path; same answers."""
+        for v in (0, 1, 2, 3, 7, 8, 255, 256, 2**31, 2**63 - 1, 2**64 - 1):
+            got = bit_width(np.array([v], dtype=np.uint64))
+            assert got.shape == (1,) and got.dtype == np.uint8
+            assert int(got[0]) == int(v).bit_length()
+
+    def test_scalar_fast_path_preserves_shape(self):
+        got = bit_width(np.array([[7]], dtype=np.uint64))
+        assert got.shape == (1, 1) and int(got[0, 0]) == 3
+
+    def test_scalar_fast_path_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            bit_width(np.array([-3], dtype=np.int64))
+
     def test_max_bit_width(self):
         assert max_bit_width(np.array([0, 3, 17], dtype=np.uint64)) == 5
         assert max_bit_width(np.array([], dtype=np.uint64)) == 0
@@ -128,6 +143,24 @@ class TestPackUnpack:
 
     def test_unpack_bits_accepts_bytes(self):
         assert np.array_equal(unpack_bits(b"\x80", 1), [1])
+
+    def test_unpack_bits_bytes_input_is_writable(self):
+        """np.frombuffer views of bytes are read-only; callers scatter into
+        the result, so unpack_bits must hand back a writable array."""
+        out = unpack_bits(b"\xa0", 3)
+        assert out.flags.writeable
+        out[0] = 0  # must not raise
+
+    def test_unpack_bits_memoryview_input_is_writable(self):
+        out = unpack_bits(memoryview(b"\xa0\x40"), 10)
+        assert out.flags.writeable
+        out[:] = 0
+
+    def test_unpack_bits_array_input_stays_view_cheap(self):
+        buf = np.array([0b10100000], dtype=np.uint8)
+        out = unpack_bits(buf, 3)
+        assert out.flags.writeable
+        assert np.array_equal(out, [1, 0, 1])
 
 
 class TestIndexHelpers:

@@ -1,0 +1,327 @@
+"""Property and unit tests for the pluggable bitpack kernel registry.
+
+The contract under test is the one :class:`repro.bitstream.BitpackKernel`
+documents: every registered variant is **byte-identical** to the
+``bitarray`` reference for all widths in [0, 64], all sizes (including
+empty), all in-range values (including the all-ones ``2**w - 1`` lanes),
+and ragged tails that leave padding bits in the final byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitstream import (
+    AUTO_KERNEL,
+    SMALL_INPUT_CUTOFF,
+    BitarrayKernel,
+    BitpackKernel,
+    WordpackKernel,
+    available_kernels,
+    get_kernel,
+    numba_available,
+    pack_uints,
+    register_kernel,
+    resolve_kernel,
+    unpack_uints,
+)
+from repro.bitstream import kernels as kernels_mod
+
+REFERENCE = get_kernel("bitarray")
+VARIANTS = [get_kernel(name) for name in available_kernels() if name != "bitarray"]
+
+#: Widths that hit every wordpack dispatch arm: the unpackbits path (1),
+#: tree-merge merges (2..7), byte-multiple lanes (8/16/24/32/40/48/56/64),
+#: single-cycle lanes (3/5/9/11/12/13), phase gathers (17/33/57), and the
+#: reference fallback (58..63).
+DISPATCH_WIDTHS = [
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12, 13, 15, 16, 17, 24, 31, 32, 33,
+    40, 48, 56, 57, 58, 59, 63, 64,
+]
+
+
+def _random_lanes(rng: np.random.Generator, n: int, width: int) -> np.ndarray:
+    if width == 0:
+        return np.zeros(n, dtype=np.uint64)
+    vals = rng.integers(0, 1 << min(width, 63), size=n, dtype=np.uint64)
+    if width == 64:
+        vals |= rng.integers(0, 2, size=n, dtype=np.uint64) << np.uint64(63)
+    return vals
+
+
+@pytest.mark.parametrize("variant", VARIANTS, ids=lambda k: k.name)
+@pytest.mark.parametrize("width", DISPATCH_WIDTHS)
+@pytest.mark.parametrize("n", [0, 1, 2, 3, 7, 8, 9, 63, 64, 65, 257, 1000])
+class TestKernelIdentity:
+    """Exhaustive dispatch-arm sweep: every variant vs the reference."""
+
+    def test_pack_byte_identical_and_roundtrips(self, variant, width, n, rng):
+        vals = _random_lanes(rng, n, width)
+        ref = REFERENCE.pack_uints(vals, width)
+        got = variant.pack_uints(vals, width)
+        assert got.dtype == np.uint8
+        assert got.tobytes() == ref.tobytes()
+        assert np.array_equal(variant.unpack_uints(got, n, width), vals)
+
+    def test_unpack_matches_reference(self, variant, width, n, rng):
+        vals = _random_lanes(rng, n, width)
+        buf = REFERENCE.pack_uints(vals, width)
+        assert np.array_equal(
+            variant.unpack_uints(buf, n, width),
+            REFERENCE.unpack_uints(buf, n, width),
+        )
+
+    def test_max_value_lanes(self, variant, width, n):
+        """All-ones lanes: every payload bit set, padding bits still zero."""
+        if width == 0:
+            vals = np.zeros(n, dtype=np.uint64)
+        else:
+            vals = np.full(n, (1 << width) - 1 if width < 64 else 2**64 - 1,
+                           dtype=np.uint64)
+        ref = REFERENCE.pack_uints(vals, width)
+        got = variant.pack_uints(vals, width)
+        assert got.tobytes() == ref.tobytes()
+        assert np.array_equal(variant.unpack_uints(got, n, width), vals)
+
+
+@pytest.mark.parametrize("variant", VARIANTS, ids=lambda k: k.name)
+class TestKernelBitInterface:
+    def test_bits_of_matches_reference(self, variant, rng):
+        for width in (1, 3, 8, 11, 16, 33):
+            vals = _random_lanes(rng, 77, width)
+            assert np.array_equal(
+                variant.bits_of(vals, width), REFERENCE.bits_of(vals, width)
+            )
+
+    def test_uints_from_bits_matches_reference(self, variant, rng):
+        for width in (1, 3, 8, 11, 16, 33):
+            vals = _random_lanes(rng, 77, width)
+            bits = REFERENCE.bits_of(vals, width)
+            assert np.array_equal(variant.uints_from_bits(bits, width), vals)
+
+    def test_uints_from_bits_length_mismatch(self, variant):
+        with pytest.raises(ValueError, match="multiple"):
+            variant.uints_from_bits(np.zeros(7, dtype=np.uint8), 3)
+
+    def test_bit_offset_paths(self, variant, rng):
+        """Byte-aligned and sub-byte offsets both match the reference."""
+        vals = _random_lanes(rng, 65, 11)
+        payload = REFERENCE.pack_uints(vals, 11)
+        for lead_bits in (8, 24, 3, 13):  # aligned and unaligned leads
+            bits = np.concatenate(
+                [np.zeros(lead_bits, dtype=np.uint8), np.unpackbits(payload)]
+            )
+            buf = np.packbits(bits)
+            assert np.array_equal(
+                variant.unpack_uints(buf, 65, 11, bit_offset=lead_bits),
+                vals,
+            ), f"bit_offset={lead_bits}"
+
+    def test_error_messages_match_reference(self, variant):
+        with pytest.raises(ValueError, match=r"width must be in \[0, 64\]"):
+            variant.pack_uints(np.zeros(4, dtype=np.uint64), 65)
+        with pytest.raises(ValueError, match="width 0"):
+            variant.pack_uints(np.ones(4, dtype=np.uint64), 0)
+        with pytest.raises(ValueError, match="does not fit"):
+            variant.pack_uints(np.full(4, 8, dtype=np.uint64), 3)
+        with pytest.raises(ValueError, match="exceed"):
+            variant.unpack_uints(np.zeros(1, dtype=np.uint8), 9, 1)
+
+    def test_accepts_bytes_and_memoryview(self, variant, rng):
+        vals = _random_lanes(rng, 40, 9)
+        payload = REFERENCE.pack_uints(vals, 9).tobytes()
+        assert np.array_equal(variant.unpack_uints(payload, 40, 9), vals)
+        assert np.array_equal(
+            variant.unpack_uints(memoryview(payload), 40, 9), vals
+        )
+
+
+class TestKernelProperties:
+    """Hypothesis sweep over (width, size, values) for every variant."""
+
+    @given(width=st.integers(min_value=0, max_value=64), data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_cross_kernel_byte_identity_and_roundtrip(self, width, data):
+        n = data.draw(st.integers(min_value=0, max_value=90))
+        if width == 0:
+            vals = np.zeros(n, dtype=np.uint64)
+        else:
+            vals = np.array(
+                data.draw(
+                    st.lists(
+                        st.integers(min_value=0, max_value=(1 << width) - 1),
+                        min_size=n,
+                        max_size=n,
+                    )
+                ),
+                dtype=np.uint64,
+            )
+        ref = REFERENCE.pack_uints(vals, width)
+        for variant in VARIANTS:
+            got = variant.pack_uints(vals, width)
+            assert got.tobytes() == ref.tobytes(), (variant.name, width, n)
+            assert np.array_equal(
+                variant.unpack_uints(got, n, width), vals
+            ), (variant.name, width, n)
+
+    @given(
+        width=st.integers(min_value=1, max_value=64),
+        n=st.integers(min_value=0, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_max_value_lanes_property(self, width, n):
+        """The all-ones edge for every width, not just the sampled ones."""
+        top = (1 << width) - 1 if width < 64 else 2**64 - 1
+        vals = np.full(n, top, dtype=np.uint64)
+        ref = REFERENCE.pack_uints(vals, width)
+        for variant in VARIANTS:
+            got = variant.pack_uints(vals, width)
+            assert got.tobytes() == ref.tobytes(), (variant.name, width, n)
+            assert np.array_equal(variant.unpack_uints(got, n, width), vals)
+
+    @given(
+        width=st.integers(min_value=0, max_value=32),
+        n=st.integers(min_value=0, max_value=90),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_uint32_input_matches_uint64_input(self, width, n):
+        """Narrow (uint32) inputs — the compressor's native magnitude
+        representation when block widths fit 32 bits — must produce the
+        exact bytes of the equivalent uint64 input on every kernel."""
+        rng = np.random.default_rng(width * 997 + n)
+        vals64 = _random_lanes(rng, n, width)
+        vals32 = vals64.astype(np.uint32)
+        ref = REFERENCE.pack_uints(vals64, width)
+        for kernel in [REFERENCE, *VARIANTS]:
+            got = kernel.pack_uints(vals32, width)
+            assert got.tobytes() == ref.tobytes(), (kernel.name, width, n)
+            assert np.array_equal(
+                kernel.unpack_uints(got, n, width), vals64
+            ), (kernel.name, width, n)
+
+    @given(
+        width=st.integers(min_value=1, max_value=57),
+        n=st.integers(min_value=1, max_value=70),
+        junk=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ragged_tail_ignores_trailing_junk(self, width, n, junk):
+        """Unpack must not read meaning into bytes past the payload."""
+        rng = np.random.default_rng(width * 1000 + n)
+        vals = _random_lanes(rng, n, width)
+        buf = REFERENCE.pack_uints(vals, width)
+        extended = np.concatenate(
+            [buf, np.full(3, junk, dtype=np.uint8)]
+        )
+        for variant in VARIANTS:
+            assert np.array_equal(
+                variant.unpack_uints(extended, n, width), vals
+            ), (variant.name, width, n)
+
+
+class TestRegistry:
+    def test_reference_and_wordpack_always_registered(self):
+        names = available_kernels()
+        assert "bitarray" in names and "wordpack" in names
+
+    def test_numba_registered_iff_importable(self):
+        assert ("numba" in available_kernels()) == numba_available()
+
+    def test_get_kernel_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown bitpack kernel"):
+            get_kernel("nope")
+
+    def test_resolve_passthrough_instance(self):
+        kern = WordpackKernel()
+        assert resolve_kernel(kern) is kern
+
+    def test_resolve_auto_small_input_uses_reference(self):
+        kern = resolve_kernel(AUTO_KERNEL, size=SMALL_INPUT_CUTOFF - 1)
+        assert kern.name == "bitarray"
+
+    def test_resolve_auto_wide_nonbyte_width_uses_reference(self):
+        assert resolve_kernel(AUTO_KERNEL, width=59).name == "bitarray"
+        assert resolve_kernel(AUTO_KERNEL, width=64).name != "bitarray"
+
+    def test_resolve_auto_large_input_uses_fast_variant(self):
+        kern = resolve_kernel(AUTO_KERNEL, size=10_000)
+        assert kern.name in ("wordpack", "numba")
+
+    def test_resolve_numba_falls_back_without_numba(self):
+        kern = resolve_kernel("numba")
+        if numba_available():
+            assert kern.name == "numba"
+        else:
+            assert kern.name == "wordpack"
+
+    def test_register_rejects_anonymous_kernel(self):
+        class Anon(BitarrayKernel):
+            name = ""
+
+        with pytest.raises(ValueError, match="non-empty name"):
+            register_kernel(Anon())
+
+    def test_register_custom_kernel_resolves(self):
+        class Custom(BitarrayKernel):
+            name = "custom-test"
+
+        try:
+            register_kernel(Custom())
+            assert resolve_kernel("custom-test").name == "custom-test"
+            assert "custom-test" in available_kernels()
+        finally:
+            kernels_mod._REGISTRY.pop("custom-test", None)
+
+    def test_module_level_helpers_stay_reference(self):
+        """The plain bitpack functions are untouched by the registry."""
+        vals = np.array([1, 2, 3], dtype=np.uint64)
+        buf = pack_uints(vals, 4)
+        assert np.array_equal(unpack_uints(buf, 3, 4), vals)
+
+
+class TestWordpackInternals:
+    """Pin the dispatch arms the docstring promises."""
+
+    def test_width_58_to_63_falls_back_to_reference(self, rng):
+        kern = WordpackKernel()
+        for width in (58, 59, 61, 63):
+            vals = _random_lanes(rng, 33, width)
+            assert (
+                kern.pack_uints(vals, width).tobytes()
+                == REFERENCE.pack_uints(vals, width).tobytes()
+            )
+
+    def test_empty_and_width_zero(self):
+        kern = WordpackKernel()
+        assert kern.pack_uints(np.zeros(0, dtype=np.uint64), 13).size == 0
+        assert kern.pack_uints(np.zeros(5, dtype=np.uint64), 0).size == 0
+        assert kern.unpack_uints(b"", 0, 13).size == 0
+        assert np.array_equal(
+            kern.unpack_uints(b"", 5, 0), np.zeros(5, dtype=np.uint64)
+        )
+
+    def test_noncontiguous_input(self, rng):
+        kern = WordpackKernel()
+        base = _random_lanes(rng, 200, 11)
+        view = base[::2]
+        assert (
+            kern.pack_uints(view, 11).tobytes()
+            == REFERENCE.pack_uints(np.ascontiguousarray(view), 11).tobytes()
+        )
+
+    def test_uint32_input_at_wide_widths(self, rng):
+        """uint32 values packed at widths above 32 (including the 58..63
+        reference-fallback arm) widen once and stay byte-identical."""
+        kern = WordpackKernel()
+        vals32 = rng.integers(0, 1 << 31, size=97, dtype=np.uint32)
+        for width in (33, 40, 57, 59, 64):
+            ref = REFERENCE.pack_uints(vals32.astype(np.uint64), width)
+            assert kern.pack_uints(vals32, width).tobytes() == ref.tobytes()
+
+    def test_uint32_input_rejects_overwide_values(self):
+        kern = WordpackKernel()
+        with pytest.raises(ValueError, match="does not fit"):
+            kern.pack_uints(np.array([9], dtype=np.uint32), 3)

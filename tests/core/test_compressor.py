@@ -122,6 +122,23 @@ class TestValidation:
         c = codec.compress(smooth_1d, 1e-3)
         assert c.block_size == 128
 
+    def test_bad_bitpack_kernel_rejected(self):
+        with pytest.raises(ConfigError, match="bitpack_kernel"):
+            SZOps(config=SZOpsConfig(bitpack_kernel="simd"))
+
+    def test_bitpack_kernel_variants_bit_identical(self, smooth_1d):
+        """Every SZOpsConfig.bitpack_kernel level yields the same stream."""
+        from repro.core.config import VALID_BITPACK_KERNELS
+
+        ref = SZOps().compress(smooth_1d, 1e-3).to_bytes()
+        for name in VALID_BITPACK_KERNELS:
+            codec = SZOps(config=SZOpsConfig(bitpack_kernel=name))
+            c = codec.compress(smooth_1d, 1e-3)
+            assert c.to_bytes() == ref, name
+            assert np.array_equal(
+                codec.decompress(c), SZOps().decompress(c)
+            ), name
+
 
 class TestContainerStats:
     def test_ratio_positive(self, codec, smooth_1d):

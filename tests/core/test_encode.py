@@ -126,6 +126,18 @@ class TestMagnitudesRoundtrip:
         payload, _ = encode_magnitudes(mags, widths, lens)
         assert np.array_equal(decode_magnitudes(payload, widths, lens), mags)
 
+    @pytest.mark.parametrize("kernel", ["bitarray", "wordpack", "auto"])
+    @pytest.mark.parametrize("byte_aligned", [True, False])
+    def test_uint32_magnitudes_identical_payload(self, kernel, byte_aligned):
+        # The compressor stores magnitudes as uint32 whenever every block
+        # width fits 32 bits; the payload must not depend on that dtype.
+        mags, widths, lens = random_blocks(7, 30, byte_aligned=byte_aligned)
+        ref, ref_bits = encode_magnitudes(mags, widths, lens, kernel=kernel)
+        got, got_bits = encode_magnitudes(mags.astype(np.uint32), widths, lens, kernel=kernel)
+        assert got_bits == ref_bits
+        assert got.tobytes() == ref.tobytes()
+        assert np.array_equal(decode_magnitudes(got, widths, lens, kernel=kernel), mags)
+
 
 class TestSections:
     def test_sign_roundtrip(self, rng):

@@ -40,11 +40,18 @@ def test_parallel_backends_cells_cover_the_factorial(parallel_run):
     table, result = parallel_run
     assert result.executed == table.n_cells
     combos = {
-        (c["factors"]["backend"], c["factors"]["workers"])
+        (
+            c["factors"]["backend"],
+            c["factors"]["workers"],
+            c["factors"]["kernel"],
+        )
         for c in result.cells
     }
     assert combos == {
-        (b, w) for b in available_backends() for w in (1, 2)
+        (b, w, k)
+        for b in available_backends()
+        for w in (1, 2)
+        for k in ("bitarray", "wordpack")
     }
 
 
@@ -65,15 +72,30 @@ def test_parallel_backends_reproduces_bench_payload_shape(parallel_run):
     assert bench["all_identical"] is True
     assert bench["workers"] == [1, 2]
     assert bench["backends"] == list(available_backends())
+    assert bench["kernels"] == ["bitarray", "wordpack"]
     assert len(bench["cells"]) == table.n_cells
     for cell in bench["cells"]:
         assert set(cell) == {
-            "backend", "workers", "compress_seconds",
+            "backend", "workers", "kernel", "compress_seconds",
             "compress_stage_seconds", "decompress_seconds",
             "reduce_seconds", "mean", "variance",
             "stream_identical", "reductions_identical",
         }
         assert set(cell["compress_stage_seconds"]) == {"QZ", "LZ", "BF"}
+
+
+def test_bitpack_kernel_cells_assert_byte_identity(tmp_path):
+    import dataclasses
+
+    table = get_table("bitpack-kernels", widths=(4, 11), size=4096)
+    table = dataclasses.replace(table, repeats=1)
+    result = run_experiment(table, TINY, tmp_path)
+    assert result.all_ok
+    for cell in result.cells:
+        m = cell["metrics"]
+        assert m["identical_to_bitarray"] is True, cell["factors"]
+        assert m["roundtrip_ok"] is True, cell["factors"]
+        assert m["pack_seconds"] > 0 and m["unpack_seconds"] > 0
 
 
 def test_pipeline_chain_cell_verifies_against_eager_reference(tmp_path):

@@ -135,4 +135,6 @@ def test_predefined_tables_all_expand():
 def test_perf_smoke_table_is_the_ci_factorial():
     table = get_table("perf-smoke")
     assert table.workload == "pipeline"
-    assert table.n_cells == 8  # 2 backends x 2 worker counts x 2 chain depths
+    # 2 backends x 2 worker counts x 2 chain depths x 2 bitpack kernels
+    assert table.n_cells == 16
+    assert table.factors["kernel"] == ("bitarray", "wordpack")

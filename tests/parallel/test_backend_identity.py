@@ -82,6 +82,36 @@ class TestStreamIdentity:
         np.testing.assert_array_equal(c.widths, ref.widths)
 
 
+class TestKernelBackendIdentity:
+    """Every (bitpack kernel x backend) cell must emit the reference bytes.
+
+    This is the unconditional half of the CI perf gate: kernels are
+    interchangeable only because this matrix pins byte equality on the
+    awkward geometries, across every execution substrate.
+    """
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("kernel", ("auto", "bitarray", "wordpack", "numba"))
+    def test_streams_byte_identical_per_kernel(
+        self, fields, reference, backend, kernel
+    ):
+        from repro.core.config import SZOpsConfig
+
+        cfg = SZOpsConfig(
+            block_size=64, n_threads=2, backend=backend, bitpack_kernel=kernel
+        )
+        with SZOps(config=cfg) as codec:
+            for name, arr in fields.items():
+                c = codec.compress(arr, EPS)
+                assert c.to_bytes() == reference[name], (
+                    f"{kernel}x{backend} diverged on {name}"
+                )
+                np.testing.assert_array_equal(
+                    codec.decompress(c),
+                    SZOps(block_size=64).decompress(c),
+                )
+
+
 class TestReductionIdentity:
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
     def test_reductions_float_identical(self, fields, workers):
