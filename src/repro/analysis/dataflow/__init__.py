@@ -35,6 +35,14 @@ it:
     attributes, sync locks held across awaits, blocking calls on the
     event-loop thread, dropped coroutine/task handles, and deadline
     propagation (unbounded awaits outside ``asyncio.wait_for``).
+``NPA001``–``NPA006`` (:mod:`~repro.analysis.dataflow.npa`)
+    NumPy array semantics for the kernel layer: an array-value lattice
+    (buffer identity + view provenance, dtype/itemsize layout, proven
+    element-count divisors, extents, writability, initialized bit)
+    proves in-place writes don't alias live inputs, ``.view()``
+    reinterpretations byte-check, index writes stay in bounds, read-only
+    buffers aren't mutated, ``np.empty`` contents aren't read before the
+    first write, and integer narrowing doesn't silently wrap.
 ``TNT001`` / ``TNT002`` (:mod:`~repro.analysis.dataflow.taint`)
     untrusted-input taint on ``wire``-tagged files: bytes read from the
     network (and lengths/keys derived from them) are tainted until a
@@ -56,6 +64,7 @@ from repro.analysis.dataflow.asyncsafety import asyncsafety_findings
 from repro.analysis.dataflow.errorprop import check_error_propagation
 from repro.analysis.dataflow.lattice import INT64_MAX, INT64_MIN, Interval, Value
 from repro.analysis.dataflow.lockorder import lockorder_findings
+from repro.analysis.dataflow.npa import npa_findings
 from repro.analysis.dataflow.ranges import range_findings
 from repro.analysis.dataflow.shmlife import shm_findings
 from repro.analysis.dataflow.taint import taint_findings
@@ -68,6 +77,7 @@ __all__ = [
     "asyncsafety_findings",
     "check_error_propagation",
     "lockorder_findings",
+    "npa_findings",
     "range_findings",
     "shm_findings",
     "taint_findings",
@@ -91,5 +101,11 @@ DATAFLOW_RULES = frozenset(
         "ASY005",
         "TNT001",
         "TNT002",
+        "NPA001",
+        "NPA002",
+        "NPA003",
+        "NPA004",
+        "NPA005",
+        "NPA006",
     }
 )

@@ -24,26 +24,31 @@ Passes subclass :class:`Interpreter` and override the ``check_*`` /
 ``on_*`` hooks; the engine itself emits no findings.
 
 Known soundness caveats (documented in ``docs/ANALYSIS.md``): NumPy view
-aliasing is not modeled (writes through a view do not update the base
-array's binding — summary returns widen bottom intervals to ⊤ to
-compensate), comprehension bodies are opaque, and reseeding a havocked
-quantized name assumes callees preserve the ``|q| < Q_LIMIT`` invariant
-their own analysis verifies.
+aliasing is only identity-tracked (the :class:`ArrayInfo` layer records
+which buffer a view derives from for the NPA rules, but writes through a
+view still do not update the base array's *element interval* — summary
+returns widen bottom intervals to ⊤ to compensate), comprehension bodies
+are opaque, and reseeding a havocked quantized name assumes callees
+preserve the ``|q| < Q_LIMIT`` invariant their own analysis verifies.
 """
 
 from __future__ import annotations
 
 import ast
+import math
 from dataclasses import dataclass, field, replace
-from typing import Callable, Mapping, Optional, Sequence, Union
+from typing import Any, Callable, Mapping, Optional, Sequence, Union
 
 from repro.analysis.dataflow.lattice import (
+    INIT_NO,
+    INIT_YES,
     KIND_BOOL,
     KIND_FLOAT,
     KIND_I64,
     KIND_OBJ,
     KIND_PYINT,
     Q_LIMIT,
+    ArrayInfo,
     Interval,
     Value,
     _join_kind,
@@ -73,6 +78,50 @@ for _n in ("bool_", "bool"):
     _DTYPE_KINDS[_n] = KIND_BOOL
 _DTYPE_STR_KINDS = {"i": KIND_I64, "u": KIND_I64, "f": KIND_FLOAT, "b": KIND_BOOL}
 
+#: dtype spellings → itemsize in bytes (array-lattice layout facts).
+_DTYPE_ITEMSIZE: dict[str, int] = {
+    "int64": 8, "uint64": 8, "float64": 8, "double": 8, "intp": 8, "long": 8,
+    "int32": 4, "uint32": 4, "float32": 4, "single": 4,
+    "int16": 2, "uint16": 2, "float16": 2,
+    "int8": 1, "uint8": 1, "bool_": 1, "bool": 1,
+}
+
+#: signed/unsigned integer dtypes → value range (NPA006 narrowing check).
+INT_DTYPE_RANGES: dict[str, tuple[int, int]] = {}
+for _b in (8, 16, 32, 64):
+    INT_DTYPE_RANGES[f"int{_b}"] = (-(1 << (_b - 1)), (1 << (_b - 1)) - 1)
+    INT_DTYPE_RANGES[f"uint{_b}"] = (0, (1 << _b) - 1)
+INT_DTYPE_RANGES["intp"] = INT_DTYPE_RANGES["long"] = INT_DTYPE_RANGES["int64"]
+
+
+def dtype_info_of(node: ast.expr) -> Optional[tuple[str, Optional[int], str]]:
+    """``(name, itemsize, kind)`` of a dtype expression, or ``None``.
+
+    Handles ``np.uint8`` / bare names / ``"<u2"``-style strings.  The
+    itemsize is ``None`` for spellings whose width is unknown.
+    """
+    name: Optional[str] = None
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+        s = node.value.lstrip("<>=|")
+        if not s or s[:1] not in _DTYPE_STR_KINDS:
+            return None
+        kind = _DTYPE_STR_KINDS[s[:1]]
+        try:
+            width = int(s[1:]) if len(s) > 1 else None
+        except ValueError:
+            return None
+        canon = {"i": "int", "u": "uint", "f": "float", "b": "bool"}[s[:1]]
+        if width is None:
+            return (canon, None, kind)
+        return (f"{canon}{width * 8}", width, kind)
+    if name is None or name not in _DTYPE_KINDS:
+        return None
+    return (name, _DTYPE_ITEMSIZE.get(name), _DTYPE_KINDS[name])
+
 
 def path_of(node: ast.AST) -> Optional[str]:
     """Canonical access path of an l-value-shaped expression, or None."""
@@ -92,6 +141,15 @@ def path_of(node: ast.AST) -> Optional[str]:
     if isinstance(node, ast.Call):
         return None
     return None
+
+
+def _has_slice(node: ast.expr) -> bool:
+    """True when a subscript's slice expression contains a ``:`` slice."""
+    if isinstance(node, ast.Slice):
+        return True
+    if isinstance(node, ast.Tuple):
+        return any(isinstance(e, ast.Slice) for e in node.elts)
+    return False
 
 
 def terminal_name(path: str) -> str:
@@ -191,6 +249,10 @@ class ModuleContext:
     #: (filled lazily by the lock pass; here for cross-pass sharing)
     class_attr_ctor: dict[str, dict[str, str]] = field(default_factory=dict)
     class_field_kind: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: memo space for per-module derived indexes (keyed by pass name);
+    #: passes that instantiate one interpreter per function use this to
+    #: avoid re-walking the module AST for every instance
+    pass_cache: dict[str, object] = field(default_factory=dict)
 
     @staticmethod
     def build(path: str, tree: ast.Module) -> "ModuleContext":
@@ -341,6 +403,15 @@ class Interpreter:
         #: (so ``on_call`` can tell an awaited call from a bare one)
         self._awaited_calls: set[int] = set()
 
+    #: Array-lattice tracking is pay-for-what-you-use: only the NPA pass
+    #: flips this on.  With it off, allocations carry no :class:`ArrayInfo`
+    #: and every downstream arr join/hook short-circuits on ``None``, so
+    #: the other passes keep their pre-array cost profile.
+    track_arrays: bool = False
+
+    def _fresh_arr(self, **kwargs: Any) -> Optional[ArrayInfo]:
+        return ArrayInfo(**kwargs) if self.track_arrays else None
+
     # ------------------------------------------------------------------ hooks
 
     def seed(self, path: str) -> Value:
@@ -426,6 +497,54 @@ class Interpreter:
     def check_index(self, node: ast.Subscript, index: Value, state: State) -> None:
         """Called for every non-slice subscript with its index value (taint)."""
 
+    def check_array_write(
+        self,
+        node: ast.AST,
+        path: Optional[str],
+        target: Value,
+        value: Value,
+        index: Optional[Value],
+        state: State,
+    ) -> None:
+        """Called for every element store into an array-lattice value.
+
+        Covers subscript assignment/augassignment, ``.fill(...)``, and
+        ``out=`` keyword writes.  ``target`` is the array's binding
+        *before* the store; ``index`` is the evaluated non-slice index
+        (``None`` for slice stores and full-array writes).  The NPA pass
+        keys its aliasing/writability/extent/narrowing rules here.
+        """
+
+    def check_view_cast(
+        self,
+        node: ast.AST,
+        src: Value,
+        dtype_name: str,
+        itemsize: Optional[int],
+        state: State,
+    ) -> None:
+        """Called for every ``.view(dtype)`` with a resolvable dtype (NPA002)."""
+
+    def check_astype(
+        self,
+        node: ast.AST,
+        src: Value,
+        dtype_name: str,
+        itemsize: Optional[int],
+        state: State,
+    ) -> None:
+        """Called for every ``.astype(dtype)`` with a resolvable dtype name.
+
+        Unlike :meth:`check_cast` (int64-kind targets only), this fires
+        for every named dtype so narrowing checks see uint8/uint16/...
+        """
+
+    def check_array_read(self, node: ast.AST, value: Value, state: State) -> None:
+        """Called when array *contents* are read: element loads, numpy
+        reductions/ufuncs, ``astype``/``copy``/``byteswap``, and binary
+        operator operands.  The NPA pass keys the uninitialized-read
+        check (NPA005) here."""
+
     # ------------------------------------------------------------------ report
 
     def report(
@@ -486,6 +605,11 @@ class Interpreter:
                 # whose return was only ever written through views looks
                 # uninitialized to us (aliasing caveat)
                 ret = ret.with_itv(Interval.top())
+        if ret.arr is not None:
+            # strip the buffer identity at the summary boundary: two
+            # distinct calls of the same function return distinct buffers,
+            # so a per-site base id must not alias them to each other
+            ret = ret.with_arr(replace(ret.arr, base=None, view=False))
         return FunctionResult(ret, self.findings, self.call_args, end)
 
     # ------------------------------------------------------------------ stmts
@@ -589,8 +713,16 @@ class Interpreter:
         result = self.binop(stmt.op, lv, rv, stmt, state, lpath=tpath, rpath=rpath)
         if tpath:
             if isinstance(stmt.target, ast.Subscript) and not tpath.endswith("]"):
+                idx_v: Optional[Value] = None
+                if isinstance(stmt.target.slice, ast.expr):
+                    sv = self.eval(stmt.target.slice, state)
+                    if not _has_slice(stmt.target.slice):
+                        idx_v = sv
                 cur = state.env.get(tpath, self.seed(tpath))
-                state.env[tpath] = cur.join(result)
+                # the aliasing check sees the RHS operand, not the binop
+                # result (`a[i] += b` reads b, not a ⊕ b)
+                self.check_array_write(stmt, tpath, cur, rv, idx_v, state)
+                state.env[tpath] = self._element_store(cur, result)
             else:
                 state.env[tpath] = result
             self.invalidate(tpath, state)
@@ -625,14 +757,31 @@ class Interpreter:
             return
         if isinstance(target, ast.Subscript) and not path.endswith("]"):
             # element store: weak update of the base array's element range
+            idx_v: Optional[Value] = None
             if isinstance(target.slice, ast.expr):
-                self.eval(target.slice, state)
+                sv = self.eval(target.slice, state)
+                if not _has_slice(target.slice):
+                    idx_v = sv
             cur = state.env.get(path, self.seed(path))
-            state.env[path] = cur.join(value)
+            self.check_array_write(stmt, path, cur, value, idx_v, state)
+            state.env[path] = self._element_store(cur, value)
         else:
             self.invalidate(path, state)
             state.env[path] = value
         self.on_assign(path, value, stmt, state)
+
+    def _element_store(self, cur: Value, value: Value) -> Value:
+        """Weak update of an array binding for an element store.
+
+        The element range joins, but the buffer identity is the
+        *target's* own (storing a scalar into ``a`` does not erase what
+        we know about ``a``'s buffer), and a store initializes: the
+        contents are no longer ⊥ on this path.
+        """
+        joined = cur.join(value)
+        if cur.arr is not None:
+            joined = joined.with_arr(cur.arr.initialized())
+        return joined
 
     def invalidate(self, path: str, state: State) -> None:
         """Reassignment of ``path`` retires facts and bindings built on it."""
@@ -822,6 +971,7 @@ class Interpreter:
             self.eval(node.value, state)
             return Value.obj()
         if isinstance(node, ast.Subscript):
+            sliced = _has_slice(node.slice)
             if isinstance(node.slice, ast.Slice):
                 sbounds = [
                     self.eval(b, state)
@@ -839,14 +989,50 @@ class Interpreter:
                 # Evaluate the base too so attribute-load hooks see it
                 # (`shm.buf[0]` must still count as a read of shm.buf).
                 self.eval(node.value, state)
-                return self._load_path(p, state)
+                v = self._load_path(p, state)
+                if v.arr is not None and not p.endswith("]"):
+                    if sliced:
+                        # a slice of an array is a *view* of the same
+                        # buffer, with an arbitrary sub-extent
+                        return v.with_arr(
+                            replace(
+                                v.arr.as_view(),
+                                count_multiple=1,
+                                nelems=Interval(0, v.arr.nelems.hi),
+                            )
+                        )
+                    # element read (possibly a fancy-index copy)
+                    self.check_array_read(node, v, state)
+                    return v.with_arr(None)
+                return v
             bv = self.eval(node.value, state)
+            if bv.arr is not None:
+                if sliced:
+                    return Value(
+                        KIND_OBJ,
+                        Interval.top(),
+                        tainted=bv.tainted,
+                        arr=replace(
+                            bv.arr.as_view(),
+                            count_multiple=1,
+                            nelems=Interval(0, bv.arr.nelems.hi),
+                        ),
+                    )
+                self.check_array_read(node, bv, state)
             # an element of tainted bytes is tainted
             return Value(KIND_OBJ, Interval.top(), tainted=bv.tainted)
         if isinstance(node, ast.UnaryOp):
             v = self.eval(node.operand, state)
             if isinstance(node.op, ast.USub):
-                return replace(v, itv=v.itv.neg(), origin=None)
+                out = replace(v, itv=v.itv.neg(), origin=None)
+                if v.arr is not None:
+                    # negation materializes a temp: fresh, writable buffer
+                    self.check_array_read(node, v, state)
+                    out = replace(
+                        out,
+                        arr=replace(v.arr, base=self._site(node), view=False, writable=True),
+                    )
+                return out
             if isinstance(node.op, ast.Not):
                 return Value(KIND_BOOL, Interval(0, 1))
             if isinstance(node.op, ast.UAdd):
@@ -924,12 +1110,63 @@ class Interpreter:
             if not itv.fits_int64():
                 itv = Interval.top()  # the concrete op wraps
         origin = self._abssum_origin(op, lv, rv, lpath, rpath)
+        if origin is None and isinstance(op, ast.Mod):
+            # `buf.size % 8` carries a symbolic origin so an `== 0` guard
+            # can refine buf's proven element-count divisor (NPA002)
+            if (
+                lv.origin is not None
+                and lv.origin[0] == "size"
+                and rv.itv.lo is not None
+                and rv.itv.lo == rv.itv.hi
+                and isinstance(rv.itv.lo, int)
+                and rv.itv.lo > 0
+            ):
+                origin = ("sizemod", lv.origin[1], str(rv.itv.lo))
+        arr = self._binop_arr(lv, rv, node, state)
         return Value(
             kind=kind,
             itv=itv,
             quantized=quantized,
             origin=origin,
             tainted=lv.tainted or rv.tainted,
+            arr=arr,
+        )
+
+    def _binop_arr(
+        self, lv: Value, rv: Value, node: ast.AST, state: State
+    ) -> Optional[ArrayInfo]:
+        """Array-lattice element of an elementwise binary op result.
+
+        The result is a *fresh* buffer (``base=None`` — never provably
+        aliased) with the array operand's layout; mixed-dtype operands
+        promote to an unknown dtype.  Operands with array contents are
+        reads (NPA005).
+        """
+        la, ra = lv.arr, rv.arr
+        if la is not None:
+            self.check_array_read(node, lv, state)
+        if ra is not None:
+            self.check_array_read(node, rv, state)
+        src: Optional[ArrayInfo]
+        if la is not None and ra is not None:
+            if la.dtype is not None and la.dtype == ra.dtype:
+                src = la
+            else:
+                src = ArrayInfo()
+        else:
+            src = la if la is not None else ra
+        if src is None:
+            return None
+        return ArrayInfo(
+            base=None,
+            view=False,
+            provenance=None,
+            dtype=src.dtype,
+            itemsize=src.itemsize,
+            count_multiple=src.count_multiple,
+            nelems=src.nelems,
+            writable=True,
+            init=INIT_YES,
         )
 
     @staticmethod
@@ -1060,6 +1297,9 @@ class Interpreter:
                 p = path_of(node.args[0])
                 return Value(KIND_BOOL, Interval(0, 1), origin=("allfinite", p) if p else None)
             return Value(KIND_FLOAT, Interval.top())
+        if fp == "as_strided":
+            # ``from numpy.lib.stride_tricks import as_strided`` spelling
+            return self._eval_numpy_call(node, leaf, args, kwargs, state)
 
         # ---- method calls on pathed receivers ------------------------
         if isinstance(node.func, ast.Attribute):
@@ -1096,6 +1336,74 @@ class Interpreter:
                 return ("id", p)
         return None
 
+    def _site(self, node: ast.AST) -> str:
+        """Allocation-site buffer id, unique within one function analysis."""
+        qn = self.current.qualname if self.current is not None else "<module>"
+        return f"{qn}:{getattr(node, 'lineno', 0)}:{getattr(node, 'col_offset', 0)}"
+
+    @staticmethod
+    def _shape_facts(
+        shape_node: Optional[ast.expr], shape_val: Optional[Value]
+    ) -> tuple[Interval, int]:
+        """``(nelems, count_multiple)`` proven by an allocation's shape.
+
+        A constant trailing-dim tuple like ``(n, 8)`` proves the element
+        count is a multiple of 8 — which is what the byte-view emit
+        kernels need for ``.view(np.uint64)`` reinterpretation proofs.
+        """
+        if shape_node is None:
+            return (Interval.top(), 1)
+        if isinstance(shape_node, ast.Tuple):
+            mult = 1
+            all_const = True
+            for e in shape_node.elts:
+                if (
+                    isinstance(e, ast.Constant)
+                    and isinstance(e.value, int)
+                    and e.value > 0
+                ):
+                    mult *= e.value
+                else:
+                    all_const = False
+            if all_const and mult > 0:
+                return (Interval.const(mult), mult)
+            return (Interval(0, None), max(mult, 1))
+        if shape_val is not None and shape_val.kind in (KIND_PYINT, KIND_I64):
+            itv = shape_val.itv.meet(Interval(0, None))
+            cm = 1
+            if (
+                itv.lo is not None
+                and itv.lo == itv.hi
+                and isinstance(itv.lo, int)
+                and itv.lo > 0
+            ):
+                cm = itv.lo
+            return (itv, cm)
+        return (Interval(0, None), 1)
+
+    def _dtype_info(self, node: ast.Call) -> Optional[tuple[str, Optional[int], str]]:
+        """``(name, itemsize, kind)`` of a call's dtype argument, if any."""
+        for k in node.keywords:
+            if k.arg == "dtype":
+                return dtype_info_of(k.value)
+        if len(node.args) >= 2:
+            return dtype_info_of(node.args[1])
+        return None
+
+    #: numpy leafs that read their array arguments' contents (NPA005).
+    _NP_READ_LEAFS = frozenset(
+        {
+            "abs", "absolute", "fabs", "floor", "ceil", "rint", "trunc",
+            "round", "add", "subtract", "multiply", "negative", "cumsum",
+            "sum", "nansum", "prod", "max", "amax", "min", "amin", "mean",
+            "std", "var", "median", "dot", "vdot", "diff", "where",
+            "isfinite", "all", "any", "packbits", "unpackbits", "copy",
+            "array", "repeat", "tile", "sqrt", "exp", "log", "hypot",
+            "searchsorted", "argsort", "sort", "unique", "count_nonzero",
+            "bincount", "clip",
+        }
+    )
+
     def _eval_numpy_call(
         self,
         node: ast.Call,
@@ -1105,6 +1413,10 @@ class Interpreter:
         state: State,
     ) -> Value:
         a0 = args[0] if args else Value.obj()
+        if leaf in self._NP_READ_LEAFS:
+            for a in args:
+                if a.arr is not None:
+                    self.check_array_read(node, a, state)
         out: Optional[Value] = None
         if leaf in ("abs", "absolute", "fabs"):
             p = path_of(node.args[0]) if node.args else None
@@ -1115,12 +1427,34 @@ class Interpreter:
         elif leaf in ("asarray", "ascontiguousarray", "array", "copy"):
             kind = a0.kind
             finite = a0.finite
-            dt = self._dtype_kw(node)
+            info = self._dtype_info(node)
+            dt = info[2] if info is not None else None
             if dt is not None:
                 if dt == KIND_FLOAT and a0.kind in (KIND_PYINT, KIND_I64, KIND_BOOL):
                     finite = True
                 kind = dt
-            out = Value(kind if kind != KIND_OBJ else KIND_OBJ, a0.itv, quantized=a0.quantized, finite=finite)
+            if leaf in ("array", "copy"):
+                # definitely a fresh, writable buffer
+                arr = self._fresh_arr(
+                    base=self._site(node),
+                    dtype=info[0] if info is not None else (a0.arr.dtype if a0.arr else None),
+                    itemsize=info[1] if info is not None else (a0.arr.itemsize if a0.arr else None),
+                    count_multiple=a0.arr.count_multiple if a0.arr else 1,
+                    nelems=a0.arr.nelems if a0.arr else Interval(0, None),
+                )
+            elif a0.arr is not None:
+                # asarray/ascontiguousarray may return the input itself:
+                # same buffer identity (may-alias), layout carried over
+                arr = a0.arr
+                if info is not None and info[0] != arr.dtype:
+                    arr = replace(arr, dtype=info[0], itemsize=info[1])
+            else:
+                arr = self._fresh_arr(
+                    base=self._site(node),
+                    dtype=info[0] if info is not None else None,
+                    itemsize=info[1] if info is not None else None,
+                )
+            out = Value(kind if kind != KIND_OBJ else KIND_OBJ, a0.itv, quantized=a0.quantized, finite=finite, arr=arr)
         elif leaf in ("floor", "ceil", "rint", "trunc", "round"):
             out = Value(KIND_FLOAT, a0.itv.expand(1), quantized=a0.quantized, finite=a0.finite)
         elif leaf in ("add", "subtract", "multiply") and len(args) >= 2:
@@ -1140,24 +1474,189 @@ class Interpreter:
             dt = self._dtype_kw(node)
             kind = dt if dt is not None else (a0.kind if a0.kind in (KIND_I64, KIND_FLOAT) else KIND_OBJ)
             out = Value(kind, Interval.top(), quantized=a0.quantized and kind == KIND_I64)
-        elif leaf in ("repeat", "tile", "ravel", "reshape", "ndarray_noop"):
-            out = replace(a0, origin=None)
-        elif leaf in ("empty", "empty_like"):
-            dt = self._dtype_kw(node)
-            kind = dt if dt is not None else (a0.kind if leaf == "empty_like" else KIND_OBJ)
-            # uninitialized contents: element range is ⊥ until written
-            out = Value(kind, Interval.bottom())
-        elif leaf in ("zeros", "zeros_like", "ones", "ones_like", "full", "full_like"):
-            dt = self._dtype_kw(node)
-            kind = dt if dt is not None else (a0.kind if leaf.endswith("_like") else KIND_OBJ)
-            if leaf.startswith("zeros"):
-                itv = Interval.const(0)
-            elif leaf.startswith("ones"):
-                itv = Interval.const(1)
+        elif leaf in ("ravel", "reshape"):
+            # element count and buffer identity survive a reshape
+            out = replace(
+                a0,
+                origin=None,
+                arr=a0.arr.as_view() if a0.arr is not None else None,
+            )
+        elif leaf in ("repeat", "tile"):
+            arr = (
+                replace(a0.arr, base=self._site(node), view=False, count_multiple=1, nelems=Interval(0, None))
+                if a0.arr is not None
+                else None
+            )
+            out = replace(a0, origin=None, arr=arr)
+        elif leaf in ("empty", "empty_like", "zeros", "zeros_like", "ones", "ones_like", "full", "full_like"):
+            info = self._dtype_info(node)
+            dt = info[2] if info is not None else None
+            like = leaf.endswith("_like")
+            kind = dt if dt is not None else (a0.kind if like else KIND_OBJ)
+            if like and a0.arr is not None:
+                nelems, cm = a0.arr.nelems, a0.arr.count_multiple
+                if info is None:
+                    info = (a0.arr.dtype, a0.arr.itemsize, kind) if a0.arr.dtype else None
+            elif like:
+                # prototype carries no layout facts (args[0] is an array,
+                # not a shape)
+                nelems, cm = Interval(0, None), 1
             else:
-                fill = args[1] if len(args) > 1 else kwargs.get("fill_value", Value.obj())
-                itv = fill.itv
-            out = Value(kind, itv)
+                nelems, cm = self._shape_facts(
+                    node.args[0] if node.args else None, a0 if args else None
+                )
+            arr = self._fresh_arr(
+                base=self._site(node),
+                provenance=leaf.split("_")[0],
+                dtype=info[0] if info is not None else None,
+                itemsize=info[1] if info is not None else None,
+                count_multiple=cm,
+                nelems=nelems,
+                init=INIT_NO if leaf.startswith("empty") else INIT_YES,
+            )
+            if leaf.startswith("empty"):
+                # uninitialized contents: element range is ⊥ until written
+                out = Value(kind, Interval.bottom(), arr=arr)
+            else:
+                if leaf.startswith("zeros"):
+                    itv = Interval.const(0)
+                elif leaf.startswith("ones"):
+                    itv = Interval.const(1)
+                else:
+                    fill = args[1] if len(args) > 1 else kwargs.get("fill_value", Value.obj())
+                    itv = fill.itv
+                out = Value(kind, itv, arr=arr)
+        elif leaf == "frombuffer":
+            info = self._dtype_info(node)
+            rng = INT_DTYPE_RANGES.get(info[0]) if info is not None else None
+            arr = self._fresh_arr(
+                base=self._site(node),
+                view=True,
+                provenance="frombuffer",
+                dtype=info[0] if info is not None else None,
+                itemsize=info[1] if info is not None else None,
+                writable=False,
+            )
+            out = Value(
+                info[2] if info is not None else KIND_OBJ,
+                Interval(rng[0], rng[1]) if rng is not None else Interval.top(),
+                tainted=a0.tainted,
+                arr=arr,
+            )
+        elif leaf == "broadcast_to":
+            src = a0.arr
+            arr = self._fresh_arr(
+                base=src.base if src is not None and src.base else self._site(node),
+                view=True,
+                provenance="broadcast_to",
+                dtype=src.dtype if src is not None else None,
+                itemsize=src.itemsize if src is not None else None,
+                writable=False,
+                init=src.init if src is not None else INIT_YES,
+            )
+            out = replace(a0, origin=None, arr=arr)
+        elif leaf == "ndarray":
+            info = self._dtype_info(node)
+            nelems, cm = self._shape_facts(
+                node.args[0] if node.args else None, a0 if args else None
+            )
+            buf_node = next(
+                (k.value for k in node.keywords if k.arg == "buffer"), None
+            )
+            if buf_node is None and len(node.args) >= 3:
+                buf_node = node.args[2]
+            if buf_node is not None:
+                bp = path_of(buf_node)
+                arr = self._fresh_arr(
+                    base=f"buf:{bp}" if bp else self._site(node),
+                    view=True,
+                    provenance="ndarray",
+                    dtype=info[0] if info is not None else None,
+                    itemsize=info[1] if info is not None else None,
+                    count_multiple=cm,
+                    nelems=nelems,
+                )
+            else:
+                arr = self._fresh_arr(
+                    base=self._site(node),
+                    provenance="ndarray",
+                    dtype=info[0] if info is not None else None,
+                    itemsize=info[1] if info is not None else None,
+                    count_multiple=cm,
+                    nelems=nelems,
+                    init=INIT_NO,
+                )
+            out = Value(info[2] if info is not None else KIND_OBJ, Interval.top(), arr=arr)
+        elif leaf == "arange":
+            info = next(
+                (dtype_info_of(k.value) for k in node.keywords if k.arg == "dtype"),
+                None,
+            )
+            nelems, cm = Interval(0, None), 1
+            itv = Interval.top()
+            if len(args) == 1:
+                n = self._const_of(a0)
+                if n is not None and isinstance(n, int) and n > 0:
+                    nelems, cm, itv = Interval.const(n), n, Interval(0, n - 1)
+                elif a0.itv.hi is not None:
+                    nelems, itv = Interval(0, a0.itv.hi), Interval(0, a0.itv.hi - 1)
+                else:
+                    nelems, itv = Interval(0, None), Interval(0, None)
+            arr = self._fresh_arr(
+                base=self._site(node),
+                provenance="arange",
+                dtype=info[0] if info is not None else None,
+                itemsize=info[1] if info is not None else None,
+                count_multiple=cm,
+                nelems=nelems,
+            )
+            out = Value(info[2] if info is not None else KIND_I64, itv, arr=arr)
+        elif leaf in ("packbits", "unpackbits"):
+            arr = self._fresh_arr(base=self._site(node), provenance=leaf, dtype="uint8", itemsize=1)
+            out = Value(
+                KIND_I64,
+                Interval(0, 1) if leaf == "unpackbits" else Interval(0, 255),
+                arr=arr,
+            )
+        elif leaf == "as_strided":
+            shape_node = next(
+                (k.value for k in node.keywords if k.arg == "shape"), None
+            )
+            if shape_node is None and len(node.args) >= 2:
+                shape_node = node.args[1]
+            nelems, cm = self._shape_facts(shape_node, None)
+            arr = (
+                replace(
+                    a0.arr.as_view(),
+                    provenance="as_strided",
+                    count_multiple=cm,
+                    nelems=nelems,
+                )
+                if a0.arr is not None
+                else self._fresh_arr(
+                    base=self._site(node),
+                    view=True,
+                    provenance="as_strided",
+                    count_multiple=cm,
+                    nelems=nelems,
+                )
+            )
+            out = replace(a0, origin=None, arr=arr)
+        elif leaf == "clip" and len(args) >= 3:
+            lo_c = self._const_of(args[1])
+            hi_c = self._const_of(args[2])
+            lo, hi = a0.itv.lo, a0.itv.hi
+            if lo_c is not None:
+                lo = lo_c if lo is None else max(lo, lo_c)
+            if hi_c is not None:
+                hi = hi_c if hi is None else min(hi, hi_c)
+            itv = a0.itv if a0.itv.empty else Interval(lo, hi)
+            arr = (
+                replace(a0.arr, base=self._site(node), view=False, writable=True)
+                if a0.arr is not None
+                else None
+            )
+            out = replace(a0, itv=itv, origin=None, arr=arr)
         elif leaf == "isfinite" and node.args:
             p = path_of(node.args[0])
             out = Value(KIND_BOOL, Interval(0, 1), origin=("allfinite", p) if p else None)
@@ -1173,6 +1672,14 @@ class Interpreter:
             out = Value(KIND_FLOAT, Interval.top())
         elif leaf in ("int64", "int32", "intp"):
             out = Value(KIND_I64, a0.itv if args else Interval.top(), quantized=a0.quantized)
+        elif leaf in ("uint8", "uint16", "uint32", "uint64", "int8", "int16"):
+            lo, hi = INT_DTYPE_RANGES[leaf]
+            rng = Interval(lo, hi)
+            if args and not a0.itv.empty and a0.itv.meet(rng) == a0.itv:
+                out = Value(KIND_I64, a0.itv, quantized=a0.quantized)
+            else:
+                # value may wrap: all we know is the dtype range
+                out = Value(KIND_I64, rng)
         elif leaf in ("float64", "float32"):
             out = Value(KIND_FLOAT, a0.itv if args else Interval.top())
         elif leaf in ("errstate", "dtype", "iinfo", "finfo", "seterr"):
@@ -1186,12 +1693,24 @@ class Interpreter:
             if op is not None:
                 base = op
                 cur = state.env.get(base, self.seed(base))
+                self.check_array_write(node, base, cur, out, None, state)
                 if isinstance(out_node, ast.Subscript) and not base.endswith("]"):
-                    state.env[base] = cur.join(out)
+                    stored = self._element_store(cur, out)
                 else:
-                    state.env[base] = out
+                    stored = out
+                    if cur.arr is not None:
+                        stored = stored.with_arr(cur.arr.initialized())
+                state.env[base] = stored
                 self.invalidate(base, state)
-                self.on_assign(base, out, node, state)
+                self.on_assign(base, stored, node, state)
+            elif isinstance(out_node, ast.Subscript):
+                # ``out=buf[1:]``: a write through an anonymous view of buf
+                bp = path_of(out_node.value)
+                if bp is not None:
+                    cur = state.env.get(bp, self.seed(bp))
+                    self.check_array_write(node, bp, cur, out, None, state)
+                    state.env[bp] = self._element_store(cur, out)
+                    self.invalidate(bp, state)
         return out
 
     def _dtype_kw(self, node: ast.Call) -> Optional[str]:
@@ -1228,38 +1747,143 @@ class Interpreter:
         state: State,
     ) -> Optional[Value]:
         if meth in ("max", "min") and not args:
+            if recv.arr is not None:
+                self.check_array_read(node, recv, state)
             return self._reduce_minmax(recv, node.func.value if isinstance(node.func, ast.Attribute) else None, meth)
         if meth == "astype" and node.args:
-            dst = _dtype_kind_of(node.args[0])
+            if recv.arr is not None:
+                self.check_array_read(node, recv, state)
+            info = dtype_info_of(node.args[0])
+            dst = info[2] if info is not None else _dtype_kind_of(node.args[0])
+            if info is not None:
+                self.check_astype(node, recv, info[0], info[1], state)
+            arr = (
+                replace(
+                    recv.arr,
+                    base=self._site(node),
+                    view=False,
+                    provenance="astype",
+                    dtype=info[0] if info is not None else None,
+                    itemsize=info[1] if info is not None else None,
+                    writable=True,
+                    init=INIT_YES,
+                )
+                if recv.arr is not None
+                else None
+            )
             if dst is None:
-                return Value.obj()
+                return Value(KIND_OBJ, Interval.top(), arr=arr) if arr is not None else Value.obj()
             if dst == KIND_I64:
                 self.check_cast(node, recv, dst, state)
-                return Value(KIND_I64, recv.itv.meet(Interval(-(1 << 63), (1 << 63) - 1)) if recv.kind == KIND_FLOAT else recv.itv, quantized=recv.quantized)
+                itv = recv.itv.meet(Interval(-(1 << 63), (1 << 63) - 1)) if recv.kind == KIND_FLOAT else recv.itv
+                rng = INT_DTYPE_RANGES.get(info[0]) if info is not None else None
+                if rng is not None and (
+                    itv.empty or itv.lo is None or itv.hi is None or itv.lo < rng[0] or itv.hi > rng[1]
+                ):
+                    # narrowing may wrap: all we know is the dtype range
+                    itv = Interval(rng[0], rng[1])
+                return Value(KIND_I64, itv, quantized=recv.quantized, arr=arr)
             if dst == KIND_FLOAT:
                 finite = recv.finite or recv.kind in (KIND_PYINT, KIND_I64, KIND_BOOL)
-                return Value(KIND_FLOAT, recv.itv, quantized=recv.quantized, finite=finite)
-            return Value(dst, Interval.top())
+                return Value(KIND_FLOAT, recv.itv, quantized=recv.quantized, finite=finite, arr=arr)
+            return Value(dst, Interval.top(), arr=arr)
         if meth == "copy" and not args:
-            return recv.with_origin(None)
+            out = recv.with_origin(None)
+            if recv.arr is not None:
+                self.check_array_read(node, recv, state)
+                out = out.with_arr(
+                    replace(recv.arr, base=self._site(node), view=False, provenance="copy", writable=True)
+                )
+            return out
         if meth in ("reshape", "ravel", "flatten", "squeeze", "transpose"):
-            return recv.with_origin(None)
+            arr = recv.arr
+            if arr is not None:
+                if meth == "flatten":
+                    # flatten always copies; the rest return views
+                    arr = replace(arr, base=self._site(node), view=False, writable=True)
+                else:
+                    arr = arr.as_view()
+                if meth == "reshape" and node.args:
+                    dims = list(node.args)
+                    if len(dims) == 1 and isinstance(dims[0], ast.Tuple):
+                        dims = list(dims[0].elts)
+                    mult = 1
+                    for e in dims:
+                        if isinstance(e, ast.Constant) and isinstance(e.value, int) and e.value > 0:
+                            mult *= e.value
+                    if mult > 1:
+                        # a constant positive dim divides the element count
+                        arr = replace(arr, count_multiple=math.lcm(arr.count_multiple, mult))
+            return recv.with_origin(None).with_arr(arr)
         if meth == "view" and node.args:
-            dst = _dtype_kind_of(node.args[0])
-            return Value(dst or KIND_OBJ, Interval.top())
-        if meth == "item" and not args:
+            info = dtype_info_of(node.args[0])
+            if info is not None:
+                self.check_view_cast(node, recv, info[0], info[1], state)
+            dst = info[2] if info is not None else _dtype_kind_of(node.args[0])
+            arr = None
+            if recv.arr is not None:
+                src = recv.arr
+                cm = 1
+                ne = Interval(0, None)
+                if info is not None and info[1] and src.itemsize:
+                    old_bytes = src.count_multiple * src.itemsize
+                    if old_bytes % info[1] == 0:
+                        cm = old_bytes // info[1]
+                    if src.nelems.lo is not None and src.nelems.lo == src.nelems.hi:
+                        tot = src.nelems.lo * src.itemsize
+                        if tot % info[1] == 0:
+                            ne = Interval.const(tot // info[1])
+                arr = replace(
+                    src.as_view(),
+                    provenance="view",
+                    dtype=info[0] if info is not None else None,
+                    itemsize=info[1] if info is not None else None,
+                    count_multiple=cm,
+                    nelems=ne,
+                )
+            rng = INT_DTYPE_RANGES.get(info[0]) if info is not None else None
+            itv = Interval(rng[0], rng[1]) if rng is not None else Interval.top()
+            return Value(dst or KIND_OBJ, itv, arr=arr)
+        if meth == "byteswap":
+            arr = None
+            itv = Interval.top()
+            if recv.arr is not None:
+                self.check_array_read(node, recv, state)
+                # byteswap() without inplace=True returns a fresh buffer
+                arr = replace(recv.arr, base=self._site(node), view=False, writable=True)
+                rng = INT_DTYPE_RANGES.get(recv.arr.dtype) if recv.arr.dtype else None
+                if rng is not None:
+                    itv = Interval(rng[0], rng[1])
+            return Value(recv.kind, itv, arr=arr)
+        if meth in ("item", "tobytes", "tolist") and not args:
+            if recv.arr is not None:
+                self.check_array_read(node, recv, state)
+            if meth != "item":
+                return Value(KIND_OBJ, Interval.top(), tainted=recv.tainted)
             kind = KIND_PYINT if recv.kind == KIND_I64 else recv.kind
             return Value(kind, recv.itv, quantized=recv.quantized, finite=recv.finite)
         if meth == "sum":
+            if recv.arr is not None:
+                self.check_array_read(node, recv, state)
             dt = self._dtype_kw(node)
             kind = dt if dt else (recv.kind if recv.kind in (KIND_I64, KIND_FLOAT) else KIND_OBJ)
             return Value(kind, Interval.top(), quantized=recv.quantized and kind == KIND_I64)
         if meth in ("mean", "std", "var"):
+            if recv.arr is not None:
+                self.check_array_read(node, recv, state)
             return Value(KIND_FLOAT, Interval.top())
         if meth in ("any", "all"):
+            if recv.arr is not None:
+                self.check_array_read(node, recv, state)
             return Value(KIND_BOOL, Interval(0, 1))
         if meth == "fill" and recv_path and args:
-            state.env[recv_path] = replace(args[0], quantized=recv.quantized or args[0].quantized)
+            cur = state.env.get(recv_path, self.seed(recv_path))
+            self.check_array_write(node, recv_path, cur, args[0], None, state)
+            nv = replace(args[0], quantized=recv.quantized or args[0].quantized)
+            if cur.arr is not None:
+                # fill overwrites every element: initialized on this path
+                nv = nv.with_arr(cur.arr.initialized())
+            state.env[recv_path] = nv
             self.invalidate(recv_path, state)
             return Value.obj()
         # self.<method> → module-local method of the current class
@@ -1334,6 +1958,18 @@ class Interpreter:
             bv = state.env.get(base, self.seed(base))
             if not branch:
                 state.env[base] = bv.with_itv(Interval.bottom())
+            return state
+        if v.origin and v.origin[0] == "sizemod" and not branch:
+            # falsy ``buf.size % k`` proves the element count divides by k
+            base = v.origin[1]
+            try:
+                k = int(v.origin[2])
+            except (ValueError, IndexError):
+                k = 0
+            bv = state.env.get(base, self.seed(base))
+            if bv.arr is not None and k > 1:
+                arr = replace(bv.arr, count_multiple=math.lcm(bv.arr.count_multiple, k))
+                state.env[base] = bv.with_arr(arr)
             return state
         if v.origin and v.origin[0] == "allfinite" and branch:
             base = v.origin[1]
@@ -1464,6 +2100,17 @@ class Interpreter:
             base = origin[1]
             bv = state.env.get(base, self.seed(base))
             state.env[base] = bv.with_itv(Interval.bottom())
+        elif tag == "sizemod" and opname == "Eq" and c == 0:
+            # ``buf.size % k == 0`` proves the element count divides by k
+            base = origin[1]
+            try:
+                k = int(origin[2])
+            except (ValueError, IndexError):
+                return
+            bv = state.env.get(base, self.seed(base))
+            if bv.arr is not None and k > 1:
+                arr = replace(bv.arr, count_multiple=math.lcm(bv.arr.count_multiple, k))
+                state.env[base] = bv.with_arr(arr)
 
 
 # ---------------------------------------------------------------------------

@@ -19,11 +19,19 @@ Two layers:
     and an optional constructor class name (used by the lock-order and
     shm-lifetime passes to type objects).
 
-Both are immutable; joins return new objects.
+A third layer, :class:`ArrayInfo`, is the array-value lattice the NPA
+pass family (``npa.py``) keys on: base-buffer identity with view
+provenance, dtype + itemsize, a proven element-count divisor, a symbolic
+extent, writability, and a tri-state initialized bit (``np.empty`` vs
+``zeros``).  It rides along on :class:`Value` as the optional ``arr``
+field.
+
+All are immutable; joins return new objects.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import Optional, Union
 
@@ -33,12 +41,16 @@ __all__ = [
     "Q_LIMIT",
     "Q_MAX",
     "Interval",
+    "ArrayInfo",
     "Value",
     "KIND_PYINT",
     "KIND_I64",
     "KIND_FLOAT",
     "KIND_BOOL",
     "KIND_OBJ",
+    "INIT_YES",
+    "INIT_NO",
+    "INIT_MAYBE",
 ]
 
 INT64_MIN = -(1 << 63)
@@ -210,6 +222,90 @@ _TOP = Interval(None, None)
 _BOTTOM = Interval(empty=True)
 
 
+#: Tri-state initialization for the array lattice (a flat lattice with
+#: ``INIT_MAYBE`` on top): "no" means allocated by ``np.empty`` and not
+#: stored to on any path reaching this point.
+INIT_YES = "yes"
+INIT_NO = "no"
+INIT_MAYBE = "maybe"
+
+
+@dataclass(frozen=True)
+class ArrayInfo:
+    """Array-value lattice element: buffer identity, layout, and state.
+
+    What the NPA pass family needs to know about a numpy array:
+
+    base
+        symbolic identity of the owning buffer — an allocation site
+        (``"f:12:8"``) or a seed path (``"seed:q"``).  Two values with
+        equal non-``None`` bases *may* alias; ``None`` is "unknown
+        buffer" and never aliases provably.
+    view
+        this value is a view of ``base`` (slice, ``reshape``,
+        ``.view()``, ``frombuffer``, ``ndarray(buffer=...)``) rather
+        than the owning array itself.
+    provenance
+        the constructor that introduced the buffer (``"empty"``,
+        ``"frombuffer"``, ``"broadcast_to"``, ...), for messages.
+    dtype / itemsize
+        element type name and width in bytes (``None`` = unknown).
+    count_multiple
+        proven divisor of the element count (1 = nothing proven).
+        Together with ``itemsize`` this proves total-byte divisibility
+        for ``.view()`` reinterpretation: an allocation shaped
+        ``(n, 8)`` has ``count_multiple == 8``, and a
+        ``buf.size % 8 == 0`` guard refines it through the ``sizemod``
+        origin.
+    nelems
+        interval of the total element count (extent checks on
+        fancy-index writes key on an exactly-known extent).
+    writable
+        ``False`` when the buffer may be read-only (``frombuffer`` over
+        bytes, broadcast results).
+    init
+        tri-state initialization; joins of a written and an unwritten
+        path give ``INIT_MAYBE``.
+    """
+
+    base: Optional[str] = None
+    view: bool = False
+    provenance: Optional[str] = None
+    dtype: Optional[str] = None
+    itemsize: Optional[int] = None
+    count_multiple: int = 1
+    nelems: Interval = _TOP
+    writable: bool = True
+    init: str = INIT_YES
+
+    @property
+    def byte_multiple(self) -> Optional[int]:
+        """Proven divisor of the total byte count, or ``None``."""
+        if self.itemsize is None:
+            return None
+        return self.count_multiple * self.itemsize
+
+    def join(self, other: "ArrayInfo") -> "ArrayInfo":
+        return ArrayInfo(
+            base=self.base if self.base == other.base else None,
+            view=self.view or other.view,
+            provenance=self.provenance if self.provenance == other.provenance else None,
+            dtype=self.dtype if self.dtype == other.dtype else None,
+            itemsize=self.itemsize if self.itemsize == other.itemsize else None,
+            count_multiple=math.gcd(self.count_multiple, other.count_multiple),
+            nelems=self.nelems.join(other.nelems),
+            writable=self.writable and other.writable,
+            init=self.init if self.init == other.init else INIT_MAYBE,
+        )
+
+    def as_view(self) -> "ArrayInfo":
+        """The same buffer seen through a derived window (slice/reshape)."""
+        return replace(self, view=True)
+
+    def initialized(self) -> "ArrayInfo":
+        return self if self.init == INIT_YES else replace(self, init=INIT_YES)
+
+
 @dataclass(frozen=True)
 class Value:
     """Abstract value: kind × interval × taint × facts × symbolic origin."""
@@ -232,6 +328,10 @@ class Value:
     #: engine through arithmetic/casts/subscripts, cleared by comparison
     #: refinement (an upper-bound guard is a validation fact).
     tainted: bool = False
+    #: Array-value lattice element (buffer identity, layout, init state);
+    #: ``None`` when the value is not known to be an array.  Populated by
+    #: the engine's numpy transfer functions and checked by the NPA pass.
+    arr: Optional[ArrayInfo] = None
 
     # -------------------------------------------------------------- factories
 
@@ -271,6 +371,11 @@ class Value:
             origin=self.origin if self.origin == other.origin else None,
             ctor=self.ctor if self.ctor == other.ctor else None,
             tainted=self.tainted or other.tainted,
+            arr=(
+                self.arr.join(other.arr)
+                if self.arr is not None and other.arr is not None
+                else None
+            ),
         )
 
     def with_itv(self, itv: Interval) -> "Value":
@@ -281,6 +386,9 @@ class Value:
 
     def with_tainted(self, tainted: bool) -> "Value":
         return replace(self, tainted=tainted)
+
+    def with_arr(self, arr: Optional[ArrayInfo]) -> "Value":
+        return replace(self, arr=arr)
 
 
 def _join_kind(a: str, b: str) -> str:

@@ -1,0 +1,277 @@
+"""NPA001–NPA006: NumPy array-semantics proofs for the kernel layer.
+
+The pass rides the array-value lattice (:class:`~repro.analysis.dataflow.
+lattice.ArrayInfo`): symbolic buffer identity with view provenance,
+dtype + itemsize layout facts, a proven element-count divisor, extent
+intervals, writability, and an initialized bit.  Each rule fires only on
+*proven* violations or genuinely unprovable may-alias writes — the noise
+budget is zero unsuppressed findings over the real kernels.
+
+==========  ==============================================================
+``NPA001``  in-place write that may alias a live input: the stored value
+            is (or the target is) a view of the same base buffer
+``NPA002``  ``.view(dtype)`` reinterpretation whose byte count is not
+            provably a multiple of the new itemsize
+``NPA003``  index write whose proven index interval exceeds the
+            destination's exactly-known extent
+``NPA004``  write to a possibly non-writable array (``frombuffer``,
+            ``broadcast_to`` results)
+``NPA005``  read of ``np.empty`` contents never written on any path
+``NPA006``  silent-wraparound narrowing: a value whose proven range
+            exceeds the target integer dtype's range
+==========  ==============================================================
+
+Soundness caveats (documented in ``docs/ANALYSIS.md``): buffer identity
+is name/site-based, so two views reached through unpathed expressions
+can silently alias; ``.nbytes``-based divisibility guards are credited
+as element-count guards; and the initialized bit joins to "maybe" at
+path merges, so only *always-uninitialized* reads fire.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Mapping, Optional, Union
+
+from repro.analysis.dataflow.engine import (
+    INT_DTYPE_RANGES,
+    Interpreter,
+    ModuleContext,
+    analyze_module,
+)
+from repro.analysis.dataflow.lattice import (
+    INIT_NO,
+    INT64_MAX,
+    INT64_MIN,
+    KIND_BOOL,
+    KIND_I64,
+    KIND_PYINT,
+    ArrayInfo,
+    Interval,
+    Value,
+)
+from repro.analysis.findings import Finding
+
+__all__ = ["NpaPass", "npa_findings"]
+
+#: value kinds whose interval is an integer fact (NPA006 narrowing).
+_INT_KINDS = (KIND_PYINT, KIND_I64, KIND_BOOL)
+
+
+def _fmt_bound(b: Union[int, float, None]) -> str:
+    return "inf" if b is None else str(b)
+
+
+def _fmt(itv: Interval) -> str:
+    if itv.empty:
+        return "[]"
+    lo = "-inf" if itv.lo is None else str(itv.lo)
+    return f"[{lo}, {_fmt_bound(itv.hi)}]"
+
+
+def _describe(arr: ArrayInfo) -> str:
+    bits = []
+    if arr.provenance:
+        bits.append(arr.provenance)
+    if arr.view:
+        bits.append("view")
+    if arr.dtype:
+        bits.append(arr.dtype)
+    return " ".join(bits) if bits else "array"
+
+
+class NpaPass(Interpreter):
+    """Array shape/aliasing/view-safety pass (NPA001–NPA006)."""
+
+    track_arrays = True
+
+    def seed(self, path: str) -> Value:
+        # every unknown input may be an array: give it a distinct symbolic
+        # buffer so view-of-input writes are traceable back to it
+        v = super().seed(path)
+        if v.arr is None:
+            v = v.with_arr(ArrayInfo(base=f"seed:{path}"))
+        return v
+
+    # ------------------------------------------------------------ writes
+
+    def check_array_write(
+        self,
+        node: ast.AST,
+        path: Optional[str],
+        target: Value,
+        value: Value,
+        index: Optional[Value],
+        state: object,
+    ) -> None:
+        ta = target.arr
+        if ta is None:
+            return
+        name = path or "<array>"
+        # NPA004: the buffer is not provably writable
+        if not ta.writable:
+            self.report(
+                "NPA004",
+                node,
+                f"write into `{name}` which may not be writable "
+                f"({_describe(ta)} buffers are read-only)",
+                hint=(
+                    "copy before mutating (`arr = np.frombuffer(...).copy()`) "
+                    "or allocate a fresh destination with np.empty/zeros"
+                ),
+            )
+        # NPA001: the stored value aliases the destination buffer
+        va = value.arr
+        if (
+            va is not None
+            and ta.base is not None
+            and va.base == ta.base
+            and (ta.view or va.view)
+        ):
+            self.report(
+                "NPA001",
+                node,
+                f"in-place write into `{name}` from a view of the same "
+                f"buffer ({ta.base}): overlapping read/write order is "
+                "undefined",
+                hint=(
+                    "materialize the source first (`src = src.copy()`) or "
+                    "restructure so source and destination are distinct buffers"
+                ),
+            )
+        # NPA003: proven out-of-bounds index write
+        if (
+            index is not None
+            and not index.itv.empty
+            and ta.nelems.lo is not None
+            and ta.nelems.lo == ta.nelems.hi
+        ):
+            n = ta.nelems.lo
+            hi = index.itv.hi
+            lo = index.itv.lo
+            if (hi is not None and hi >= n) or (lo is not None and lo < -n):
+                self.report(
+                    "NPA003",
+                    node,
+                    f"index write into `{name}` out of bounds: index range "
+                    f"{_fmt(index.itv)} exceeds the proven extent {n}",
+                    hint="clamp or mask the index array before scattering",
+                )
+        # NPA006: proven silent wraparound on assignment
+        self._check_narrowing(node, ta.dtype, value, f"assignment into `{name}`")
+
+    def _check_narrowing(
+        self, node: ast.AST, dtype: Optional[str], value: Value, what: str
+    ) -> None:
+        if dtype is None or value.kind not in _INT_KINDS:
+            return
+        rng = INT_DTYPE_RANGES.get(dtype)
+        if rng is None:
+            return
+        itv = value.itv
+        if itv.empty or itv.lo is None or itv.hi is None:
+            # unknown magnitude: narrowing is assumed intentional masking
+            return
+        if itv.lo <= INT64_MIN and itv.hi >= INT64_MAX:
+            # the full int64 range is the engine's unknown-int ⊤, not a
+            # proven magnitude — treat it like an unknown interval
+            return
+        if itv.lo >= rng[0] and itv.hi <= rng[1]:
+            return
+        self.report(
+            "NPA006",
+            node,
+            f"{what} silently wraps: value range {_fmt(itv)} exceeds "
+            f"{dtype} [{rng[0]}, {rng[1]}]",
+            hint=(
+                "mask explicitly (`x & 0xFF`) if wraparound is intended, "
+                "or widen the destination dtype"
+            ),
+        )
+
+    # ------------------------------------------------------------ views
+
+    def check_view_cast(
+        self,
+        node: ast.AST,
+        src: Value,
+        dtype_name: str,
+        itemsize: Optional[int],
+        state: object,
+    ) -> None:
+        sa = src.arr
+        if sa is None or itemsize is None or sa.itemsize is None:
+            return  # unknown layout on either side: not provable either way
+        s, k = sa.itemsize, itemsize
+        if k == s:
+            return
+        if k < s and s % k == 0:
+            return  # widening each element into more, smaller elements
+        # growing the itemsize: total bytes must divide by the new width
+        byte_multiple = sa.count_multiple * s
+        if byte_multiple % k == 0:
+            return
+        self.report(
+            "NPA002",
+            node,
+            f".view({dtype_name}) reinterprets a {s}-byte-element buffer "
+            f"whose total byte count is only provably a multiple of "
+            f"{byte_multiple}, not of {k}",
+            hint=(
+                "prove divisibility first (`if buf.size % "
+                f"{max(k // s, 1)}: raise`) or allocate with a constant "
+                "trailing dim (`np.empty((n, "
+                f"{max(k // s, 1)}), ...)`) so the reshape carries the proof"
+            ),
+        )
+
+    def check_astype(
+        self,
+        node: ast.AST,
+        src: Value,
+        dtype_name: str,
+        itemsize: Optional[int],
+        state: object,
+    ) -> None:
+        # NPA006 also covers proven-wrapping astype narrowing (the
+        # uint32 → uint16 downshift pattern, complementing SZL101/102)
+        self._check_narrowing(node, dtype_name, src, f".astype({dtype_name})")
+
+    # ------------------------------------------------------------ reads
+
+    def check_array_read(self, node: ast.AST, value: Value, state: object) -> None:
+        va = value.arr
+        if va is None or va.init != INIT_NO:
+            # "maybe": written on some path — weak updates can't tell which
+            return
+        self.report(
+            "NPA005",
+            node,
+            "read of np.empty contents that are never written on any "
+            "path to this use",
+            hint="use np.zeros, or write every element before the first read",
+        )
+
+
+def npa_findings(
+    source_path: str,
+    source: str,
+    tree: Optional[ast.Module] = None,
+    ctx: Optional[ModuleContext] = None,
+) -> list[Finding]:
+    """Run the array-semantics pass over one module's source.
+
+    ``tree``/``ctx`` let the driver share one parse and one module index
+    across every pass over the same file.
+    """
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=source_path)
+        except SyntaxError:
+            return []
+
+    def make(c: ModuleContext, summaries: Mapping[str, Value]) -> Interpreter:
+        return NpaPass(c, summaries, source_path=source_path)
+
+    findings, _ = analyze_module(source_path, tree, make, ctx=ctx)
+    return findings

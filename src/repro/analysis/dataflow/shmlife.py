@@ -123,9 +123,14 @@ class ShmLifePass(Interpreter):
         super().__init__(ctx, summaries, source_path=source_path)
         self._acq_line: dict[str, int] = {}
         self._reported: set[tuple[str, str, str]] = set()
-        self._releasers: dict[str, dict[str, set[str]]] = {
-            name: _releaser_attrs(node) for name, node in ctx.classes.items()
-        }
+        # one interpreter is built per analyzed function: memoize the
+        # releaser index on the shared ModuleContext instead of re-walking
+        # the whole module AST every time
+        cached = ctx.pass_cache.get("shm_releasers")
+        if cached is None:
+            cached = {name: _releaser_attrs(node) for name, node in ctx.classes.items()}
+            ctx.pass_cache["shm_releasers"] = cached
+        self._releasers: dict[str, dict[str, set[str]]] = cached  # type: ignore[assignment]
 
     # --------------------------------------------------------------- reporting
 

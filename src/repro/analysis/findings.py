@@ -124,6 +124,43 @@ def render_json(findings: list[Finding]) -> str:
     return json.dumps(doc, indent=2)
 
 
+#: Per-family anchors into the rule tables of ``docs/ANALYSIS.md``;
+#: rendered as relative ``helpUri``s on each SARIF rule descriptor so
+#: code-scanning UIs link findings straight to the pass documentation.
+#: Fragments are GitHub heading slugs — ``test_async_taint.py`` recomputes
+#: them from the document so they cannot drift silently.
+_ANALYSIS_DOC = "docs/ANALYSIS.md"
+_FAMILY_ANCHORS: dict[str, str] = {
+    "lint": "pass-1--szops-lint-rules-szl000szl006",
+    "verify": "pass-2--verify-stream-rules-vs001vs008",
+    "lockcheck": "pass-3--lockcheck-rule-lck001",
+    "dataflow": "pass-4--dataflow-rules-szl099-szl101szl103-lck002-shm001002",
+    "async": "pass-5--async-safety--untrusted-input-asy001asy005-tnt001002",
+    "npa": "pass-6--numpy-array-semantics-npa001npa006",
+}
+#: Dataflow-upgrade SZL ids documented in pass 4, not the syntactic pass 1.
+_DATAFLOW_SZL = frozenset({"SZL099", "SZL101", "SZL102", "SZL103"})
+
+
+def rule_help_uri(rule: str) -> str | None:
+    """Relative documentation URI for ``rule``, or ``None`` if undocumented."""
+    if rule in _DATAFLOW_SZL or rule in {"LCK002"} or rule.startswith("SHM"):
+        family = "dataflow"
+    elif rule.startswith("SZL"):
+        family = "lint"
+    elif rule.startswith("VS"):
+        family = "verify"
+    elif rule.startswith("LCK"):
+        family = "lockcheck"
+    elif rule.startswith(("ASY", "TNT")):
+        family = "async"
+    elif rule.startswith("NPA"):
+        family = "npa"
+    else:
+        return None
+    return f"{_ANALYSIS_DOC}#{_FAMILY_ANCHORS[family]}"
+
+
 def render_sarif(findings: list[Finding], *, tool_name: str = "szops-lint") -> str:
     """SARIF 2.1.0 report, for code-scanning UIs and CI artifact upload.
 
@@ -132,14 +169,20 @@ def render_sarif(findings: list[Finding], *, tool_name: str = "szops-lint") -> s
     anchored, line 0) are emitted with ``byteOffset`` regions; source
     findings with line regions.  Hints ride along as the fix description
     so they stay visible in viewers that only show the result message.
+    Each rule descriptor carries a ``helpUri`` into the matching rule
+    table of ``docs/ANALYSIS.md``.
     """
     ordered = sort_findings(findings)
-    rules = []
+    rules: list[dict[str, object]] = []
     rule_index: dict[str, int] = {}
     for f in ordered:
         if f.rule not in rule_index:
             rule_index[f.rule] = len(rules)
-            rules.append({"id": f.rule})
+            desc: dict[str, object] = {"id": f.rule}
+            help_uri = rule_help_uri(f.rule)
+            if help_uri is not None:
+                desc["helpUri"] = help_uri
+            rules.append(desc)
     results = []
     for f in ordered:
         message = f.message if not f.hint else f"{f.message} [hint: {f.hint}]"

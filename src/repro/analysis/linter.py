@@ -286,20 +286,34 @@ def analyze_paths(
     *,
     dataflow: bool = False,
     run_lockcheck: bool = True,
+    changed: Sequence[Path | str] | None = None,
 ) -> list[Finding]:
     """Run every analysis pass through one suppression-aware driver.
 
     Unlike :func:`lint_paths` (kept stable as the plain ``lint`` entry
     point), this routes the lexical lock checker (LCK001) and — with
     ``dataflow=True`` — the abstract-interpretation passes (SZL101/102,
-    SZL103, LCK002, SHM001/002) through the same per-line suppression
-    machinery, tracks which suppression comments actually fired, and on
-    a full run reports stale ones as ``SZL099``.
+    SZL103, LCK002, SHM001/002, ASY, TNT, NPA) through the same per-line
+    suppression machinery, tracks which suppression comments actually
+    fired, and on a full run reports stale ones as ``SZL099``.
+
+    ``changed`` enables incremental mode (``lint --changed``): every
+    target is still read and parsed — the cross-file passes (project
+    rules, LCK002 lock ordering) need the whole picture — but the
+    expensive per-file passes run only on the listed files, and the
+    report (including SZL099 stale-suppression accounting) is restricted
+    to them.  Per-file dataflow passes are module-local, so the result
+    equals a full run's findings filtered to the changed files.
     """
     targets = discover_files(
         [Path(p) for p in paths] if paths else [default_target()]
     )
     wanted = None if select is None else {s.strip() for s in select}
+    changed_set = (
+        None
+        if changed is None
+        else {str(Path(p).resolve()) for p in changed}
+    )
 
     report: list[Finding] = []
     sources: dict[Path, str] = {}
@@ -313,6 +327,7 @@ def analyze_paths(
             asyncsafety_findings,
             check_error_propagation,
             lockorder_findings,
+            npa_findings,
             range_findings,
             shm_findings,
             taint_findings,
@@ -346,6 +361,13 @@ def analyze_paths(
             tree = ast.parse(source, filename=str(path))
         except SyntaxError:
             tree = None
+        if changed_set is not None and str(path.resolve()) not in changed_set:
+            # unchanged file: contribute its source/tree to the cross-file
+            # passes but skip the per-file work entirely
+            if dataflow and tree is not None:
+                trees[str(path)] = tree
+            raw_by_path[str(path)] = []
+            continue
         raw = _lint_file_raw(source, path, select=select, tags=tags, tree=tree)
         if dataflow:
             shadow_by_path[str(path)] = [
@@ -370,6 +392,14 @@ def analyze_paths(
                             tree=tree,
                             ctx=ctx,
                             wire="wire" in tags,
+                        )
+                        + (
+                            # array semantics only pay off where arrays
+                            # live: kernel/runtime files that import numpy
+                            npa_findings(str(path), source, tree=tree, ctx=ctx)
+                            if (tags & {"codec", "runtime", "ops"})
+                            and "numpy" in source
+                            else []
                         )
                     )
                     if _want(f)
@@ -404,6 +434,10 @@ def analyze_paths(
     emit_stale = wanted is None
 
     for path, source in sources.items():
+        if changed_set is not None and str(path.resolve()) not in changed_set:
+            # per-file passes did not run here: suppression accounting
+            # would report every comment as stale
+            continue
         sup = _suppressions(source)
         used: set[tuple[int, str]] = set()
         kept = _apply_suppressions(raw_by_path.get(str(path), []), sup, used)
@@ -442,4 +476,6 @@ def analyze_paths(
     for fpath, fs in raw_by_path.items():
         if Path(fpath) not in sources:  # anchor file was never read
             report.extend(fs)
+    if changed_set is not None:
+        report = [f for f in report if str(Path(f.path).resolve()) in changed_set]
     return sort_findings(report)

@@ -30,6 +30,7 @@ from repro.baselines.base import BaseCompressor
 from repro.bitstream import ByteReader, ByteWriter
 from repro.core.blocks import BlockLayout
 from repro.core.encode import (
+    apply_signs,
     block_widths,
     decode_magnitudes,
     decode_signs,
@@ -167,8 +168,8 @@ class SZp(BaseCompressor):
             signs = decode_signs(sign_bytes, n_elements)
             mags = decode_magnitudes(
                 payload_bytes, widths, lens, align_bits=32 if word_align else 1
-            ).astype(np.int64)
-            deltas = np.where(signs.astype(bool), -mags, mags)
+            )
+            deltas = apply_signs(signs, mags)
         else:
             stored_lens = lens[stored]
             n_stored = int(stored_lens.sum())
@@ -178,11 +179,9 @@ class SZp(BaseCompressor):
                 widths[stored],
                 stored_lens,
                 align_bits=32 if word_align else 1,
-            ).astype(np.int64)
-            deltas = np.zeros(n_elements, dtype=np.int64)
-            deltas[np.repeat(stored, lens)] = np.where(
-                signs.astype(bool), -mags, mags
             )
+            deltas = np.zeros(n_elements, dtype=np.int64)
+            deltas[np.repeat(stored, lens)] = apply_signs(signs, mags)
         q = lorenzo_inverse(np.asarray(deltas, dtype=np.int64), outliers, layout)
         if abs(stream_eps - eps) > 1e-300 and not np.isclose(stream_eps, eps):
             raise FormatError("stream error bound disagrees with blob metadata")

@@ -366,7 +366,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--dataflow",
         action="store_true",
         help="also run the abstract-interpretation passes (SZL101/102/103, "
-        "LCK002, SHM001/002) and the SZL099 stale-suppression check",
+        "LCK002, SHM001/002, ASY, TNT, NPA) and the SZL099 "
+        "stale-suppression check",
+    )
+    p.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REV",
+        help="incremental mode: run the per-file passes only on .py files "
+        "changed since REV (default HEAD, i.e. the working tree diff plus "
+        "untracked files). Cross-file passes still see every target, so "
+        "the findings equal a full run's restricted to the changed files.",
     )
     p.add_argument(
         "-o",
@@ -888,20 +900,57 @@ def _render_findings(findings, fmt: str) -> str:
     return render(findings)
 
 
+def _changed_files(rev: str) -> list[Path]:
+    """``.py`` files changed since ``rev`` (diff vs worktree + untracked).
+
+    Raises ``RuntimeError`` when git is unavailable or ``rev`` does not
+    resolve, so the CLI can report it instead of silently linting nothing.
+    """
+    import subprocess
+
+    def _git(*argv: str, cwd: str | None = None) -> str:
+        proc = subprocess.run(
+            ["git", *argv], cwd=cwd, capture_output=True, text=True
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"git {' '.join(argv)} failed: {proc.stderr.strip()}"
+            )
+        return proc.stdout
+
+    top = _git("rev-parse", "--show-toplevel").strip()
+    names = _git("diff", "--name-only", "-z", rev, "--", cwd=top)
+    names += _git("ls-files", "--others", "--exclude-standard", "-z", cwd=top)
+    out = []
+    for name in sorted({n for n in names.split("\0") if n}):
+        path = Path(top) / name
+        if path.suffix == ".py" and path.exists():
+            out.append(path)
+    return out
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import lint_paths, lockcheck_paths
     from repro.analysis.findings import Report
 
     select = args.select.split(",") if args.select else None
     paths = args.paths or None
-    if args.dataflow:
+    changed: list[Path] | None = None
+    if args.changed is not None:
+        try:
+            changed = _changed_files(args.changed)
+        except RuntimeError as exc:
+            print(f"error: --changed: {exc}", file=sys.stderr)
+            return 2
+    if args.dataflow or changed is not None:
         from repro.analysis import analyze_paths
 
         findings = analyze_paths(
             paths,
             select=select,
-            dataflow=True,
+            dataflow=args.dataflow,
             run_lockcheck=not args.no_lockcheck,
+            changed=changed,
         )
     else:
         findings = lint_paths(paths, select=select)

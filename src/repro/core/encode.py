@@ -50,6 +50,7 @@ __all__ = [
     "payload_bit_counts",
     "encode_signs",
     "decode_signs",
+    "apply_signs",
     "encode_magnitudes",
     "decode_magnitudes",
     "encode_block_sections",
@@ -101,6 +102,17 @@ def encode_signs(signs: np.ndarray) -> np.ndarray:
 def decode_signs(sign_bytes: np.ndarray, n_bits: int) -> np.ndarray:
     """Unpack the leading ``n_bits`` sign bits from a byte buffer."""
     return unpack_bits(sign_bytes, n_bits)
+
+
+def apply_signs(signs: np.ndarray, mags: np.ndarray) -> np.ndarray:
+    """Signed int64 deltas from sign bits and uint64 magnitudes.
+
+    Negation stays in uint64, where wraparound is defined modular
+    arithmetic, and the result is bit-reinterpreted: a magnitude of
+    exactly ``2**63`` round-trips to INT64_MIN instead of hitting
+    signed-negation overflow.
+    """
+    return np.where(signs.astype(bool), -mags, mags).view(np.int64)
 
 
 # --------------------------------------------------------------------------
@@ -465,8 +477,8 @@ def decode_block_sections(
     signs = decode_signs(sign_bytes, n_stored_elems)
     mags = decode_magnitudes(
         payload_bytes, widths[stored], stored_lens, kernel=kernel
-    ).astype(np.int64)
-    signed = np.where(signs.astype(bool), -mags, mags)
+    )
+    signed = apply_signs(signs, mags)
     if stored.all():
         deltas[:] = signed
     else:
@@ -505,5 +517,5 @@ def decode_stored_deltas(
     signs = decode_signs(sign_bytes, n_stored_elems)
     mags = decode_magnitudes(
         payload_bytes, stored_widths, stored_lens, kernel=kernel
-    ).astype(np.int64)
-    return np.where(signs.astype(bool), -mags, mags)
+    )
+    return apply_signs(signs, mags)

@@ -1,0 +1,15 @@
+"""Negative NPA001 fixtures: the materialize-first and fresh-buffer idioms."""
+
+import numpy as np
+
+
+def shift_copied(a: np.ndarray) -> np.ndarray:
+    # The source window is materialized before the write: no overlap.
+    a[1:] = a[:-1].copy()
+    return a
+
+
+def shift_into_fresh(a: np.ndarray) -> np.ndarray:
+    out = np.zeros(32, dtype=np.int64)
+    out[1:] = a[: out.size - 1]
+    return out

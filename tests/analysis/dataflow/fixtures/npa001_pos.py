@@ -1,0 +1,18 @@
+"""Positive NPA001 fixtures: in-place writes that may alias their source."""
+
+import numpy as np
+
+
+def shift_in_place(a: np.ndarray) -> np.ndarray:
+    # Classic overlapping shift: the RHS is a view of the LHS buffer, so
+    # numpy's element visit order decides what gets read.
+    a[1:] = a[:-1]
+    return a
+
+
+def roll_into_self() -> np.ndarray:
+    buf = np.zeros(16, dtype=np.int64)
+    buf[5] = 1
+    win = buf[4:]
+    buf[:12] = win
+    return buf

@@ -1,0 +1,23 @@
+"""Negative NPA002 fixtures: the two divisibility proofs the kernels use."""
+
+import numpy as np
+
+
+def words_guarded(payload: bytes) -> np.ndarray:
+    buf = np.frombuffer(payload, dtype=np.uint8)
+    if buf.size % 8:
+        raise ValueError("payload is not word-aligned")
+    # The size-modulo guard proves the byte count divides by 8.
+    return buf.view(np.uint64)
+
+
+def words_by_construction(n: int) -> np.ndarray:
+    # The constant trailing dim carries the proof through the reshape.
+    planes = np.zeros((n, 8), dtype=np.uint8)
+    return planes.reshape(-1).view(np.uint64)
+
+
+def bytes_of_words(words: np.ndarray) -> np.ndarray:
+    w = np.asarray(words, dtype=np.uint64)
+    # Shrinking the itemsize always divides evenly.
+    return w.view(np.uint8)

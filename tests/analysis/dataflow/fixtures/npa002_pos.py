@@ -1,0 +1,16 @@
+"""Positive NPA002 fixtures: itemsize-growing views with no byte-count proof."""
+
+import numpy as np
+
+
+def words_from_wire(payload: bytes) -> np.ndarray:
+    buf = np.frombuffer(payload, dtype=np.uint8)
+    # Nothing proves len(payload) % 8 == 0: numpy raises at runtime on a
+    # ragged tail.
+    return buf.view(np.uint64)
+
+
+def regroup_pairs(n: int) -> np.ndarray:
+    buf = np.zeros(3 * n, dtype=np.uint16)
+    # 6*n bytes is provably a multiple of 2, not of 8.
+    return buf.view(np.uint64)

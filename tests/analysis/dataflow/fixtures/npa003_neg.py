@@ -1,0 +1,17 @@
+"""Negative NPA003 fixtures: index ranges proven within the extent."""
+
+import numpy as np
+
+
+def scatter_within() -> np.ndarray:
+    out = np.zeros(16, dtype=np.int64)
+    idx = np.arange(16)
+    out[idx] = 1
+    return out
+
+
+def last_element() -> np.ndarray:
+    out = np.zeros(4, dtype=np.int64)
+    out[-4] = 1
+    out[3] = 2
+    return out

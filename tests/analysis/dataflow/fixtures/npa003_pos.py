@@ -1,0 +1,16 @@
+"""Positive NPA003 fixtures: proven out-of-bounds index writes."""
+
+import numpy as np
+
+
+def scatter_past_end() -> np.ndarray:
+    out = np.zeros(8, dtype=np.int64)
+    idx = np.arange(16)
+    out[idx] = 1
+    return out
+
+
+def negative_underrun() -> np.ndarray:
+    out = np.zeros(4, dtype=np.int64)
+    out[-5] = 1
+    return out

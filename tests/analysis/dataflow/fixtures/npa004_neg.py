@@ -1,0 +1,15 @@
+"""Negative NPA004 fixtures: copy-before-mutate makes the buffer writable."""
+
+import numpy as np
+
+
+def poke_wire_copy(payload: bytes) -> int:
+    buf = np.frombuffer(payload, dtype=np.uint8).copy()
+    buf[0] = 1
+    return int(buf.size)
+
+
+def stamp_broadcast_copy(x: np.ndarray) -> np.ndarray:
+    tiled = np.broadcast_to(x, (4, 4)).copy()
+    tiled[0] = 1
+    return tiled

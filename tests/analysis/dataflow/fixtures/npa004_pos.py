@@ -1,0 +1,16 @@
+"""Positive NPA004 fixtures: writes into read-only buffers."""
+
+import numpy as np
+
+
+def poke_wire_window(payload: bytes) -> int:
+    buf = np.frombuffer(payload, dtype=np.uint8)
+    # frombuffer over immutable bytes is read-only: numpy raises here.
+    buf[0] = 1
+    return int(buf.size)
+
+
+def stamp_broadcast(x: np.ndarray) -> np.ndarray:
+    tiled = np.broadcast_to(x, (4, 4))
+    tiled[0] = 1
+    return tiled

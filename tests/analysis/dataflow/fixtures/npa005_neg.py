@@ -1,0 +1,14 @@
+"""Negative NPA005 fixtures: every element written before the first read."""
+
+import numpy as np
+
+
+def filled_then_read() -> int:
+    buf = np.empty(8, dtype=np.int64)
+    buf.fill(0)
+    return int(buf.sum())
+
+
+def zeros_then_read() -> float:
+    buf = np.zeros(8, dtype=np.float64)
+    return float(buf[0])

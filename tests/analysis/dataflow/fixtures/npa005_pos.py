@@ -1,0 +1,13 @@
+"""Positive NPA005 fixtures: np.empty contents read before any write."""
+
+import numpy as np
+
+
+def sum_uninitialized() -> int:
+    buf = np.empty(8, dtype=np.int64)
+    return int(buf.sum())
+
+
+def first_uninitialized() -> float:
+    buf = np.empty(8, dtype=np.float64)
+    return float(buf[0])

@@ -1,0 +1,14 @@
+"""Negative NPA006 fixtures: narrowings whose ranges provably fit."""
+
+import numpy as np
+
+
+def store_in_range() -> np.ndarray:
+    out = np.zeros(4, dtype=np.uint8)
+    out[0] = 200
+    return out
+
+
+def small_counts_to_u8() -> np.ndarray:
+    counts = np.arange(200)
+    return counts.astype(np.uint8)

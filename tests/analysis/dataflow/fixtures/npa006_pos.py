@@ -1,0 +1,14 @@
+"""Positive NPA006 fixtures: integer narrowing that provably wraps."""
+
+import numpy as np
+
+
+def store_wide() -> np.ndarray:
+    out = np.zeros(4, dtype=np.uint8)
+    out[0] = 300
+    return out
+
+
+def counts_to_u16() -> np.ndarray:
+    counts = np.arange(100000)
+    return counts.astype(np.uint16)

@@ -1,0 +1,9 @@
+"""Negative suppression fixture: a justified NPA suppression stays live."""
+
+import numpy as np
+
+
+def poke(payload: bytes) -> int:
+    buf = np.frombuffer(payload, dtype=np.uint8)
+    buf[0] = 1  # szops: ignore[NPA004] -- fixture: exercising the raise path
+    return int(buf.size)

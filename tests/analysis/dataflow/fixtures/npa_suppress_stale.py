@@ -1,0 +1,9 @@
+"""Positive suppression fixture: a stale NPA suppression comment."""
+
+import numpy as np
+
+
+def in_bounds() -> np.ndarray:
+    out = np.zeros(4, dtype=np.int64)
+    out[0] = 1  # szops: ignore[NPA003]
+    return out

@@ -162,6 +162,12 @@ _POSITIVE_CORPUS = {
     "lck002_pos": {"LCK002"},
     "shm_pos": {"SHM001", "SHM002"},
     "szl099_pos": {"SZL099"},
+    "npa001_pos": {"NPA001"},
+    "npa002_pos": {"NPA002"},
+    "npa003_pos": {"NPA003"},
+    "npa004_pos": {"NPA004"},
+    "npa005_pos": {"NPA005"},
+    "npa006_pos": {"NPA006"},
 }
 
 

@@ -5,6 +5,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+import pytest
+
 from repro.analysis import analyze_paths, render_sarif
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.linter import default_target
@@ -90,3 +92,53 @@ def test_render_sarif_minimal_document() -> None:
 def test_render_sarif_empty() -> None:
     doc = json.loads(render_sarif([]))
     assert doc["runs"][0]["results"] == []
+
+
+def test_sarif_rules_carry_help_uris_into_the_docs() -> None:
+    findings = [
+        Finding(rule=r, path="src/x.py", line=1, message="m")
+        for r in ("SZL001", "SZL101", "VS001", "LCK001", "LCK002",
+                  "SHM001", "ASY001", "TNT001", "NPA001", "SZL099")
+    ]
+    doc = json.loads(render_sarif(findings))
+    uris = {
+        r["id"]: r.get("helpUri", "")
+        for r in doc["runs"][0]["tool"]["driver"]["rules"]
+    }
+    assert all(u.startswith("docs/ANALYSIS.md#") for u in uris.values()), uris
+    assert "pass-1" in uris["SZL001"]
+    assert "pass-2" in uris["VS001"]
+    assert "pass-3" in uris["LCK001"]
+    for dataflow_rule in ("SZL099", "SZL101", "LCK002", "SHM001"):
+        assert "pass-4" in uris[dataflow_rule]
+    assert "pass-5" in uris["ASY001"] and "pass-5" in uris["TNT001"]
+    assert "pass-6" in uris["NPA001"]
+
+
+def test_help_uri_anchors_resolve_to_real_doc_headings() -> None:
+    """Recompute GitHub heading slugs from docs/ANALYSIS.md — no drift."""
+    from repro.analysis.findings import rule_help_uri
+
+    doc_path = Path(__file__).resolve().parents[3] / "docs" / "ANALYSIS.md"
+    if not doc_path.exists():  # pragma: no cover - installed-package runs
+        pytest.skip("docs/ not present")
+
+    def slug(heading: str) -> str:
+        text = heading.strip().lower().replace("`", "")
+        kept = "".join(c for c in text if c.isalnum() or c in " -_")
+        return kept.replace(" ", "-")
+
+    slugs = {
+        slug(line.lstrip("#"))
+        for line in doc_path.read_text().splitlines()
+        if line.startswith("#")
+    }
+    rules = ["SZL001", "SZL099", "SZL101", "VS001", "LCK001", "LCK002",
+             "SHM001", "SHM002", "ASY001", "TNT001"]
+    rules += [f"NPA00{i}" for i in range(1, 7)]
+    for rule in rules:
+        uri = rule_help_uri(rule)
+        assert uri is not None, rule
+        fragment = uri.split("#", 1)[1]
+        assert fragment in slugs, (rule, fragment)
+    assert rule_help_uri("XXX999") is None

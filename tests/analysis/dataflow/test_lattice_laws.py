@@ -1,0 +1,271 @@
+"""Property-based lattice laws for the dataflow value domains.
+
+The engine's soundness argument leans on three algebraic facts that unit
+tests only sample: ``join`` is a commutative/associative/idempotent
+least-upper-bound, the interval transfer functions are monotone with
+respect to the induced order ``x ⊑ y  iff  x.join(y) == y``, and the
+loop widening operator reaches a fixpoint in a bounded number of steps.
+This suite states them as Hypothesis properties over all three lattices
+(:class:`Interval`, :class:`ArrayInfo`, :class:`Value`).
+
+One representation wrinkle: the ``finite`` flag of a ``Value`` whose
+interval is ⊥ is vacuous (the empty set of concrete values is finite),
+and ``Value.join`` normalizes it to ``True``.  Laws on ``Value`` are
+therefore stated modulo :func:`canon`, which applies the same
+normalization — ``join``'s output is always canonical, so only raw
+strategy inputs need it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.dataflow.lattice import (
+    INIT_MAYBE,
+    INIT_NO,
+    INIT_YES,
+    KIND_BOOL,
+    KIND_FLOAT,
+    KIND_I64,
+    KIND_OBJ,
+    KIND_PYINT,
+    ArrayInfo,
+    Interval,
+    Value,
+)
+
+# ----------------------------------------------------------- strategies
+
+_bounds = st.one_of(st.none(), st.integers(-8, 8))
+
+
+def _mk_interval(lo: int | None, hi: int | None, empty: bool) -> Interval:
+    if empty:
+        return Interval.bottom()
+    if lo is not None and hi is not None and lo > hi:
+        lo, hi = hi, lo
+    return Interval(lo, hi)
+
+
+intervals = st.builds(
+    _mk_interval, _bounds, _bounds, st.sampled_from([False, False, False, True])
+)
+
+_LAYOUTS = [(None, None), ("uint8", 1), ("uint16", 2), ("uint64", 8)]
+
+
+@st.composite
+def array_infos(draw: st.DrawFn) -> ArrayInfo:
+    dtype, itemsize = draw(st.sampled_from(_LAYOUTS))
+    return ArrayInfo(
+        base=draw(st.sampled_from([None, "f:1:0", "g:2:4", "seed:q"])),
+        view=draw(st.booleans()),
+        provenance=draw(st.sampled_from([None, "empty", "frombuffer"])),
+        dtype=dtype,
+        itemsize=itemsize,
+        count_multiple=draw(st.sampled_from([1, 2, 3, 4, 8])),
+        nelems=draw(intervals),
+        writable=draw(st.booleans()),
+        init=draw(st.sampled_from([INIT_YES, INIT_NO, INIT_MAYBE])),
+    )
+
+
+@st.composite
+def values(draw: st.DrawFn) -> Value:
+    return Value(
+        kind=draw(
+            st.sampled_from([KIND_PYINT, KIND_I64, KIND_FLOAT, KIND_BOOL, KIND_OBJ])
+        ),
+        itv=draw(intervals),
+        quantized=draw(st.booleans()),
+        finite=draw(st.booleans()),
+        origin=draw(st.sampled_from([None, ("size", "buf"), ("absmax", "q")])),
+        ctor=draw(st.sampled_from([None, "Lock"])),
+        tainted=draw(st.booleans()),
+        arr=draw(st.one_of(st.none(), array_infos())),
+    )
+
+
+def canon(v: Value) -> Value:
+    """Normalize the vacuous finiteness of ⊥-interval values."""
+    if v.itv.empty and not v.finite:
+        return replace(v, finite=True)
+    return v
+
+
+def ile(a: Interval, b: Interval) -> bool:
+    return a.join(b) == b
+
+
+def vle(a: Value, b: Value) -> bool:
+    return a.join(b) == canon(b)
+
+
+# ------------------------------------------------------- Interval: join
+
+
+@given(intervals, intervals)
+def test_interval_join_commutes(x: Interval, y: Interval) -> None:
+    assert x.join(y) == y.join(x)
+
+
+@given(intervals, intervals, intervals)
+def test_interval_join_associates(x: Interval, y: Interval, z: Interval) -> None:
+    assert x.join(y).join(z) == x.join(y.join(z))
+
+
+@given(intervals)
+def test_interval_join_idempotent_with_bottom_identity(x: Interval) -> None:
+    assert x.join(x) == x
+    assert x.join(Interval.bottom()) == x
+    assert Interval.bottom().join(x) == x
+
+
+@given(intervals, intervals)
+def test_interval_join_is_an_upper_bound(x: Interval, y: Interval) -> None:
+    assert ile(x, x.join(y))
+    assert ile(y, x.join(y))
+
+
+@given(intervals, intervals, intervals)
+def test_interval_meet_laws(x: Interval, y: Interval, z: Interval) -> None:
+    assert x.meet(y) == y.meet(x)
+    assert x.meet(x) == x
+    assert x.meet(y).meet(z) == x.meet(y.meet(z))
+    # greatest lower bound: the meet sits below both operands
+    assert ile(x.meet(y), x)
+    assert ile(x.meet(y), y)
+
+
+# -------------------------------------- Interval: transfer monotonicity
+
+_UNARY = [
+    ("neg", lambda v: v.neg()),
+    ("abs", lambda v: v.abs()),
+    ("expand1", lambda v: v.expand(1)),
+]
+_BINARY = [
+    ("add", lambda v, z: v.add(z)),
+    ("sub", lambda v, z: v.sub(z)),
+    ("mul", lambda v, z: v.mul(z)),
+    ("join", lambda v, z: v.join(z)),
+    ("meet", lambda v, z: v.meet(z)),
+]
+
+
+@given(intervals, intervals, intervals)
+def test_interval_transfer_functions_are_monotone(
+    x: Interval, w: Interval, z: Interval
+) -> None:
+    y = x.join(w)  # x ⊑ y by construction
+    for name, fn in _UNARY:
+        assert ile(fn(x), fn(y)), name
+    for name, fn2 in _BINARY:
+        assert ile(fn2(x, z), fn2(y, z)), name
+        assert ile(fn2(z, x), fn2(z, y)), name
+
+
+# ------------------------------------------------- Interval: widening
+
+
+@given(intervals, intervals)
+def test_widening_is_an_upper_bound(x: Interval, y: Interval) -> None:
+    assert ile(x.join(y), x.widen(y))
+
+
+@given(st.lists(intervals, min_size=1, max_size=12))
+def test_widening_terminates_within_three_changes(chain: list[Interval]) -> None:
+    # Each endpoint can only jump to ∞ once and ⊥ can only fill once, so
+    # any widening sequence stabilizes after at most 3 strict changes —
+    # the engine's 4-iteration loop fixpoint bound relies on exactly this.
+    acc = chain[0]
+    changes = 0
+    for step in chain[1:] + chain:  # revisit: must already be stable
+        widened = acc.widen(step)
+        if widened != acc:
+            changes += 1
+            acc = widened
+    assert changes <= 3
+    assert acc.widen(acc) == acc
+
+
+# ---------------------------------------------------------- ArrayInfo
+
+
+@given(array_infos(), array_infos())
+def test_arrayinfo_join_commutes(x: ArrayInfo, y: ArrayInfo) -> None:
+    assert x.join(y) == y.join(x)
+
+
+@given(array_infos(), array_infos(), array_infos())
+def test_arrayinfo_join_associates(x: ArrayInfo, y: ArrayInfo, z: ArrayInfo) -> None:
+    assert x.join(y).join(z) == x.join(y.join(z))
+
+
+@given(array_infos())
+def test_arrayinfo_join_idempotent(x: ArrayInfo) -> None:
+    assert x.join(x) == x
+
+
+@given(array_infos(), array_infos())
+def test_arrayinfo_transfers_are_monotone(x: ArrayInfo, w: ArrayInfo) -> None:
+    y = x.join(w)
+    # x ⊑ y, and the two ArrayInfo transfer functions preserve it
+    assert x.as_view().join(y.as_view()) == y.as_view()
+    assert x.initialized().join(y.initialized()) == y.initialized()
+
+
+@given(st.lists(array_infos(), min_size=1, max_size=8))
+def test_arrayinfo_join_chain_stabilizes(pool: list[ArrayInfo]) -> None:
+    # every component lattice is finite-height, so the running join is a
+    # least upper bound of the whole pool once each element is absorbed
+    acc = pool[0]
+    for x in pool[1:]:
+        acc = acc.join(x)
+    for x in pool:
+        assert acc.join(x) == acc
+
+
+# --------------------------------------------------------------- Value
+
+
+@given(values(), values())
+def test_value_join_commutes(x: Value, y: Value) -> None:
+    assert x.join(y) == y.join(x)
+
+
+@given(values(), values(), values())
+def test_value_join_associates(x: Value, y: Value, z: Value) -> None:
+    assert x.join(y).join(z) == x.join(y.join(z))
+
+
+@given(values())
+def test_value_join_idempotent_modulo_vacuous_finiteness(x: Value) -> None:
+    assert x.join(x) == canon(x)
+    assert canon(x).join(canon(x)) == canon(x)
+
+
+@given(values(), values())
+def test_value_join_is_an_upper_bound(x: Value, y: Value) -> None:
+    assert vle(x, x.join(y))
+    assert vle(y, x.join(y))
+
+
+@given(values(), values(), values())
+def test_value_join_is_monotone(x: Value, w: Value, z: Value) -> None:
+    y = x.join(w)
+    assert vle(x.join(z), y.join(z))
+
+
+@given(st.lists(values(), min_size=1, max_size=8))
+def test_value_join_chain_stabilizes(pool: list[Value]) -> None:
+    # seed with the canonical form: join outputs are canonical, so the
+    # accumulator lives in the quotient domain from the first step
+    acc = canon(pool[0])
+    for x in pool[1:]:
+        acc = acc.join(x)
+    for x in pool:
+        assert acc.join(x) == acc
