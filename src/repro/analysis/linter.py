@@ -47,10 +47,10 @@ _SCOPE_MARKER_RE = re.compile(r"#\s*szops-lint-scope:[ \t]*(?P<tags>[\w, \t-]+)"
 _LOOSE_FILE_TAGS = frozenset({"ops", "codec", "runtime", "wire"})
 
 _CODEC_DIRS = {"core", "bitstream", "encoding", "baselines", "transforms"}
-_RUNTIME_DIRS = {"runtime", "parallel", "service"}
+_RUNTIME_DIRS = {"runtime", "parallel", "service", "cluster"}
 #: Directories whose files sit on the network trust boundary: the taint
 #: pass (TNT001/TNT002) only runs on ``wire``-tagged files.
-_WIRE_DIRS = {"service"}
+_WIRE_DIRS = {"service", "cluster"}
 
 
 def default_target() -> Path:

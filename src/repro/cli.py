@@ -234,6 +234,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "cluster",
+        help="sharded multi-node serving (node, serve, status, bench)",
+        description=(
+            "Operate a sharded cluster of op servers: run one shard node, "
+            "boot an N-node local cluster with a consistent-hash shard map "
+            "and heartbeat failure detection, ping every node in a map, or "
+            "drive a mixed PUT/distributed-REDUCE load with bit-identity "
+            "checks against the single-node reductions. See docs/CLUSTER.md."
+        ),
+    )
+    csub = p.add_subparsers(dest="cluster_command", required=True)
+
+    pc = csub.add_parser("node", help="run one cluster shard node")
+    pc.add_argument("--host", default="127.0.0.1")
+    pc.add_argument("--port", type=int, default=0, help="0 = pick an ephemeral port")
+    pc.add_argument("--node-id", default="node-0", help="stable cluster identity")
+    pc.add_argument(
+        "--threads", type=int, default=1, help="workers for chunked reductions"
+    )
+    _add_backend_arg(pc)
+
+    pc = csub.add_parser(
+        "serve", help="boot an N-node local cluster (one subprocess per node)"
+    )
+    pc.add_argument("--nodes", type=int, default=3)
+    pc.add_argument("--replicas", type=int, default=2)
+    pc.add_argument("--vnodes", type=int, default=64, help="virtual nodes per node")
+    pc.add_argument("--host", default="127.0.0.1")
+    pc.add_argument(
+        "--threads", type=int, default=1, help="workers per node for reductions"
+    )
+    pc.add_argument(
+        "--map-file",
+        type=Path,
+        default=Path("cluster-map.json"),
+        help="where to write the shard map for clients (default cluster-map.json)",
+    )
+
+    pc = csub.add_parser("status", help="ping every node in a shard map")
+    pc.add_argument(
+        "--map-file",
+        type=Path,
+        default=Path("cluster-map.json"),
+        help="shard map written by `cluster serve`",
+    )
+
+    pc = csub.add_parser(
+        "bench",
+        help="mixed PUT/distributed-REDUCE load with identity checks",
+        description=(
+            "Boot a local cluster, place sharded arrays, and drive a closed "
+            "loop of concurrent routers issuing PUTs and distributed "
+            "reductions. Every reduction reply is checked against the "
+            "single-node LazyStream value (mean/min/max bit-identical). "
+            "Writes BENCH_cluster.json."
+        ),
+    )
+    pc.add_argument("--nodes", type=int, default=3)
+    pc.add_argument("--replicas", type=int, default=2)
+    pc.add_argument("--clients", type=int, default=4)
+    pc.add_argument("--requests", type=int, default=25, help="requests per client")
+    pc.add_argument("--arrays", type=int, default=4)
+    pc.add_argument("--chunks", type=int, default=6, help="chunks per sharded array")
+    pc.add_argument("--n-elements", type=int, default=30_000)
+    pc.add_argument("--eps", type=float, default=1e-3)
+    pc.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=Path("BENCH_cluster.json"),
+        help="bench JSON path (default BENCH_cluster.json)",
+    )
+
+    p = sub.add_parser(
         "bench-serve",
         help="benchmark the service: batched vs unbatched serving throughput",
         description=(
@@ -688,6 +762,162 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    handlers = {
+        "node": _cluster_node,
+        "serve": _cluster_serve,
+        "status": _cluster_status,
+        "bench": _cluster_bench,
+    }
+    return handlers[args.cluster_command](args)
+
+
+def _cluster_node(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.cluster import ClusterNode, NodeConfig
+
+    config = NodeConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        n_workers=args.threads,
+        node_id=args.node_id,
+    )
+
+    async def _serve() -> None:
+        node = ClusterNode(config)
+        await node.start()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop.set)
+        print(f"listening on {config.host}:{node.port}", flush=True)
+        serve_task = asyncio.ensure_future(node.serve_forever())
+        await stop.wait()
+        serve_task.cancel()
+        await node.shutdown()
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _cluster_serve(args) -> int:
+    import signal
+    import subprocess
+    import threading
+
+    from repro.cluster import ClusterClient, HeartbeatMonitor, NodeInfo, ShardMap
+
+    procs: list[subprocess.Popen] = []
+    try:
+        for i in range(args.nodes):
+            procs.append(
+                subprocess.Popen(
+                    [
+                        sys.executable, "-m", "repro", "cluster", "node",
+                        "--host", args.host, "--port", "0",
+                        "--node-id", f"node-{i}",
+                        "--threads", str(args.threads),
+                    ],
+                    stdout=subprocess.PIPE,
+                    text=True,
+                )
+            )
+        infos = []
+        for i, proc in enumerate(procs):
+            assert proc.stdout is not None
+            line = proc.stdout.readline().strip()
+            if not line.startswith("listening on "):
+                print(f"error: node-{i} failed to start: {line!r}", file=sys.stderr)
+                return 1
+            port = int(line.rsplit(":", 1)[1])
+            infos.append(NodeInfo(f"node-{i}", args.host, port))
+        shard_map = ShardMap(
+            tuple(infos), replicas=args.replicas, vnodes=args.vnodes
+        )
+        args.map_file.write_text(shard_map.to_json())
+        stop = threading.Event()
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+        signal.signal(signal.SIGINT, lambda *_: stop.set())
+        with ClusterClient(shard_map) as router:
+            router.install_map()
+            with HeartbeatMonitor(router):
+                print(
+                    f"cluster up: {args.nodes} nodes, replicas={args.replicas}, "
+                    f"map -> {args.map_file}",
+                    flush=True,
+                )
+                last_epoch = router.epoch
+                while not stop.wait(0.5):
+                    if router.epoch != last_epoch:
+                        last_epoch = router.epoch
+                        args.map_file.write_text(router.map.to_json())
+                        print(
+                            f"rebalanced: epoch {last_epoch}, "
+                            f"{len(router.map.nodes)} nodes live",
+                            flush=True,
+                        )
+        print("stopping nodes...", flush=True)
+        return 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+def _cluster_status(args) -> int:
+    from repro.cluster import ClusterClient, ShardMap
+
+    shard_map = ShardMap.from_json(args.map_file.read_text())
+    with ClusterClient(shard_map) as router:
+        doc = router.status()
+    print(f"epoch {doc['epoch']}  replicas {doc['replicas']}")
+    down = 0
+    for node_id, info in sorted(doc["nodes"].items()):
+        if "error" in info:
+            down += 1
+            print(f"  {node_id:>10}: DOWN ({info['error']})")
+        else:
+            print(
+                f"  {node_id:>10}: up  epoch {info['epoch']}  "
+                f"arrays {info['arrays']}  inflight {info['inflight']}"
+            )
+    return 1 if down else 0
+
+
+def _cluster_bench(args) -> int:
+    from repro.cluster import run_cluster_bench
+    from repro.harness import save_bench_json
+
+    payload = run_cluster_bench(
+        n_nodes=args.nodes,
+        replicas=args.replicas,
+        n_clients=args.clients,
+        requests_per_client=args.requests,
+        n_arrays=args.arrays,
+        chunks=args.chunks,
+        n_elements=args.n_elements,
+        eps=args.eps,
+    )
+    print(
+        f"cluster: {payload['throughput_rps']:8.1f} req/s  "
+        f"p50 {payload['latency_p50_ms']:7.2f} ms  "
+        f"p99 {payload['latency_p99_ms']:7.2f} ms  "
+        f"({payload['completed_requests']}/{payload['total_requests']} ok, "
+        f"{payload['identity_failures']} identity failures)"
+    )
+    save_bench_json(payload, args.output)
+    print(f"[bench JSON -> {args.output}]")
+    return 0 if payload["ok"] else 1
+
+
 def _cmd_bench_serve(args) -> int:
     """The BENCH_service.json producer, executed through the engine."""
     import dataclasses
@@ -999,6 +1229,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "bench-bitpack": _cmd_bench_bitpack,
     "serve": _cmd_serve,
+    "cluster": _cmd_cluster,
     "bench-serve": _cmd_bench_serve,
     "experiment": _cmd_experiment,
     "lint": _cmd_lint,

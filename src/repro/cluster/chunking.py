@@ -1,0 +1,152 @@
+"""Decode-free splitting of one container into block-aligned chunks.
+
+SZx-style per-block state makes the SZOps container *naturally
+partitionable*: widths and outliers are per-block arrays, and the sign
+and payload sections are bit-packed per stored block in block order.
+When ``block_size % 8 == 0`` every non-final block boundary also falls
+on a *byte* boundary in both packed sections — each full stored block
+contributes ``block_size`` sign bits and ``width * block_size`` payload
+bits, both multiples of 8 — so a block-aligned chunk of the stream is
+literally a slice of the four section arrays.  No decode, no re-encode,
+no loss: each chunk is a complete, independently valid container
+representing exactly its element range, and concatenating the slices
+back reproduces the original planes byte for byte.
+
+This is what makes distributed PREDUCE real rather than a proxy: the
+router ships *compressed* chunk containers to their owning shards at
+placement time, and reductions later run against genuinely partial
+streams on each node.
+
+The chunk-key naming scheme (``name/#00042``) keeps chunk keys inside
+the ordinary store namespace — a chunk is just an array whose name a
+router can parse back into ``(base, index)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.format import SZOpsCompressed
+from repro.parallel.partition import block_chunks
+
+__all__ = [
+    "chunk_key",
+    "parse_chunk_key",
+    "split_container",
+    "merge_containers",
+]
+
+#: Separator between an array name and its chunk index.  ``/#`` cannot
+#: appear in a chunk index and is unusual enough in array names that the
+#: router simply forbids it there.
+_CHUNK_SEP = "/#"
+
+
+def chunk_key(name: str, index: int) -> str:
+    """The store key of chunk ``index`` of array ``name``."""
+    if _CHUNK_SEP in name:
+        raise ValueError(f"array name {name!r} may not contain {_CHUNK_SEP!r}")
+    if index < 0:
+        raise ValueError(f"chunk index must be >= 0, got {index}")
+    return f"{name}{_CHUNK_SEP}{index:05d}"
+
+
+def parse_chunk_key(key: str) -> tuple[str, int] | None:
+    """``(base_name, index)`` when ``key`` names a chunk, else ``None``."""
+    base, sep, tail = key.rpartition(_CHUNK_SEP)
+    if not sep or not tail.isdigit():
+        return None
+    return base, int(tail)
+
+
+def split_container(c: SZOpsCompressed, n_parts: int) -> list[SZOpsCompressed]:
+    """Split a container into up to ``n_parts`` block-aligned sub-containers.
+
+    Pure byte slicing of the four section planes (see the module
+    docstring); requires ``block_size % 8 == 0`` so that chunk
+    boundaries are byte boundaries in the packed sections.  Chunk
+    shapes are 1-D element ranges — :func:`merge_containers` restores
+    the original shape.  Raises :class:`ValueError` for incompatible
+    block sizes rather than silently decoding.
+    """
+    if c.block_size % 8 != 0:
+        raise ValueError(
+            f"decode-free splitting needs block_size % 8 == 0, "
+            f"got {c.block_size}"
+        )
+    chunks = block_chunks(c.n_elements, c.block_size, n_parts)
+    if len(chunks) <= 1:
+        return [replace(c, shape=(c.n_elements,))]
+    lens = c.layout.lengths().astype(np.int64)
+    stored = ~c.constant_mask
+    sign_bits = np.where(stored, lens, 0)
+    payload_bits = np.where(stored, c.widths.astype(np.int64) * lens, 0)
+    sign_off = np.concatenate(([0], np.cumsum(sign_bits)))
+    payload_off = np.concatenate(([0], np.cumsum(payload_bits)))
+    parts: list[SZOpsCompressed] = []
+    for chunk in chunks:
+        lo, hi = chunk.block_lo, chunk.block_hi
+        # Non-final chunk starts are whole full blocks deep: multiples of 8.
+        assert sign_off[lo] % 8 == 0 and payload_off[lo] % 8 == 0
+        parts.append(
+            SZOpsCompressed(
+                shape=(chunk.n_elements,),
+                dtype=c.dtype,
+                eps=c.eps,
+                block_size=c.block_size,
+                widths=c.widths[lo:hi],
+                outliers=c.outliers[lo:hi],
+                sign_bytes=c.sign_bytes[
+                    int(sign_off[lo]) // 8 : int(sign_off[hi] + 7) // 8
+                ],
+                payload_bytes=c.payload_bytes[
+                    int(payload_off[lo]) // 8 : int(payload_off[hi] + 7) // 8
+                ],
+            )
+        )
+    return parts
+
+
+def merge_containers(
+    parts: list[SZOpsCompressed], shape: tuple[int, ...] | None = None
+) -> SZOpsCompressed:
+    """Reassemble :func:`split_container` output into one container.
+
+    The inverse byte operation: because every non-final part ends on a
+    byte boundary in both packed sections, concatenating the plane
+    slices reproduces the original planes exactly — the merged
+    container's ``to_bytes()`` equals the original's when ``shape``
+    matches.  Parts must be in chunk order and mutually compatible
+    (same eps / block size / dtype, all non-final parts block-aligned).
+    """
+    if not parts:
+        raise ValueError("cannot merge zero containers")
+    head = parts[0]
+    n_total = 0
+    for i, part in enumerate(parts):
+        if part.eps != head.eps or part.block_size != head.block_size:
+            raise ValueError(f"chunk {i} disagrees on eps/block_size")
+        if np.dtype(part.dtype) != np.dtype(head.dtype):
+            raise ValueError(f"chunk {i} disagrees on dtype")
+        if i < len(parts) - 1 and part.n_elements % part.block_size != 0:
+            raise ValueError(f"non-final chunk {i} is not block-aligned")
+        n_total += part.n_elements
+    if shape is None:
+        shape = (n_total,)
+    elif int(np.prod(shape, dtype=np.int64)) != n_total:
+        raise ValueError(
+            f"shape {shape} has {int(np.prod(shape, dtype=np.int64))} elements, "
+            f"chunks carry {n_total}"
+        )
+    return SZOpsCompressed(
+        shape=tuple(shape),
+        dtype=head.dtype,
+        eps=head.eps,
+        block_size=head.block_size,
+        widths=np.concatenate([p.widths for p in parts]),
+        outliers=np.concatenate([p.outliers for p in parts]),
+        sign_bytes=np.concatenate([p.sign_bytes for p in parts]),
+        payload_bytes=np.concatenate([p.payload_bytes for p in parts]),
+    )

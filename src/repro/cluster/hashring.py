@@ -1,0 +1,194 @@
+"""Consistent-hash shard maps with versioned epochs.
+
+The cluster assigns every store key (an array name or a chunk name) to
+``replicas`` nodes via a classic consistent-hash ring: each node
+contributes ``vnodes`` virtual points (SHA-256 of ``"node_id#k"``), the
+key hashes to a point on the same 64-bit circle, and its owners are the
+first ``replicas`` *distinct* nodes clockwise from there.  Two
+properties carry the whole failure model:
+
+* **Determinism** — placement is a pure function of ``(nodes, vnodes,
+  replicas, key)``.  Every router and every node computing owners from
+  the same map agrees byte-for-byte, so the map itself is the only
+  state that has to be distributed.
+* **Minimal movement** — removing a node reassigns only the keys it
+  owned: each such key's new owner set is the old one minus the dead
+  node plus the next distinct ring successor.  In particular, with
+  ``replicas >= 2`` the new *primary* of every lost key is one of its
+  surviving previous owners, so failover reads need no data movement
+  at all (the property test in ``tests/cluster`` pins both halves).
+
+Maps are immutable; every mutation returns a new map with ``epoch + 1``.
+The epoch is the fencing token carried in every v2 request header: a
+node at a different epoch answers ``RETRY`` with its map instead of
+serving a misroute.  ``to_json`` / ``from_json`` round-trip the whole
+map exactly (node order is part of the identity — it seeds nothing, but
+keeping it stable keeps the JSON canonical).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from bisect import bisect_right
+from dataclasses import dataclass
+
+__all__ = ["NodeInfo", "ShardMap", "hash_point"]
+
+
+@dataclass(frozen=True, order=True)
+class NodeInfo:
+    """One cluster node: a stable identity plus its TCP endpoint."""
+
+    node_id: str
+    host: str
+    port: int
+
+    def to_doc(self) -> dict[str, object]:
+        return {"node_id": self.node_id, "host": self.host, "port": self.port}
+
+    @classmethod
+    def from_doc(cls, doc: dict[str, object]) -> "NodeInfo":
+        return cls(str(doc["node_id"]), str(doc["host"]), int(doc["port"]))
+
+
+def hash_point(text: str) -> int:
+    """Deterministic 64-bit ring position of a string (SHA-256 prefix)."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ShardMap:
+    """An immutable, epoch-versioned consistent-hash placement map."""
+
+    __slots__ = ("epoch", "nodes", "replicas", "vnodes", "_points", "_point_owner")
+
+    def __init__(
+        self,
+        nodes: tuple[NodeInfo, ...] | list[NodeInfo],
+        replicas: int = 2,
+        vnodes: int = 64,
+        epoch: int = 1,
+    ) -> None:
+        nodes = tuple(nodes)
+        if not nodes:
+            raise ValueError("a shard map needs at least one node")
+        ids = [n.node_id for n in nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate node ids in shard map: {sorted(ids)}")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        if epoch < 1:
+            raise ValueError("epoch must be >= 1")
+        self.epoch = int(epoch)
+        self.nodes = nodes
+        #: Requested replication; effective replication is capped at the
+        #: node count (a 3-replica map over 2 nodes stores 2 copies).
+        self.replicas = int(replicas)
+        self.vnodes = int(vnodes)
+        pairs = sorted(
+            (hash_point(f"{node.node_id}#{k}"), i)
+            for i, node in enumerate(nodes)
+            for k in range(self.vnodes)
+        )
+        self._points = [p for p, _ in pairs]
+        self._point_owner = [i for _, i in pairs]
+
+    # ------------------------------------------------------------------ placement
+
+    @property
+    def effective_replicas(self) -> int:
+        return min(self.replicas, len(self.nodes))
+
+    def owners(self, key: str) -> tuple[NodeInfo, ...]:
+        """The ``effective_replicas`` distinct nodes owning ``key``.
+
+        The first element is the primary; the rest are replicas in
+        clockwise ring order (the failover order readers use).
+        """
+        start = bisect_right(self._points, hash_point(key))
+        seen: list[int] = []
+        n_points = len(self._points)
+        for step in range(n_points):
+            owner = self._point_owner[(start + step) % n_points]
+            if owner not in seen:
+                seen.append(owner)
+                if len(seen) == self.effective_replicas:
+                    break
+        return tuple(self.nodes[i] for i in seen)
+
+    def primary(self, key: str) -> NodeInfo:
+        return self.owners(key)[0]
+
+    def node(self, node_id: str) -> NodeInfo:
+        for n in self.nodes:
+            if n.node_id == node_id:
+                return n
+        raise KeyError(f"unknown node id {node_id!r}")
+
+    # ------------------------------------------------------------------ mutation
+
+    def without_node(self, node_id: str) -> "ShardMap":
+        """A new map (epoch + 1) with ``node_id`` removed."""
+        survivors = tuple(n for n in self.nodes if n.node_id != node_id)
+        if len(survivors) == len(self.nodes):
+            raise KeyError(f"unknown node id {node_id!r}")
+        return ShardMap(survivors, self.replicas, self.vnodes, self.epoch + 1)
+
+    def with_node(self, node: NodeInfo) -> "ShardMap":
+        """A new map (epoch + 1) with ``node`` added."""
+        if any(n.node_id == node.node_id for n in self.nodes):
+            raise ValueError(f"node id {node.node_id!r} already in the map")
+        return ShardMap(
+            self.nodes + (node,), self.replicas, self.vnodes, self.epoch + 1
+        )
+
+    # ------------------------------------------------------------------ identity
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShardMap):
+            return NotImplemented
+        return (
+            self.epoch == other.epoch
+            and self.nodes == other.nodes
+            and self.replicas == other.replicas
+            and self.vnodes == other.vnodes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.epoch, self.nodes, self.replicas, self.vnodes))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ids = ",".join(n.node_id for n in self.nodes)
+        return (
+            f"ShardMap(epoch={self.epoch}, nodes=[{ids}], "
+            f"replicas={self.replicas}, vnodes={self.vnodes})"
+        )
+
+    # ------------------------------------------------------------------ JSON
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "epoch": self.epoch,
+                "replicas": self.replicas,
+                "vnodes": self.vnodes,
+                "nodes": [n.to_doc() for n in self.nodes],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ShardMap":
+        doc = json.loads(text)
+        if not isinstance(doc, dict):
+            raise ValueError("shard map JSON must be an object")
+        nodes = tuple(NodeInfo.from_doc(d) for d in doc["nodes"])
+        return cls(
+            nodes,
+            replicas=int(doc["replicas"]),
+            vnodes=int(doc["vnodes"]),
+            epoch=int(doc["epoch"]),
+        )

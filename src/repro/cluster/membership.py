@@ -1,0 +1,204 @@
+"""Heartbeat failure detection and automatic shard-map rebalancing.
+
+A :class:`HeartbeatMonitor` runs one daemon thread that PINGs every
+node in the router's current map on a fixed interval over dedicated
+short-timeout connections (never the router's data connections — a
+slow bulk transfer must not look like a death).  The detector is the
+classic consecutive-miss counter: a node is declared dead only after
+``fail_after`` *consecutive* probe failures, trading detection latency
+(``interval_s * fail_after`` worst case) against false positives from
+one dropped packet or a GC pause.
+
+On declared death the monitor calls ``router.remove_node``: the router
+builds the successor map (epoch + 1), pushes it to the survivors, and
+every in-flight stale-epoch request gets fenced into a ``RETRY`` with
+the new map rather than a misroute.  The monitor also *heals*: a probe
+answering with an older epoch than the router's (a node that restarted
+or missed a push) gets the current map re-pushed.
+
+The monitor never resurrects nodes on its own — re-adding a recovered
+node is an operator decision (``ShardMap.with_node``) because it moves
+data; detecting one is not.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.hashring import NodeInfo
+from repro.cluster.router import ClusterClient, ClusterError
+from repro.service.client import ConnectionLost, ServiceClient
+
+__all__ = ["ProbeState", "HeartbeatMonitor"]
+
+#: Failures a probe treats as a miss: connection/timeout trouble, plus
+#: the client's typed ConnectionLost (raised when its own one-shot
+#: reconnect retry also fails).  Anything else is a bug and propagates
+#: to the monitor's crash log.
+_PROBE_ERRORS = (ConnectionError, OSError, TimeoutError, ConnectionLost)
+
+
+@dataclass
+class ProbeState:
+    """Rolling view of one node's heartbeat history."""
+
+    node: NodeInfo
+    alive: bool = True
+    consecutive_misses: int = 0
+    probes: int = 0
+    last_rtt_s: float = 0.0
+    last_epoch: int = 0
+    last_error: str = ""
+    declared_dead: bool = field(default=False)
+
+
+class HeartbeatMonitor:
+    """Background failure detector driving router rebalances.
+
+    >>> monitor = HeartbeatMonitor(cluster, interval_s=0.1)  # doctest: +SKIP
+    >>> monitor.start()                                      # doctest: +SKIP
+    >>> ... # SIGKILL a node; within ~interval*fail_after it is removed
+    >>> monitor.stop()                                       # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        router: ClusterClient,
+        interval_s: float = 0.2,
+        fail_after: int = 3,
+        probe_timeout_s: float = 1.0,
+    ) -> None:
+        if fail_after < 1:
+            raise ValueError("fail_after must be >= 1")
+        self.router = router
+        self.interval_s = interval_s
+        self.fail_after = fail_after
+        self.probe_timeout_s = probe_timeout_s
+        self._lock = threading.Lock()
+        self._states: dict[str, ProbeState] = {}
+        self._probe_clients: dict[str, ServiceClient] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def start(self) -> "HeartbeatMonitor":
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-cluster-heartbeat", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout_s)
+        with self._lock:
+            clients = list(self._probe_clients.values())
+            self._probe_clients.clear()
+        for client in clients:
+            try:
+                client.close()
+            except OSError:  # szops: ignore[SZL006] -- socket teardown, not a codec path
+                pass
+
+    def __enter__(self) -> "HeartbeatMonitor":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ probing
+
+    def _probe_client(self, node: NodeInfo) -> ServiceClient:
+        with self._lock:
+            client = self._probe_clients.get(node.node_id)
+        if client is None:
+            client = ServiceClient(
+                node.host, node.port, timeout_s=self.probe_timeout_s
+            )
+            with self._lock:
+                self._probe_clients[node.node_id] = client
+        return client
+
+    def _drop_probe_client(self, node_id: str) -> None:
+        with self._lock:
+            client = self._probe_clients.pop(node_id, None)
+        if client is not None:
+            try:
+                client.close()
+            except OSError:  # szops: ignore[SZL006] -- socket teardown, not a codec path
+                pass
+
+    def _probe_once(self, node: NodeInfo) -> None:
+        state = self._state_for(node)
+        state.probes += 1
+        t0 = time.perf_counter()
+        try:
+            doc = self._probe_client(node).ping()
+        except _PROBE_ERRORS as exc:
+            self._drop_probe_client(node.node_id)
+            state.consecutive_misses += 1
+            state.last_error = str(exc) or type(exc).__name__
+            state.alive = state.consecutive_misses < self.fail_after
+            if not state.alive and not state.declared_dead:
+                state.declared_dead = True
+                self._declare_dead(node)
+            return
+        state.consecutive_misses = 0
+        state.alive = True
+        state.declared_dead = False
+        state.last_rtt_s = time.perf_counter() - t0
+        state.last_epoch = int(doc.get("epoch", 0))
+        state.last_error = ""
+        # Heal a node that restarted (or missed a push) behind our epoch.
+        if 0 < state.last_epoch < self.router.epoch:
+            self.router.install_map()
+
+    def _declare_dead(self, node: NodeInfo) -> None:
+        try:
+            self.router.remove_node(node.node_id)
+        except ClusterError:  # szops: ignore[SZL006] -- last node standing: nothing to rebalance onto; keep probing
+            pass
+
+    def _state_for(self, node: NodeInfo) -> ProbeState:
+        with self._lock:
+            state = self._states.get(node.node_id)
+            if state is None:
+                state = ProbeState(node)
+                self._states[node.node_id] = state
+            return state
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            for node in self.router.map.nodes:
+                if self._stop.is_set():
+                    return
+                self._probe_once(node)
+            self._stop.wait(self.interval_s)
+
+    # ------------------------------------------------------------------ reading
+
+    def status(self) -> dict[str, dict[str, object]]:
+        """Probe states keyed by node id (nodes still in the map first)."""
+        current_ids = {n.node_id for n in self.router.map.nodes}
+        with self._lock:
+            states = dict(self._states)
+        return {
+            node_id: {
+                "alive": s.alive,
+                "in_map": node_id in current_ids,
+                "probes": s.probes,
+                "consecutive_misses": s.consecutive_misses,
+                "last_rtt_ms": 1e3 * s.last_rtt_s,
+                "epoch": s.last_epoch,
+                "error": s.last_error,
+            }
+            for node_id, s in states.items()
+        }

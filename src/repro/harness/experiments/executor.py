@@ -590,12 +590,36 @@ def _run_service_cell(
     return metrics
 
 
+def _run_cluster_cell(
+    cell: Cell, table: RunTable, cfg: BenchConfig, ctx: ExecutionContext
+) -> dict[str, Any]:
+    from repro.cluster.bench import run_cluster_bench
+
+    f = cell.factors
+    metrics = dict(
+        run_cluster_bench(
+            n_nodes=int(f["nodes"]),
+            replicas=int(f["replicas"]),
+            n_clients=int(f["clients"]),
+            requests_per_client=int(table.options.get("requests_per_client", 25)),
+            n_arrays=int(table.options.get("n_arrays", 4)),
+            chunks=int(table.options.get("chunks", 6)),
+            n_elements=int(table.options.get("n_elements", 30_000)),
+            eps=float(table.options.get("eps", 1e-3)),
+            seed=cfg.seed,
+        )
+    )
+    # run_cluster_bench already sets "ok" (no errors, zero identity failures).
+    return metrics
+
+
 WORKLOADS: dict[str, Callable[..., dict[str, Any]]] = {
     "pipeline": _run_pipeline_cell,
     "bitpack": _run_bitpack_cell,
     "ops_matrix": _run_ops_matrix_cell,
     "fusion": _run_fusion_cell,
     "service": _run_service_cell,
+    "cluster": _run_cluster_cell,
 }
 
 

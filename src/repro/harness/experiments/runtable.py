@@ -298,7 +298,41 @@ def _bitpack_kernels_table(
     )
 
 
+def _cluster_scale_table(
+    nodes: tuple[int, ...] = (1, 3, 5),
+    replicas: tuple[int, ...] = (1, 2),
+    clients: tuple[int, ...] = (2, 8),
+    requests_per_client: int = 15,
+    chunks: int = 6,
+    n_elements: int = 30_000,
+    eps: float = 1e-3,
+) -> RunTable:
+    return RunTable(
+        name="cluster-scale",
+        workload="cluster",
+        factors={
+            "nodes": tuple(int(n) for n in nodes),
+            "replicas": tuple(int(r) for r in replicas),
+            "clients": tuple(int(c) for c in clients),
+        },
+        repeats=1,
+        description=(
+            "Sharded-cluster scaling grid: nodes x replicas x concurrent "
+            "clients driving mixed PUT/distributed-REDUCE load, every "
+            "reduction checked for identity with the single-node value "
+            "(mean/min/max bit-identical, variance to float64 rounding)."
+        ),
+        options={
+            "requests_per_client": requests_per_client,
+            "chunks": chunks,
+            "n_elements": n_elements,
+            "eps": eps,
+        },
+    )
+
+
 PREDEFINED_TABLES: dict[str, Any] = {
+    "cluster-scale": _cluster_scale_table,
     "parallel-backends": _parallel_backends_table,
     "bitpack-kernels": _bitpack_kernels_table,
     "runtime-fusion": _runtime_fusion_table,

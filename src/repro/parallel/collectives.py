@@ -25,6 +25,7 @@ from repro.parallel.simmpi import SimComm
 
 __all__ = [
     "local_quantized_moments",
+    "add_moments",
     "compressed_mean_allreduce",
     "compressed_stats_allreduce",
     "traditional_stats_allreduce",
@@ -54,6 +55,12 @@ def local_quantized_moments(c: SZOpsCompressed) -> tuple[float, float, int]:
 
 def _add_moments(a: tuple[float, float, int], b: tuple[float, float, int]):
     return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+
+#: Public name for the moment-combining step, used by ``repro.cluster``'s
+#: router to tree-combine per-shard PREDUCE partials with exactly the
+#: algebra the in-process collectives use.
+add_moments = _add_moments
 
 
 def compressed_mean_allreduce(comm: SimComm, c: SZOpsCompressed) -> float:

@@ -301,6 +301,41 @@ class LazyStream:
             raise ValueError("cannot take the maximum of an empty container")
         return 2.0 * self.base.eps * max(hi)
 
+    def quantized_moments(self) -> tuple[float, float, int, int, int]:
+        """``(sum_q, sumsq_q, min_q, max_q, count)`` of the transformed stream.
+
+        Everything stays in the *quantized integer* domain — no ``2*eps``
+        scaling — so partials from disjoint chunks of one array combine
+        exactly: quantized values are exact float64 integers, integer
+        addition in float64 is exact below 2**53, and exact additions are
+        associative.  That associativity is what lets ``repro.cluster``
+        tree-combine per-shard moments into totals bit-identical to the
+        whole-array sums (``sumsq_q`` needs the stronger bound
+        ``sum(q**2) < 2**53``, which every bundled dataset satisfies).
+        Constant blocks contribute in closed form, same as
+        :func:`repro.core.ops.reductions._quantized_sum`.
+        """
+        blocks = self._transformed_blocks()
+        s = 0.0
+        s2 = 0.0
+        lo: list[int] = []
+        hi: list[int] = []
+        if blocks.q.size:
+            qf = blocks.q.astype(np.float64)
+            s += float(qf.sum())
+            s2 += float(np.dot(qf, qf))
+            lo.append(int(blocks.q.min()))
+            hi.append(int(blocks.q.max()))
+        if blocks.const_outliers.size:
+            of = blocks.const_outliers.astype(np.float64)
+            s += float((of * blocks.const_lens).sum())
+            s2 += float((of * of * blocks.const_lens).sum())
+            lo.append(int(blocks.const_outliers.min()))
+            hi.append(int(blocks.const_outliers.max()))
+        if not lo:
+            raise ValueError("cannot compute moments of an empty container")
+        return s, s2, min(lo), max(hi), self.base.n_elements
+
     def summary_statistics(
         self, ddof: int = 0, executor: Executor | None = None
     ) -> dict[str, float]:

@@ -32,13 +32,15 @@ from repro.service.batching import MicroBatcher
 from repro.service.bench import run_service_bench
 from repro.service.client import (
     AsyncServiceClient,
+    ConnectionLost,
     RemoteError,
     RequestTimedOut,
     ServerBusy,
     ServiceClient,
     ServiceError,
+    StaleEpoch,
 )
-from repro.service.protocol import FrameError, Status, Step
+from repro.service.protocol import FrameError, Moments, Status, Step
 from repro.service.server import ServiceConfig, ServiceServer, ThreadedServer
 from repro.service.store import CompressedArrayStore, StoreError, StoreMiss
 from repro.service.telemetry import Telemetry
@@ -46,8 +48,10 @@ from repro.service.telemetry import Telemetry
 __all__ = [
     "AsyncServiceClient",
     "CompressedArrayStore",
+    "ConnectionLost",
     "FrameError",
     "MicroBatcher",
+    "Moments",
     "RemoteError",
     "RequestTimedOut",
     "ServerBusy",
@@ -55,6 +59,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceServer",
+    "StaleEpoch",
     "Status",
     "Step",
     "StoreError",

@@ -2,18 +2,32 @@
 
 Two clients over one protocol implementation:
 
-* :class:`ServiceClient` — blocking sockets, one connection, safe for
-  one thread at a time.  The test suite's load generators run one per
-  worker thread; the CLI examples use it directly.
+* :class:`ServiceClient` — blocking sockets, one connection.  The
+  protocol is strictly request/response, so the client serializes
+  roundtrips with an internal lock: concurrent threads may share one
+  client (the cluster router shares one per node) and their requests
+  simply queue on the connection.  For parallelism across requests,
+  use one client per thread — the test suite's load generators do.
 * :class:`AsyncServiceClient` — asyncio streams, for callers already
   living on an event loop.
 
 Both raise the same typed errors: :class:`ServerBusy` on load shed,
 :class:`RequestTimedOut` on deadline expiry, :class:`RemoteError` for
-any ``ERROR`` reply, and :class:`protocol.FrameError` on wire damage.
-A ``BUSY`` reply is the server telling the *client* to retry with
-backoff — the client classes deliberately do not retry internally, so
-callers stay in control of their offered load.
+any ``ERROR`` reply, :class:`StaleEpoch` on a cluster ``RETRY``, and
+:class:`protocol.FrameError` on wire damage.  A ``BUSY`` reply is the
+server telling the *client* to retry with backoff — the client classes
+deliberately do not retry BUSY internally, so callers stay in control
+of their offered load.
+
+Connection failures are handled differently per opcode.  A socket that
+dies mid-frame on an *idempotent* request (GET / REDUCE / PREDUCE /
+STATS / HEALTH / PING / SHARDMAP) is retried exactly once on a fresh
+connection after a short backoff — re-running any of these is
+observably equivalent to running it once.  Non-idempotent requests
+(PUT, OP-with-store) surface a typed :class:`ConnectionLost` instead:
+the caller cannot know whether the server applied the write, so the
+decision to re-send belongs to a layer that can reason about
+duplicates (the cluster router can; this class cannot).
 """
 
 from __future__ import annotations
@@ -21,7 +35,10 @@ from __future__ import annotations
 import json
 import socket
 import struct
+import threading
 from typing import Any
+
+import time
 
 from repro.core.format import SZOpsCompressed
 from repro.service import protocol
@@ -30,11 +47,16 @@ from repro.service.protocol import (
     FrameError,
     GetRequest,
     HealthRequest,
+    Moments,
+    Opcode,
     OpRequest,
+    PingRequest,
+    PReduceRequest,
     PutRequest,
     ReduceRequest,
     Reply,
     Request,
+    ShardMapRequest,
     StatsRequest,
     Status,
     Step,
@@ -45,6 +67,9 @@ __all__ = [
     "RemoteError",
     "ServerBusy",
     "RequestTimedOut",
+    "ConnectionLost",
+    "StaleEpoch",
+    "IDEMPOTENT_OPCODES",
     "ServiceClient",
     "AsyncServiceClient",
     "steps_from_chain",
@@ -67,6 +92,43 @@ class ServerBusy(ServiceError):
 
 class RequestTimedOut(ServiceError):
     """The per-request deadline expired on the server (``TIMEOUT``)."""
+
+
+class ConnectionLost(ServiceError):
+    """The connection died on a non-idempotent request.
+
+    The write may or may not have been applied server-side; the caller
+    must decide whether re-sending is safe (the cluster router re-sends
+    PUTs because versioned duplicate PUTs are harmless there).
+    """
+
+
+class StaleEpoch(ServiceError):
+    """The node rejected our shard-map epoch (``RETRY``).
+
+    ``map_json`` carries the node's current map so the caller can
+    re-route without an extra round trip (empty when the node believes
+    the *caller* has the newer map and wants it pushed via SHARDMAP).
+    """
+
+    def __init__(self, message: str, map_json: str = "") -> None:
+        super().__init__(message)
+        self.map_json = map_json
+
+
+#: Opcodes safe to re-send after a connection death: re-running them is
+#: observably equivalent to running them once.
+IDEMPOTENT_OPCODES = frozenset(
+    {
+        Opcode.GET,
+        Opcode.REDUCE,
+        Opcode.STATS,
+        Opcode.HEALTH,
+        Opcode.PREDUCE,
+        Opcode.PING,
+        Opcode.SHARDMAP,
+    }
+)
 
 
 def steps_from_chain(chain: Any) -> tuple[Step, ...]:
@@ -95,6 +157,8 @@ def _raise_for_status(reply: Reply) -> Reply:
         raise ServerBusy(reply.message)
     if reply.status is Status.TIMEOUT:
         raise RequestTimedOut(reply.message)
+    if reply.status is Status.RETRY:
+        raise StaleEpoch(reply.message, reply.json_text)
     raise RemoteError(reply.message)
 
 
@@ -118,11 +182,30 @@ class ServiceClient:
         port: int,
         timeout_s: float = 30.0,
         max_frame: int = protocol.DEFAULT_MAX_FRAME,
+        reconnect_backoff_s: float = 0.05,
     ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
         self.max_frame = max_frame
+        self.reconnect_backoff_s = reconnect_backoff_s
+        # One request/response in flight per connection: interleaved
+        # sends from two threads would pair replies with the wrong
+        # caller, so the whole roundtrip (including the reconnect
+        # retry) holds this lock.
+        self._io_lock = threading.Lock()
         self._sock = socket.create_connection((host, port), timeout=timeout_s)
 
     # ------------------------------------------------------------------ transport
+
+    def _reconnect(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # szops: ignore[SZL006] -- discarding a dead socket, not a codec path
+            pass
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        )
 
     def _recv_exactly(self, n: int) -> bytes:
         chunks = []
@@ -135,22 +218,56 @@ class ServiceClient:
             remaining -= len(chunk)
         return b"".join(chunks)
 
-    def _roundtrip(self, request: Request, deadline_ms: int = 0) -> Reply:
-        payload = protocol.encode_request(request, deadline_ms)
-        self._sock.sendall(protocol.pack_frame(payload, self.max_frame))
+    def _exchange(self, frame: bytes) -> Reply:
+        self._sock.sendall(frame)
         header = self._recv_exactly(4)
         length = protocol.split_frame(header, self.max_frame)
-        return _raise_for_status(protocol.decode_reply(self._recv_exactly(length)))
+        return protocol.decode_reply(self._recv_exactly(length))
+
+    def _roundtrip(
+        self, request: Request, deadline_ms: int = 0, epoch: int = 0
+    ) -> Reply:
+        frame = protocol.pack_frame(
+            protocol.encode_request(request, deadline_ms, epoch), self.max_frame
+        )
+        with self._io_lock:
+            return self._locked_roundtrip(request, frame)
+
+    def _locked_roundtrip(self, request: Request, frame: bytes) -> Reply:
+        try:
+            return _raise_for_status(self._exchange(frame))
+        except TimeoutError:
+            raise  # a slow server is not a dead connection; never re-send
+        except (ConnectionError, OSError) as exc:
+            if request.opcode not in IDEMPOTENT_OPCODES:
+                raise ConnectionLost(
+                    f"connection lost during {Opcode(request.opcode).name}; "
+                    "the request may or may not have been applied"
+                ) from exc
+        # One transparent retry on a fresh connection, idempotent only.
+        time.sleep(self.reconnect_backoff_s)
+        try:
+            self._reconnect()
+            return _raise_for_status(self._exchange(frame))
+        except TimeoutError:
+            raise
+        except (ConnectionError, OSError) as exc:
+            raise ConnectionLost(
+                f"connection lost during {Opcode(request.opcode).name} "
+                "(reconnect retry also failed)"
+            ) from exc
 
     # ------------------------------------------------------------------ endpoints
 
-    def put(self, name: str, array: SZOpsCompressed | bytes) -> int:
+    def put(
+        self, name: str, array: SZOpsCompressed | bytes, epoch: int = 0
+    ) -> int:
         """Store a compressed array; returns the assigned version."""
-        return self._roundtrip(PutRequest(name, _as_blob(array))).version
+        return self._roundtrip(PutRequest(name, _as_blob(array)), epoch=epoch).version
 
-    def get(self, name: str, version: int = -1) -> bytes:
+    def get(self, name: str, version: int = -1, epoch: int = 0) -> bytes:
         """Fetch the serialized stream (latest version by default)."""
-        return self._roundtrip(GetRequest(name, version)).blob
+        return self._roundtrip(GetRequest(name, version), epoch=epoch).blob
 
     def get_container(self, name: str, version: int = -1) -> SZOpsCompressed:
         return SZOpsCompressed.from_bytes(self.get(name, version))
@@ -162,11 +279,13 @@ class ServiceClient:
         version: int = -1,
         result_name: str = "",
         deadline_ms: int = 0,
+        epoch: int = 0,
     ) -> bytes | int:
         """Apply a pointwise chain; returns the blob, or the stored version."""
         reply = self._roundtrip(
             OpRequest(name, steps_from_chain(chain), version, result_name),
             deadline_ms,
+            epoch,
         )
         return reply.version if reply.kind is BodyKind.STORED else reply.blob
 
@@ -177,11 +296,13 @@ class ServiceClient:
         chain: Any = (),
         version: int = -1,
         deadline_ms: int = 0,
+        epoch: int = 0,
     ) -> float:
         """Reduce (optionally after a pointwise prefix chain)."""
         reply = self._roundtrip(
             ReduceRequest(name, reduction, steps_from_chain(chain), version),
             deadline_ms,
+            epoch,
         )
         return reply.value
 
@@ -191,6 +312,36 @@ class ServiceClient:
 
     def health(self) -> dict[str, Any]:
         reply = self._roundtrip(HealthRequest())
+        return dict(json.loads(reply.json_text))
+
+    # ------------------------------------------------------------------ cluster (v2)
+
+    def preduce(
+        self,
+        name: str,
+        chain: Any = (),
+        version: int = -1,
+        deadline_ms: int = 0,
+        epoch: int = 0,
+    ) -> Moments:
+        """Partial reduce: quantized moments of one shard (cluster nodes)."""
+        reply = self._roundtrip(
+            PReduceRequest(name, steps_from_chain(chain), version),
+            deadline_ms,
+            epoch,
+        )
+        if reply.moments is None:
+            raise RemoteError("PREDUCE reply carried no moments body")
+        return reply.moments
+
+    def ping(self, deadline_ms: int = 0) -> dict[str, Any]:
+        """Cheap liveness probe; returns the node's epoch/load document."""
+        reply = self._roundtrip(PingRequest(), deadline_ms)
+        return dict(json.loads(reply.json_text))
+
+    def shardmap(self, map_json: str = "", epoch: int = 0) -> dict[str, Any]:
+        """Install a shard map (or fetch with ``map_json=""``)."""
+        reply = self._roundtrip(ShardMapRequest(map_json), epoch=epoch)
         return dict(json.loads(reply.json_text))
 
     # ------------------------------------------------------------------ raw access

@@ -8,21 +8,41 @@ message — request or response — is one *frame*::
     u32  payload length (little-endian, excludes these 4 bytes)
     ...  payload
 
-A payload begins with a one-byte protocol version (currently 1) so that a
-server can reject a future client with a clean ``ERROR`` instead of a
-parse failure.  Requests follow with an opcode, a deadline, and an
-opcode-specific body; responses follow with a status and a typed body::
+A payload begins with a one-byte protocol version so that a server can
+reject a future client with a clean ``ERROR`` instead of a parse
+failure.  Two versions are live:
 
-    request  = u8 version | u8 opcode | u32 deadline_ms | body
-    response = u8 version | u8 status | u8 body_kind    | body
+* **version 1** — the original six opcodes (PUT/GET/OP/REDUCE/STATS/
+  HEALTH), no epoch field.
+* **version 2** — adds the cluster opcodes (SHARDMAP/PREDUCE/PING), a
+  ``u32 epoch`` header field for shard-map fencing, the ``MOMENTS``
+  reply body, and the ``RETRY`` status.
+
+Requests follow with an opcode, a deadline, and an opcode-specific
+body; responses follow with a status and a typed body::
+
+    request  (v1) = u8 version | u8 opcode | u32 deadline_ms | body
+    request  (v2) = u8 version | u8 opcode | u32 deadline_ms | u32 epoch | body
+    response      = u8 version | u8 status | u8 body_kind    | body
+
+**Version negotiation** is downgrade-friendly in both directions: a v2
+server decodes v1 frames exactly as a v1 server would (epoch 0), and
+:func:`encode_request` emits the *lowest* version able to express a
+request — a v1 opcode with no epoch still goes out as a v1 frame, so a
+new client can talk to an old server.  Replies likewise carry the
+lowest version able to express them: only ``MOMENTS`` bodies and
+``RETRY`` statuses are stamped v2, so an old client never receives a
+version byte it cannot parse for an endpoint it knows.
 
 ``deadline_ms`` is the client's per-request deadline (0 = use the
 server's default); a request that cannot finish inside it gets a
-``TIMEOUT`` response.  All multi-byte integers are little-endian;
-strings are ``u16 length + UTF-8 bytes``; blobs are ``u32 length +
-bytes``.  Frames larger than the negotiated maximum
-(:data:`DEFAULT_MAX_FRAME`) are rejected before the payload is read —
-a hostile length prefix never allocates.
+``TIMEOUT`` response.  ``epoch`` is the sender's shard-map epoch (0 =
+unfenced); a cluster node at a different epoch answers ``RETRY`` with
+its current map instead of silently misrouting.  All multi-byte
+integers are little-endian; strings are ``u16 length + UTF-8 bytes``;
+blobs are ``u32 length + bytes``.  Frames larger than the negotiated
+maximum (:data:`DEFAULT_MAX_FRAME`) are rejected before the payload is
+read — a hostile length prefix never allocates.
 
 Decoding is strict: every decoder consumes its exact byte budget and
 raises :class:`FrameError` on truncation, trailing bytes, unknown
@@ -39,6 +59,8 @@ from typing import Union
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "LEGACY_PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "DEFAULT_MAX_FRAME",
     "MAX_STEPS",
     "Opcode",
@@ -46,12 +68,16 @@ __all__ = [
     "BodyKind",
     "FrameError",
     "Step",
+    "Moments",
     "PutRequest",
     "GetRequest",
     "OpRequest",
     "ReduceRequest",
     "StatsRequest",
     "HealthRequest",
+    "ShardMapRequest",
+    "PReduceRequest",
+    "PingRequest",
     "Request",
     "Reply",
     "encode_request",
@@ -62,8 +88,15 @@ __all__ = [
     "split_frame",
 ]
 
-#: Version byte leading every payload.
-PROTOCOL_VERSION = 1
+#: Newest version this codebase speaks (and the version byte used for
+#: frames that need v2 features).
+PROTOCOL_VERSION = 2
+
+#: The original pre-cluster version, still fully supported.
+LEGACY_PROTOCOL_VERSION = 1
+
+#: Versions :func:`decode_request` / :func:`decode_reply` accept.
+SUPPORTED_VERSIONS = (LEGACY_PROTOCOL_VERSION, PROTOCOL_VERSION)
 
 #: Default cap on a single frame's payload (64 MiB).  Both sides enforce
 #: it: the reader rejects a larger declared length before allocating.
@@ -84,6 +117,19 @@ class Opcode(IntEnum):
     REDUCE = 4
     STATS = 5
     HEALTH = 6
+    #: v2: install / fetch the cluster shard map (JSON document).
+    SHARDMAP = 7
+    #: v2: partial reduce — return quantized moments, not a scalar.
+    PREDUCE = 8
+    #: v2: lightweight health probe with epoch + load in the payload.
+    PING = 9
+
+
+#: Opcodes expressible in a version-1 frame.  Anything newer forces the
+#: v2 request header (and an old server will reject it cleanly).
+V1_OPCODES = frozenset(
+    {Opcode.PUT, Opcode.GET, Opcode.OP, Opcode.REDUCE, Opcode.STATS, Opcode.HEALTH}
+)
 
 
 class Status(IntEnum):
@@ -97,6 +143,10 @@ class Status(IntEnum):
     BUSY = 2
     #: The per-request deadline expired.  Body: message string.
     TIMEOUT = 3
+    #: v2: the caller's shard-map epoch is stale (or the node's is).
+    #: Body: message string + the node's current map as a JSON blob, so
+    #: the caller can re-route without a separate round trip.
+    RETRY = 4
 
 
 class BodyKind(IntEnum):
@@ -113,6 +163,8 @@ class BodyKind(IntEnum):
     JSON = 3
     #: status != OK: ``u16 length | UTF-8 message``.
     MESSAGE = 4
+    #: v2: quantized partial-reduce moments (see :class:`Moments`).
+    MOMENTS = 5
 
 
 class FrameError(ValueError):
@@ -204,6 +256,46 @@ class Step:
         return (self.name, self.scalar)
 
 
+_MOMENTS_STRUCT = struct.Struct("<ddqqQd")
+
+
+@dataclass(frozen=True)
+class Moments:
+    """Quantized partial-reduce moments for one shard of an array.
+
+    All fields live in the *quantized integer* domain (exact float64
+    integers below 2**53), never the value domain: summing exact
+    integers is associative, which is what makes the router's
+    tree-combine bit-identical to a single-node reduction regardless of
+    shard placement.  ``eps`` rides along so the router can apply the
+    single final ``2 * eps`` scaling exactly as ``runtime.lazy`` does.
+
+    Wire layout: ``f64 sum_q | f64 sumsq_q | i64 min_q | i64 max_q |
+    u64 count | f64 eps`` (48 bytes).
+    """
+
+    sum_q: float
+    sumsq_q: float
+    min_q: int
+    max_q: int
+    count: int
+    eps: float
+
+    def to_bytes(self) -> bytes:
+        return _MOMENTS_STRUCT.pack(
+            self.sum_q, self.sumsq_q, self.min_q, self.max_q, self.count, self.eps
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Moments":
+        if len(raw) != _MOMENTS_STRUCT.size:
+            raise FrameError(
+                f"moments body must be {_MOMENTS_STRUCT.size} bytes, got {len(raw)}"
+            )
+        s, s2, lo, hi, n, eps = _MOMENTS_STRUCT.unpack(raw)
+        return cls(float(s), float(s2), int(lo), int(hi), int(n), float(eps))
+
+
 @dataclass(frozen=True)
 class PutRequest:
     """Store a serialized stream under ``name`` (a new version)."""
@@ -263,8 +355,51 @@ class HealthRequest:
     opcode = Opcode.HEALTH
 
 
+@dataclass(frozen=True)
+class ShardMapRequest:
+    """Exchange shard maps: install ``map_json`` (empty = just fetch).
+
+    The node answers with its (possibly just-updated) current map as a
+    JSON body, so install-and-confirm is one round trip.
+    """
+
+    map_json: str = ""
+    opcode = Opcode.SHARDMAP
+
+
+@dataclass(frozen=True)
+class PReduceRequest:
+    """Partial-reduce ``name`` after an optional pointwise prefix chain.
+
+    Unlike :class:`ReduceRequest` there is no reduction selector: the
+    node always returns the full quantized moment tuple
+    (:class:`Moments`) and the router derives whichever scalar it was
+    asked for.  One opcode therefore serves sum/mean/min/max/var/std.
+    """
+
+    name: str
+    steps: tuple[Step, ...] = ()
+    version: int = _LATEST_VERSION
+    opcode = Opcode.PREDUCE
+
+
+@dataclass(frozen=True)
+class PingRequest:
+    """Cheap liveness probe; the JSON reply carries epoch + load."""
+
+    opcode = Opcode.PING
+
+
 Request = Union[
-    PutRequest, GetRequest, OpRequest, ReduceRequest, StatsRequest, HealthRequest
+    PutRequest,
+    GetRequest,
+    OpRequest,
+    ReduceRequest,
+    StatsRequest,
+    HealthRequest,
+    ShardMapRequest,
+    PReduceRequest,
+    PingRequest,
 ]
 
 
@@ -296,12 +431,27 @@ def _decode_steps(r: _Reader) -> tuple[Step, ...]:
     return tuple(steps)
 
 
-def encode_request(req: Request, deadline_ms: int = 0) -> bytes:
-    """Serialize one request into a frame payload (no length prefix)."""
+def encode_request(req: Request, deadline_ms: int = 0, epoch: int = 0) -> bytes:
+    """Serialize one request into a frame payload (no length prefix).
+
+    The version byte is chosen per-request: a legacy opcode with epoch 0
+    is emitted as a version-1 frame (parseable by pre-cluster servers);
+    anything needing the epoch field or a cluster opcode goes out as
+    version 2.
+    """
     if not 0 <= deadline_ms <= 0xFFFFFFFF:
         raise FrameError(f"deadline_ms out of range: {deadline_ms}")
+    if not 0 <= epoch <= 0xFFFFFFFF:
+        raise FrameError(f"epoch out of range: {epoch}")
+    wire_version = (
+        LEGACY_PROTOCOL_VERSION
+        if req.opcode in V1_OPCODES and epoch == 0
+        else PROTOCOL_VERSION
+    )
     out = bytearray()
-    out += struct.pack("<BBI", PROTOCOL_VERSION, int(req.opcode), deadline_ms)
+    out += struct.pack("<BBI", wire_version, int(req.opcode), deadline_ms)
+    if wire_version >= PROTOCOL_VERSION:
+        out += struct.pack("<I", epoch)
     if isinstance(req, PutRequest):
         _put_str(out, req.name)
         _put_blob(out, req.blob)
@@ -318,25 +468,40 @@ def encode_request(req: Request, deadline_ms: int = 0) -> bytes:
         out += struct.pack("<i", req.version)
         _encode_steps(out, req.steps)
         _put_str(out, req.reduction)
-    elif isinstance(req, (StatsRequest, HealthRequest)):
+    elif isinstance(req, ShardMapRequest):
+        _put_blob(out, req.map_json.encode("utf-8"))
+    elif isinstance(req, PReduceRequest):
+        _put_str(out, req.name)
+        out += struct.pack("<i", req.version)
+        _encode_steps(out, req.steps)
+    elif isinstance(req, (StatsRequest, HealthRequest, PingRequest)):
         pass
     else:  # pragma: no cover - exhaustive over the Request union
         raise FrameError(f"unknown request type {type(req).__name__}")
     return bytes(out)
 
 
-def decode_request(payload: bytes) -> tuple[Request, int]:
-    """Parse a request payload into ``(request, deadline_ms)``."""
+def decode_request(payload: bytes) -> tuple[Request, int, int]:
+    """Parse a request payload into ``(request, deadline_ms, epoch)``.
+
+    Version-1 frames decode with epoch 0; a v1 frame carrying a cluster
+    opcode is rejected (those opcodes only exist in v2).
+    """
     r = _Reader(payload)
     version = r.u8("protocol version")
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise FrameError(f"unsupported protocol version {version}")
     raw_op = r.u8("opcode")
     try:
         opcode = Opcode(raw_op)
     except ValueError:
         raise FrameError(f"unknown opcode {raw_op}") from None
+    if version < PROTOCOL_VERSION and opcode not in V1_OPCODES:
+        raise FrameError(
+            f"opcode {opcode.name} requires protocol version {PROTOCOL_VERSION}"
+        )
     deadline_ms = r.u32("deadline")
+    epoch = r.u32("epoch") if version >= PROTOCOL_VERSION else 0
     req: Request
     if opcode is Opcode.PUT:
         name = r.string("array name")
@@ -358,10 +523,24 @@ def decode_request(payload: bytes) -> tuple[Request, int]:
         req = ReduceRequest(name, reduction, steps, version_no)
     elif opcode is Opcode.STATS:
         req = StatsRequest()
-    else:
+    elif opcode is Opcode.HEALTH:
         req = HealthRequest()
+    elif opcode is Opcode.SHARDMAP:
+        raw = r.blob("shard map")
+        try:
+            map_json = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise FrameError(f"shard map is not valid UTF-8: {exc}") from None
+        req = ShardMapRequest(map_json)
+    elif opcode is Opcode.PREDUCE:
+        name = r.string("array name")
+        version_no = r.i32("version")
+        steps = _decode_steps(r)
+        req = PReduceRequest(name, steps, version_no)
+    else:
+        req = PingRequest()
     r.expect_end()
-    return req, deadline_ms
+    return req, deadline_ms, epoch
 
 
 # ---------------------------------------------------------------------------
@@ -374,8 +553,10 @@ class Reply:
     """One decoded response.
 
     ``status`` is always set.  For ``OK`` exactly one of ``blob`` /
-    ``version`` / ``value`` / ``json_text`` is meaningful, per ``kind``;
-    for any other status ``message`` carries the server's diagnostic.
+    ``version`` / ``value`` / ``json_text`` / ``moments`` is meaningful,
+    per ``kind``; for any other status ``message`` carries the server's
+    diagnostic.  A ``RETRY`` additionally carries the node's current
+    shard map in ``json_text``.
     """
 
     status: Status
@@ -385,6 +566,7 @@ class Reply:
     blob: bytes = b""
     value: float = 0.0
     json_text: str = ""
+    moments: Moments | None = None
 
     @property
     def ok(self) -> bool:
@@ -392,11 +574,30 @@ class Reply:
 
 
 def encode_reply(reply: Reply) -> bytes:
-    """Serialize one reply into a frame payload (no length prefix)."""
+    """Serialize one reply into a frame payload (no length prefix).
+
+    Like requests, replies are stamped with the lowest version able to
+    express them: only ``MOMENTS`` bodies and ``RETRY`` statuses need
+    the version-2 byte, so v1 clients keep parsing every reply to an
+    endpoint they can reach.
+    """
+    needs_v2 = reply.status is Status.RETRY or (
+        reply.status is Status.OK and reply.kind is BodyKind.MOMENTS
+    )
+    wire_version = PROTOCOL_VERSION if needs_v2 else LEGACY_PROTOCOL_VERSION
     out = bytearray()
-    out += struct.pack("<BBB", PROTOCOL_VERSION, int(reply.status), int(reply.kind))
+    out += struct.pack("<BBB", wire_version, int(reply.status), int(reply.kind))
+    if reply.status is Status.RETRY:
+        _put_str(out, reply.message)
+        _put_blob(out, reply.json_text.encode("utf-8"))
+        return bytes(out)
     if reply.status is not Status.OK:
         _put_str(out, reply.message)
+        return bytes(out)
+    if reply.kind is BodyKind.MOMENTS:
+        if reply.moments is None:
+            raise FrameError("MOMENTS reply is missing its moments payload")
+        out += reply.moments.to_bytes()
         return bytes(out)
     if reply.kind is BodyKind.BLOB:
         out += struct.pack("<I", reply.version)
@@ -414,10 +615,10 @@ def encode_reply(reply: Reply) -> bytes:
 
 
 def decode_reply(payload: bytes) -> Reply:
-    """Parse a reply payload."""
+    """Parse a reply payload (accepts every supported version)."""
     r = _Reader(payload)
     version = r.u8("protocol version")
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise FrameError(f"unsupported protocol version {version}")
     raw_status = r.u8("status")
     try:
@@ -429,10 +630,32 @@ def decode_reply(payload: bytes) -> Reply:
         kind = BodyKind(raw_kind)
     except ValueError:
         raise FrameError(f"unknown body kind {raw_kind}") from None
+    if version < PROTOCOL_VERSION and (
+        status is Status.RETRY or kind is BodyKind.MOMENTS
+    ):
+        raise FrameError(
+            f"reply feature requires protocol version {PROTOCOL_VERSION}"
+        )
+    if status is Status.RETRY:
+        message = r.string("message")
+        raw = r.blob("shard map")
+        try:
+            map_json = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise FrameError(f"shard map is not valid UTF-8: {exc}") from None
+        r.expect_end()
+        return Reply(
+            status=status, kind=BodyKind.MESSAGE, message=message, json_text=map_json
+        )
     if status is not Status.OK:
         message = r.string("message")
         r.expect_end()
         return Reply(status=status, kind=BodyKind.MESSAGE, message=message)
+    if kind is BodyKind.MOMENTS:
+        raw = r.take(_MOMENTS_STRUCT.size, "moments")
+        reply = Reply(status=status, kind=kind, moments=Moments.from_bytes(bytes(raw)))
+        r.expect_end()
+        return reply
     if kind is BodyKind.BLOB:
         version_no = r.u32("version")
         blob = r.blob("stream")

@@ -304,7 +304,7 @@ class ServiceServer:
         t0 = time.perf_counter()
         endpoint = "malformed"
         try:
-            request, deadline_ms = protocol.decode_request(payload)
+            request, deadline_ms, epoch = protocol.decode_request(payload)
         except FrameError as exc:
             self.telemetry.record_request("malformed", "ERROR", 0.0)
             await self._send(
@@ -333,7 +333,7 @@ class ServiceServer:
         if deadline_ms:
             timeout = min(timeout, deadline_ms / 1e3)
         try:
-            reply = await asyncio.wait_for(self._dispatch(request), timeout)
+            reply = await asyncio.wait_for(self._dispatch(request, epoch), timeout)
         except asyncio.TimeoutError:
             reply = Reply(
                 status=Status.TIMEOUT,
@@ -359,7 +359,7 @@ class ServiceServer:
         )
         await self._send(writer, reply)
 
-    async def _dispatch(self, request: Request) -> Reply:
+    async def _dispatch(self, request: Request, epoch: int = 0) -> Reply:
         if isinstance(request, PutRequest):
             return await self._handle_put(request)
         if isinstance(request, GetRequest):
@@ -370,7 +370,20 @@ class ServiceServer:
             return await self._handle_reduce(request)
         if isinstance(request, StatsRequest):
             return self._handle_stats()
-        return self._handle_health()
+        if isinstance(request, HealthRequest):
+            return self._handle_health()
+        return await self._dispatch_extra(request, epoch)
+
+    async def _dispatch_extra(self, request: Request, epoch: int) -> Reply:
+        """Hook for subclasses serving post-v1 opcodes (cluster nodes)."""
+        return Reply(
+            status=Status.ERROR,
+            kind=BodyKind.MESSAGE,
+            message=(
+                f"opcode {Opcode(request.opcode).name} is only served by "
+                "cluster nodes (repro.cluster)"
+            ),
+        )
 
     # -- endpoints ----------------------------------------------------------
 
@@ -520,8 +533,14 @@ class ThreadedServer:
     >>> handle.stop()
     """
 
-    def __init__(self, config: ServiceConfig | None = None) -> None:
-        self.server = ServiceServer(config)
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        server: ServiceServer | None = None,
+    ) -> None:
+        # A pre-built server (e.g. a cluster node) may be hosted directly;
+        # otherwise one is constructed from the config.
+        self.server = server if server is not None else ServiceServer(config)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._started = threading.Event()

@@ -95,7 +95,7 @@ class Telemetry:
 
     # Lock discipline (verified lexically by `repro.cli lint`'s lockcheck
     # pass): every mutation of these attributes must hold self._lock.
-    _GUARDED_ATTRS = ("_requests", "_histograms", "_counters", "_gauges")
+    _GUARDED_ATTRS = ("_requests", "_histograms", "_counters", "_gauges", "_keyed")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -108,6 +108,9 @@ class Telemetry:
         self._counters: dict[str, int] = {}
         #: point-in-time values (queue depth at last sample, ...).
         self._gauges: dict[str, float] = {}
+        #: group -> key -> count: counters with a dynamic label dimension
+        #: (per-shard request counts, per-node failover tallies, ...).
+        self._keyed: dict[str, dict[str, int]] = {}
 
     # ------------------------------------------------------------------ record
 
@@ -131,6 +134,12 @@ class Telemetry:
         with self._lock:
             self._gauges[name] = value
 
+    def increment_keyed(self, group: str, key: str, amount: int = 1) -> None:
+        """Count one event under a dynamic label (e.g. per-shard traffic)."""
+        with self._lock:
+            per_key = self._keyed.setdefault(group, {})
+            per_key[key] = per_key.get(key, 0) + amount
+
     # ------------------------------------------------------------------ read
 
     @property
@@ -140,6 +149,10 @@ class Telemetry:
     def counter(self, name: str) -> int:
         with self._lock:
             return self._counters.get(name, 0)
+
+    def keyed_counter(self, group: str, key: str) -> int:
+        with self._lock:
+            return self._keyed.get(group, {}).get(key, 0)
 
     def snapshot(self, extra: Mapping[str, object] | None = None) -> dict[str, object]:
         """One consistent JSON-able view of every metric.
@@ -160,6 +173,10 @@ class Telemetry:
                 "endpoints": endpoints,
                 "counters": dict(sorted(self._counters.items())),
                 "gauges": dict(sorted(self._gauges.items())),
+                "keyed_counters": {
+                    group: dict(sorted(per_key.items()))
+                    for group, per_key in sorted(self._keyed.items())
+                },
             }
         if extra:
             doc.update(extra)

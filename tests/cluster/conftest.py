@@ -1,0 +1,149 @@
+"""Fixtures for the cluster suite: streams, live node fleets, routers.
+
+Two fleet flavours:
+
+* ``cluster_factory`` — in-process nodes (:class:`ThreadedServer` around
+  a :class:`ClusterNode`), full TCP path, cheap enough for every test.
+* ``subprocess_node_factory`` — real OS processes bootable/killable with
+  signals, for the fault-injection drills (SIGKILL survives nothing
+  in-process).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro import SZOps
+from repro.cluster import (
+    ClusterClient,
+    ClusterNode,
+    NodeConfig,
+    NodeInfo,
+    ShardMap,
+)
+from repro.core.format import SZOpsCompressed
+from repro.service import ServiceClient, ThreadedServer
+
+
+@pytest.fixture(scope="module")
+def rng_module() -> np.random.Generator:
+    return np.random.default_rng(20240624)
+
+
+@pytest.fixture(scope="module")
+def compressed(rng_module) -> SZOpsCompressed:
+    """One modest compressed array shared by a module's tests."""
+    arr = np.cumsum(rng_module.normal(scale=5e-3, size=20_000)).astype(np.float32)
+    return SZOps(block_size=64).compress(arr, 1e-3)
+
+
+@pytest.fixture
+def cluster_factory():
+    """Boot in-process node fleets; everything stops at test end."""
+    handles: list[ThreadedServer] = []
+    routers: list[ClusterClient] = []
+
+    def start(
+        n_nodes: int = 3, replicas: int = 2, vnodes: int = 32, **overrides
+    ) -> tuple[ClusterClient, list[ThreadedServer]]:
+        batch: list[ThreadedServer] = []
+        for i in range(n_nodes):
+            node = ClusterNode(NodeConfig(node_id=f"node-{i}", **overrides))
+            handle = ThreadedServer(server=node).start()
+            handles.append(handle)
+            batch.append(handle)
+        shard_map = ShardMap(
+            tuple(
+                NodeInfo(f"node-{i}", h.host, h.port)
+                for i, h in enumerate(batch)
+            ),
+            replicas=replicas,
+            vnodes=vnodes,
+        )
+        router = ClusterClient(shard_map)
+        routers.append(router)
+        router.install_map()
+        return router, batch
+
+    yield start
+    for router in routers:
+        router.close()
+    for handle in handles:
+        handle.stop()
+
+
+@pytest.fixture
+def subprocess_node_factory(tmp_path):
+    """Boot cluster nodes as real subprocesses (SIGKILL-able)."""
+    procs: list[subprocess.Popen] = []
+
+    def start(node_id: str, timeout_s: float = 20.0) -> NodeInfo:
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "cluster", "node",
+                "--host", "127.0.0.1", "--port", "0", "--node-id", node_id,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        procs.append(proc)
+        assert proc.stdout is not None
+        deadline = time.monotonic() + timeout_s
+        line = ""
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline().strip()
+            if line:
+                break
+        assert line.startswith("listening on "), f"node startup said {line!r}"
+        port = int(line.rsplit(":", 1)[1])
+        proc.node_info = NodeInfo(node_id, "127.0.0.1", port)  # type: ignore[attr-defined]
+        return proc.node_info  # type: ignore[attr-defined]
+
+    def kill(info: NodeInfo) -> None:
+        for proc in procs:
+            if getattr(proc, "node_info", None) == info and proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+                proc.wait(timeout=10)
+
+    start.kill = kill  # type: ignore[attr-defined]
+    yield start
+    for proc in procs:
+        if proc.poll() is None:
+            proc.terminate()
+    for proc in procs:
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+@pytest.fixture
+def plain_client_factory():
+    """Direct (router-less) ServiceClients, closed at test end."""
+    clients: list[ServiceClient] = []
+
+    def connect(info: NodeInfo, **kwargs) -> ServiceClient:
+        client = ServiceClient(info.host, info.port, **kwargs)
+        clients.append(client)
+        return client
+
+    yield connect
+    for client in clients:
+        try:
+            client.close()
+        except OSError:
+            pass

@@ -1,0 +1,39 @@
+"""The cluster bench must report clean identity under concurrent load."""
+
+from __future__ import annotations
+
+from repro.cluster import run_cluster_bench
+
+
+def test_small_bench_cell_is_clean():
+    metrics = run_cluster_bench(
+        n_nodes=3,
+        replicas=2,
+        n_clients=3,
+        requests_per_client=8,
+        n_arrays=2,
+        chunks=4,
+        n_elements=6_000,
+    )
+    assert metrics["errors"] == []
+    assert metrics["identity_failures"] == 0
+    assert metrics["completed_requests"] == metrics["total_requests"] == 24
+    assert metrics["throughput_rps"] > 0
+    assert metrics["ok"] is True
+    # Replicated writes actually spread over the fleet.
+    writes = metrics["router_keyed_counters"]["shard_writes"]
+    assert sum(writes.values()) >= 2 * 4 * 2  # chunks x replicas x arrays
+
+
+def test_single_node_cell_degenerates_cleanly():
+    metrics = run_cluster_bench(
+        n_nodes=1,
+        replicas=2,  # capped to the fleet size
+        n_clients=2,
+        requests_per_client=5,
+        n_arrays=1,
+        chunks=3,
+        n_elements=4_000,
+    )
+    assert metrics["ok"] is True
+    assert metrics["identity_failures"] == 0

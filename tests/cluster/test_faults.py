@@ -1,0 +1,113 @@
+"""Fault drills against real subprocess nodes (SIGKILL, not cooperative).
+
+The write-safety acceptance criterion lives here: with replication >= 2,
+SIGKILLing any single node mid-workload loses zero acknowledged writes
+and fails zero in-flight idempotent requests.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import SZOps
+from repro.cluster import ClusterClient, HeartbeatMonitor, ShardMap
+from repro.runtime.lazy import LazyStream
+
+EPS = 1e-3
+
+
+def _compress(seed: int, n: int = 12_000):
+    rng = np.random.default_rng(seed)
+    data = np.cumsum(rng.normal(scale=5e-3, size=n)).astype(np.float32)
+    return SZOps(block_size=64).compress(data, EPS)
+
+
+@pytest.fixture
+def subprocess_cluster(subprocess_node_factory):
+    infos = [subprocess_node_factory(f"node-{i}") for i in range(3)]
+    shard_map = ShardMap(tuple(infos), replicas=2, vnodes=32)
+    router = ClusterClient(shard_map, timeout_s=10.0)
+    router.install_map()
+    yield router, infos, subprocess_node_factory.kill
+    router.close()
+
+
+class TestKillDuringWorkload:
+    def test_no_acked_write_lost_and_reduces_fail_over(self, subprocess_cluster):
+        router, infos, kill = subprocess_cluster
+        containers = {f"A{i}": _compress(100 + i) for i in range(3)}
+        expectations = {
+            name: {
+                "mean": float(LazyStream(c).mean()),
+                "minimum": float(LazyStream(c).minimum()),
+                "maximum": float(LazyStream(c).maximum()),
+            }
+            for name, c in containers.items()
+        }
+        acked: list[str] = []
+        for name, c in containers.items():
+            router.put(name, c, chunks=5)
+            acked.append(name)
+
+        with HeartbeatMonitor(
+            router, interval_s=0.1, fail_after=3, probe_timeout_s=1.0
+        ):
+            # SIGKILL one node mid-workload...
+            kill(infos[1])
+            t_kill = time.monotonic()
+            # ...and keep issuing idempotent requests throughout.  Reads
+            # fail over to surviving replicas; none may raise.
+            deadline = time.monotonic() + 15.0
+            detected_at = None
+            rounds = 0
+            while time.monotonic() < deadline:
+                for name, want in expectations.items():
+                    for reduction, expected in want.items():
+                        assert router.reduce(name, reduction) == expected, (
+                            f"{name} {reduction} diverged after kill"
+                        )
+                rounds += 1
+                if detected_at is None and len(router.map.nodes) == 2:
+                    detected_at = time.monotonic() - t_kill
+                if detected_at is not None and rounds >= 3:
+                    break
+            assert detected_at is not None, "failure never detected"
+            assert detected_at < 10.0, f"failover took {detected_at:.1f}s"
+
+        # Zero acknowledged writes lost: every array still reassembles
+        # byte-identically from the survivors.
+        for name in acked:
+            assert (
+                router.get_container(name).to_bytes()
+                == containers[name].to_bytes()
+            )
+
+    def test_writes_after_failover_succeed(self, subprocess_cluster):
+        router, infos, kill = subprocess_cluster
+        router.put("before", _compress(7), chunks=4)
+        kill(infos[0])
+        with HeartbeatMonitor(
+            router, interval_s=0.1, fail_after=2, probe_timeout_s=1.0
+        ):
+            deadline = time.monotonic() + 15.0
+            while len(router.map.nodes) == 3 and time.monotonic() < deadline:
+                time.sleep(0.05)
+        assert len(router.map.nodes) == 2
+        # New writes land on the rebalanced map and read back exactly.
+        c = _compress(8)
+        router.put("after", c, chunks=4)
+        assert router.get_container("after").to_bytes() == c.to_bytes()
+        assert router.get_container("before").to_bytes() == _compress(7).to_bytes()
+
+    def test_inline_write_failover_without_monitor(self, subprocess_cluster):
+        """The write path itself rebalances when an owner dies mid-PUT."""
+        router, infos, kill = subprocess_cluster
+        kill(infos[2])
+        c = _compress(9)
+        router.put("U", c, chunks=6)  # hits the dead owner, retries once
+        assert len(router.map.nodes) == 2
+        assert router.epoch == 2
+        assert router.get_container("U").to_bytes() == c.to_bytes()

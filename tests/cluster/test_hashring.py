@@ -1,0 +1,149 @@
+"""Shard-map invariants: determinism, replicas, epochs, rebalancing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import NodeInfo, ShardMap, hash_point
+
+
+def _nodes(n: int) -> tuple[NodeInfo, ...]:
+    return tuple(NodeInfo(f"node-{i}", "127.0.0.1", 7000 + i) for i in range(n))
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ShardMap(())
+
+    def test_rejects_duplicate_ids(self):
+        dup = (NodeInfo("a", "h", 1), NodeInfo("a", "h", 2))
+        with pytest.raises(ValueError):
+            ShardMap(dup)
+
+    def test_rejects_nonpositive_params(self):
+        with pytest.raises(ValueError):
+            ShardMap(_nodes(2), replicas=0)
+        with pytest.raises(ValueError):
+            ShardMap(_nodes(2), vnodes=0)
+
+    def test_effective_replicas_capped_by_fleet(self):
+        assert ShardMap(_nodes(1), replicas=3).effective_replicas == 1
+        assert ShardMap(_nodes(5), replicas=3).effective_replicas == 3
+
+
+class TestPlacement:
+    def test_hash_point_is_deterministic(self):
+        assert hash_point("U/#00001") == hash_point("U/#00001")
+        assert hash_point("U/#00001") != hash_point("U/#00002")
+
+    def test_owners_deterministic_across_instances(self):
+        a = ShardMap(_nodes(5), replicas=3)
+        b = ShardMap(_nodes(5), replicas=3)
+        for key in ("U", "V/#00007", "hurricane-P"):
+            assert [n.node_id for n in a.owners(key)] == [
+                n.node_id for n in b.owners(key)
+            ]
+
+    def test_owners_are_distinct_and_sized(self):
+        m = ShardMap(_nodes(5), replicas=3)
+        for key in (f"k{i}" for i in range(50)):
+            owners = m.owners(key)
+            ids = [n.node_id for n in owners]
+            assert len(ids) == 3
+            assert len(set(ids)) == 3
+            assert m.primary(key) == owners[0]
+
+    def test_distribution_roughly_balanced(self):
+        m = ShardMap(_nodes(4), replicas=1, vnodes=128)
+        counts: dict[str, int] = {}
+        for i in range(2000):
+            counts[m.primary(f"key-{i}").node_id] = (
+                counts.get(m.primary(f"key-{i}").node_id, 0) + 1
+            )
+        assert len(counts) == 4
+        assert min(counts.values()) > 2000 / 4 / 3  # no starved node
+
+
+class TestEpochsAndJson:
+    def test_json_roundtrip_preserves_placement(self):
+        m = ShardMap(_nodes(4), replicas=2, vnodes=16, epoch=7)
+        back = ShardMap.from_json(m.to_json())
+        assert back == m
+        assert back.epoch == 7
+        for i in range(30):
+            key = f"k{i}"
+            assert [n.node_id for n in back.owners(key)] == [
+                n.node_id for n in m.owners(key)
+            ]
+
+    def test_without_node_bumps_epoch(self):
+        m = ShardMap(_nodes(3), replicas=2, epoch=4)
+        smaller = m.without_node("node-1")
+        assert smaller.epoch == 5
+        assert [n.node_id for n in smaller.nodes] == ["node-0", "node-2"]
+
+    def test_with_node_bumps_epoch(self):
+        m = ShardMap(_nodes(2), replicas=2, epoch=4)
+        bigger = m.with_node(NodeInfo("node-9", "127.0.0.1", 7999))
+        assert bigger.epoch == 5
+        assert any(n.node_id == "node-9" for n in bigger.nodes)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_nodes=st.integers(min_value=2, max_value=6),
+    victim=st.integers(min_value=0, max_value=5),
+    keys=st.lists(
+        st.text(
+            alphabet="abcdefghijklmnop0123456789-", min_size=1, max_size=12
+        ),
+        min_size=1,
+        max_size=30,
+        unique=True,
+    ),
+)
+def test_rebalance_keeps_a_surviving_owner(n_nodes, victim, keys):
+    """With replicas >= 2, losing one node never orphans a key.
+
+    For every key, the new primary after ``without_node`` must be one of
+    the key's *old* owners whenever the old owner set had a survivor —
+    this is the ring-successor property that makes read failover find
+    replicated data without any migration.
+    """
+    m = ShardMap(_nodes(n_nodes), replicas=2, vnodes=32)
+    victim_id = f"node-{victim % n_nodes}"
+    smaller = m.without_node(victim_id)
+    for key in keys:
+        old_ids = [n.node_id for n in m.owners(key)]
+        new_ids = [n.node_id for n in smaller.owners(key)]
+        assert victim_id not in new_ids
+        survivors = [i for i in old_ids if i != victim_id]
+        if survivors:
+            assert set(survivors) <= set(new_ids) | {victim_id} or any(
+                s in new_ids for s in survivors
+            )
+            # The data-bearing guarantee: at least one old owner survives
+            # into the new owner set, so a replicated key stays readable.
+            assert any(s in new_ids for s in survivors)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=st.lists(
+        st.text(alphabet="abcdefgh123", min_size=1, max_size=8),
+        min_size=5,
+        max_size=40,
+        unique=True,
+    )
+)
+def test_rebalance_moves_only_victim_keys(keys):
+    """Keys not owned by the removed node keep their exact owner list."""
+    m = ShardMap(_nodes(5), replicas=2, vnodes=32)
+    smaller = m.without_node("node-2")
+    for key in keys:
+        old_ids = [n.node_id for n in m.owners(key)]
+        if "node-2" not in old_ids:
+            assert [n.node_id for n in smaller.owners(key)] == old_ids

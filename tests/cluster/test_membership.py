@@ -1,0 +1,108 @@
+"""Heartbeat monitor: failure detection, rebalance, epoch healing."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster import ClusterClient, HeartbeatMonitor
+
+
+def _wait_until(predicate, timeout_s=10.0, step_s=0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(step_s)
+    return False
+
+
+class TestDetection:
+    def test_dead_node_removed_within_deadline(self, cluster_factory, compressed):
+        router, handles = cluster_factory(n_nodes=3, replicas=2)
+        router.put("U", compressed, chunks=4)
+        with HeartbeatMonitor(
+            router, interval_s=0.1, fail_after=3, probe_timeout_s=0.5
+        ) as monitor:
+            victim = handles[1]
+            victim_id = victim.server.node_id
+            victim.stop()
+            assert _wait_until(
+                lambda: all(
+                    n.node_id != victim_id for n in router.map.nodes
+                )
+            ), "monitor never removed the dead node"
+            assert router.epoch == 2
+            status = monitor.status()
+            assert status[victim_id]["alive"] is False
+            assert status[victim_id]["in_map"] is False
+        # Data survives: every chunk still readable from surviving replicas.
+        back = router.get_container("U")
+        assert back.to_bytes() == compressed.to_bytes()
+
+    def test_healthy_cluster_stays_at_epoch_one(self, cluster_factory):
+        router, _handles = cluster_factory(n_nodes=3, replicas=2)
+        with HeartbeatMonitor(router, interval_s=0.05) as monitor:
+            time.sleep(0.5)
+            assert router.epoch == 1
+            status = monitor.status()
+            assert len(status) == 3
+            assert all(s["alive"] for s in status.values())
+            assert all(s["probes"] >= 1 for s in status.values())
+
+    def test_single_miss_does_not_kill(self, cluster_factory):
+        router, handles = cluster_factory(n_nodes=2, replicas=2)
+        monitor = HeartbeatMonitor(router, interval_s=0.05, fail_after=50)
+        with monitor:
+            handles[1].stop()
+            time.sleep(0.4)  # several misses, below the threshold
+            assert len(router.map.nodes) == 2  # not declared dead yet
+            state = monitor.status()[handles[1].server.node_id]
+            assert state["consecutive_misses"] >= 1
+
+
+class TestHealing:
+    def test_epoch_behind_node_gets_map_pushed(self, cluster_factory):
+        router, handles = cluster_factory(n_nodes=3, replicas=2)
+        # Simulate a node that missed the last rebalance push: wind its
+        # installed map back to the boot epoch while the router advances.
+        handles[2].stop()
+        router.remove_node(handles[2].server.node_id)
+        assert router.epoch == 2
+        behind = handles[0].server
+        assert behind.epoch == 2  # got the push from remove_node
+        from repro.cluster import ShardMap
+
+        stale_map = ShardMap(
+            router.map.nodes, replicas=router.map.replicas, epoch=1
+        )
+        behind.shard_map = stale_map
+        assert behind.epoch == 1
+        with HeartbeatMonitor(router, interval_s=0.05):
+            assert _wait_until(lambda: behind.epoch == 2), (
+                "monitor never re-pushed the current map to the lagging node"
+            )
+
+    def test_monitor_never_re_adds_nodes(self, cluster_factory):
+        """Recovered nodes stay out of the map until an operator acts."""
+        router, handles = cluster_factory(n_nodes=3, replicas=2)
+        victim_id = handles[0].server.node_id
+        router.remove_node(victim_id)  # node still alive, map says gone
+        with HeartbeatMonitor(router, interval_s=0.05):
+            time.sleep(0.4)
+            assert all(n.node_id != victim_id for n in router.map.nodes)
+
+
+class TestLastNode:
+    def test_last_node_death_does_not_crash_monitor(self, cluster_factory):
+        router, handles = cluster_factory(n_nodes=1, replicas=1)
+        with HeartbeatMonitor(
+            router, interval_s=0.05, fail_after=2, probe_timeout_s=0.3
+        ) as monitor:
+            handles[0].stop()
+            time.sleep(0.6)
+            # The monitor kept running (ClusterError swallowed) and the
+            # map still holds the unremovable last node.
+            assert len(router.map.nodes) == 1
+            assert monitor.status()["node-0"]["alive"] is False

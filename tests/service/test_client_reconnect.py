@@ -1,0 +1,82 @@
+"""Client reconnect semantics: one retry for idempotent opcodes only."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ConnectionLost, ServiceClient
+from repro.service.client import IDEMPOTENT_OPCODES
+from repro.service.protocol import Opcode
+
+
+def _kill_socket(client: ServiceClient) -> None:
+    """Make the client's current connection dead without touching the server."""
+    client._sock.close()
+
+
+class TestIdempotentRetry:
+    def test_get_survives_dead_connection(self, live_server, blob):
+        with ServiceClient(live_server.host, live_server.port) as client:
+            _kill_socket(client)
+            assert client.get("U") == blob  # transparent reconnect + retry
+
+    def test_reduce_survives_dead_connection(self, live_server):
+        with ServiceClient(live_server.host, live_server.port) as client:
+            baseline = client.reduce("U", "mean")
+            _kill_socket(client)
+            assert client.reduce("U", "mean") == baseline
+
+    def test_stats_and_health_survive(self, live_server):
+        with ServiceClient(live_server.host, live_server.port) as client:
+            _kill_socket(client)
+            assert client.health()["status"] == "ok"
+            _kill_socket(client)
+            assert "counters" in client.stats()
+
+    def test_retry_reuses_connection_afterwards(self, live_server, blob):
+        with ServiceClient(live_server.host, live_server.port) as client:
+            _kill_socket(client)
+            assert client.get("U") == blob
+            # The reconnected socket keeps serving without further retries.
+            assert client.get("U") == blob
+            assert client.reduce("U", "mean") == client.reduce("U", "mean")
+
+
+class TestNonIdempotentSurface:
+    def test_put_raises_typed_connection_lost(self, live_server, blob):
+        with ServiceClient(live_server.host, live_server.port) as client:
+            _kill_socket(client)
+            with pytest.raises(ConnectionLost, match="PUT"):
+                client.put("W", blob)
+
+    def test_op_raises_typed_connection_lost(self, live_server):
+        with ServiceClient(live_server.host, live_server.port) as client:
+            _kill_socket(client)
+            with pytest.raises(ConnectionLost, match="OP"):
+                client.op("U", [("negation", None)])
+
+    def test_client_usable_after_connection_lost(self, live_server, blob):
+        """ConnectionLost is not terminal: the next call reconnects."""
+        with ServiceClient(live_server.host, live_server.port) as client:
+            _kill_socket(client)
+            with pytest.raises(ConnectionLost):
+                client.put("W", blob)
+            assert client.get("U") == blob  # idempotent path recovers
+
+
+class TestIdempotencyRegistry:
+    def test_writes_are_not_idempotent(self):
+        assert Opcode.PUT not in IDEMPOTENT_OPCODES
+        assert Opcode.OP not in IDEMPOTENT_OPCODES
+
+    def test_reads_and_probes_are_idempotent(self):
+        for opcode in (
+            Opcode.GET,
+            Opcode.REDUCE,
+            Opcode.STATS,
+            Opcode.HEALTH,
+            Opcode.PREDUCE,
+            Opcode.PING,
+            Opcode.SHARDMAP,
+        ):
+            assert opcode in IDEMPOTENT_OPCODES

@@ -47,9 +47,10 @@ REQUESTS = [
 @pytest.mark.parametrize("req", REQUESTS, ids=lambda r: type(r).__name__)
 @pytest.mark.parametrize("deadline_ms", [0, 1, 125_000])
 def test_request_roundtrip(req, deadline_ms):
-    decoded, decoded_deadline = decode_request(encode_request(req, deadline_ms))
+    decoded, decoded_deadline, epoch = decode_request(encode_request(req, deadline_ms))
     assert decoded == req
     assert decoded_deadline == deadline_ms
+    assert epoch == 0
 
 
 REPLIES = [
@@ -137,7 +138,7 @@ def test_step_count_cap_enforced_both_sides():
     with pytest.raises(FrameError, match="cap"):
         encode_request(OpRequest("U", too_many))
     # Hand-craft a payload that *declares* too many steps.
-    out = bytearray(struct.pack("<BBI", PROTOCOL_VERSION, 3, 0))
+    out = bytearray(struct.pack("<BBII", PROTOCOL_VERSION, 3, 0, 0))
     out += struct.pack("<H", 1)  # name "U"
     out += b"U"
     out += struct.pack("<i", -1)
@@ -160,7 +161,7 @@ def test_oversized_payload_rejected_at_pack_time():
 
 
 def test_invalid_utf8_rejected():
-    out = bytearray(struct.pack("<BBI", PROTOCOL_VERSION, 2, 0))
+    out = bytearray(struct.pack("<BBII", PROTOCOL_VERSION, 2, 0, 0))
     out += struct.pack("<H", 2) + b"\xff\xfe"  # invalid UTF-8 name
     out += struct.pack("<i", -1)
     with pytest.raises(FrameError, match="UTF-8"):
